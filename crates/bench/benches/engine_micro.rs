@@ -1,0 +1,154 @@
+//! Microbenchmarks of the execution-engine model itself: thread-block issue
+//! throughput, preemption operations and the scheduling-framework state.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpreempt_gpu::{
+    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism,
+};
+use gpreempt_sim::{EventQueue, SimRng};
+use gpreempt_trace::KernelSpec;
+use gpreempt_types::{
+    CommandId, GpuConfig, KernelFootprint, KernelLaunchId, PreemptionConfig, Priority, ProcessId,
+    SimTime, SmId,
+};
+use std::hint::black_box;
+
+fn launch(blocks: u32) -> KernelLaunch {
+    KernelLaunch::new(
+        KernelLaunchId::new(0),
+        CommandId::new(0),
+        ProcessId::new(0),
+        Priority::NORMAL,
+        KernelSpec::new(
+            "micro",
+            KernelFootprint::new(8_192, 0, 256),
+            blocks,
+            SimTime::from_micros(10),
+        ),
+    )
+}
+
+/// Runs one kernel of `blocks` thread blocks to completion with every SM
+/// assigned; returns the number of processed events.
+fn run_single_kernel(mechanism: PreemptionMechanism, blocks: u32) -> u64 {
+    let mut engine = ExecutionEngine::new(
+        GpuConfig::default(),
+        PreemptionConfig::default(),
+        mechanism,
+        EngineParams::default(),
+        SimRng::new(7),
+    );
+    let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    engine.submit(launch(blocks), SimTime::ZERO);
+    let ksr = engine.active_kernels()[0];
+    for sm in engine.idle_sms() {
+        engine.assign_sm(SimTime::ZERO, sm, ksr);
+    }
+    loop {
+        for (t, ev) in engine.take_scheduled() {
+            queue.schedule(t, ev);
+        }
+        let _ = engine.take_hooks();
+        let _ = engine.take_completions();
+        let Some((t, ev)) = queue.pop() else { break };
+        engine.handle(t, ev);
+    }
+    queue.processed()
+}
+
+fn bench_block_issue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/block_throughput");
+    for blocks in [1_000u32, 10_000, 50_000] {
+        group.throughput(criterion::Throughput::Elements(blocks as u64));
+        group.bench_function(format!("{blocks}_blocks"), |b| {
+            b.iter(|| run_single_kernel(PreemptionMechanism::ContextSwitch, black_box(blocks)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preemption_operation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/preempt_sm");
+    for mechanism in PreemptionMechanism::all() {
+        group.bench_function(mechanism.label(), |b| {
+            b.iter_batched(
+                || {
+                    // A running engine with a second kernel waiting.
+                    let mut engine = ExecutionEngine::new(
+                        GpuConfig::default(),
+                        PreemptionConfig::default(),
+                        mechanism,
+                        EngineParams::default(),
+                        SimRng::new(3),
+                    );
+                    engine.submit(launch(10_000), SimTime::ZERO);
+                    let mut second = launch(100);
+                    second.id = KernelLaunchId::new(1);
+                    second.command = CommandId::new(1);
+                    second.process = ProcessId::new(1);
+                    engine.submit(second, SimTime::ZERO);
+                    let first = engine.active_kernels()[0];
+                    for sm in engine.idle_sms() {
+                        engine.assign_sm(SimTime::ZERO, sm, first);
+                    }
+                    // Deliver the setup events so blocks are resident.
+                    let scheduled = engine.take_scheduled();
+                    for (t, ev) in scheduled {
+                        engine.handle(t, ev);
+                    }
+                    let _ = engine.take_scheduled();
+                    engine
+                },
+                |mut engine| {
+                    let target = engine.active_kernels()[1];
+                    for sm in 0..13 {
+                        engine.preempt_sm(SimTime::from_micros(5), SmId::new(sm), target);
+                    }
+                    black_box(engine.stats().preemptions)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_framework_queries(c: &mut Criterion) {
+    let mut engine = ExecutionEngine::new(
+        GpuConfig::default(),
+        PreemptionConfig::default(),
+        PreemptionMechanism::ContextSwitch,
+        EngineParams::default(),
+        SimRng::new(3),
+    );
+    for i in 0..13u64 {
+        let mut l = launch(200);
+        l.id = KernelLaunchId::new(i);
+        l.command = CommandId::new(i);
+        l.process = ProcessId::new(i as u32);
+        engine.submit(l, SimTime::ZERO);
+    }
+    let kernels = engine.active_kernels();
+    for (i, sm) in engine.idle_sms().into_iter().enumerate() {
+        engine.assign_sm(SimTime::ZERO, sm, kernels[i % kernels.len()]);
+    }
+    c.bench_function("engine/smst_ksrt_scan", |b| {
+        b.iter(|| {
+            let idle = engine.idle_sms().len();
+            let needy = engine
+                .active_kernels()
+                .into_iter()
+                .filter(|&k| engine.kernel(k).map(|s| s.has_blocks_to_issue()).unwrap_or(false))
+                .count();
+            black_box((idle, needy))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_block_issue_throughput,
+    bench_preemption_operation,
+    bench_framework_queries
+);
+criterion_main!(benches);

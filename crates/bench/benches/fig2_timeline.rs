@@ -1,0 +1,20 @@
+//! Regenerates the Figure 2 timeline (soft real-time kernel under FCFS /
+//! NPQ / PPQ) and times the scenario simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpreempt::experiments::Fig2Results;
+use gpreempt::SimulatorConfig;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let config = SimulatorConfig::default();
+    let results = Fig2Results::run(&config).expect("figure 2 scenario");
+    println!("{}", results.render().render());
+
+    c.bench_function("fig2/three_scheduler_timeline", |b| {
+        b.iter(|| Fig2Results::run(black_box(&config)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

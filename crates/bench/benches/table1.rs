@@ -1,0 +1,37 @@
+//! Regenerates Table 1 (per-kernel statistics) and times the cost-model
+//! computations behind its derived columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpreempt::experiments::Table1;
+use gpreempt::SimulatorConfig;
+use gpreempt_trace::parboil::TABLE1;
+use gpreempt_types::GpuConfig;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = SimulatorConfig::default();
+    let table = Table1::generate(&config);
+    println!("{}", table.render().render());
+    assert!(table.blocks_per_sm_mismatches().is_empty());
+
+    c.bench_function("table1/generate", |b| {
+        b.iter(|| Table1::generate(black_box(&config)))
+    });
+
+    let gpu = GpuConfig::default();
+    c.bench_function("table1/context_save_cost_model", |b| {
+        b.iter(|| {
+            TABLE1
+                .iter()
+                .map(|row| {
+                    let fp = row.footprint();
+                    let blocks = fp.max_blocks_per_sm(black_box(&gpu));
+                    fp.context_save_time(&gpu, blocks).as_nanos()
+                })
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Command-line driver: simulate one multiprogrammed workload and print its
+//! metrics.
+//!
+//! ```text
+//! cargo run --release -p gpreempt-bench --bin run_workload -- \
+//!     --policy dss --mechanism context-switch spmv sgemm lbm histo
+//! ```
+//!
+//! Arguments are benchmark names (repeatable); options:
+//!
+//! * `--policy fcfs|npq|ppq|ppq-shared|dss` (default `dss`)
+//! * `--mechanism context-switch|draining` (default `context-switch`)
+//! * `--high-priority <index>` mark the i-th process as high priority
+//! * `--completions <n>` replay target (default 3)
+//! * `--seed <n>` RNG seed
+
+use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
+use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_trace::{parboil, ProcessSpec, Workload};
+use gpreempt_types::{Priority, ProcessId};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut policy = PolicyKind::Dss;
+    let mut mechanism = PreemptionMechanism::ContextSwitch;
+    let mut high_priority: Option<usize> = None;
+    let mut completions = 3u32;
+    let mut seed = 0x5EEDu64;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => {
+                policy = match args.next().as_deref() {
+                    Some("fcfs") => PolicyKind::Fcfs,
+                    Some("npq") => PolicyKind::Npq,
+                    Some("ppq") => PolicyKind::PpqExclusive,
+                    Some("ppq-shared") => PolicyKind::PpqShared,
+                    Some("dss") => PolicyKind::Dss,
+                    other => return Err(format!("unknown policy {other:?}").into()),
+                }
+            }
+            "--mechanism" => {
+                mechanism = match args.next().as_deref() {
+                    Some("context-switch") => PreemptionMechanism::ContextSwitch,
+                    Some("draining") => PreemptionMechanism::Draining,
+                    other => return Err(format!("unknown mechanism {other:?}").into()),
+                }
+            }
+            "--high-priority" => {
+                high_priority = Some(args.next().ok_or("missing index")?.parse()?);
+            }
+            "--completions" => completions = args.next().ok_or("missing count")?.parse()?,
+            "--seed" => seed = args.next().ok_or("missing seed")?.parse()?,
+            "--help" | "-h" => {
+                println!("usage: run_workload [options] <benchmark> [<benchmark> ...]");
+                println!("benchmarks: {}", parboil::BENCHMARK_NAMES.join(", "));
+                return Ok(());
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["spmv".into(), "sgemm".into(), "histo".into(), "mri-q".into()];
+    }
+
+    let config = SimulatorConfig::default()
+        .with_mechanism(mechanism)
+        .with_seed(seed);
+    let sim = Simulator::new(config.clone());
+    let gpu = &config.machine.gpu;
+
+    let processes: Vec<ProcessSpec> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let benchmark = parboil::benchmark(name, gpu)
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let spec = ProcessSpec::new(benchmark);
+            if Some(i) == high_priority {
+                spec.with_priority(Priority::HIGH)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let workload = Workload::new(names.join("+"), processes).with_min_completions(completions);
+
+    println!("workload: {}  policy: {}  mechanism: {}", workload.name(), policy, mechanism);
+    let wall = Instant::now();
+    let isolated = sim.isolated_times(&workload)?;
+    let run = sim.run(&workload, policy)?;
+    let metrics = run.metrics(&isolated)?;
+    let wall = wall.elapsed();
+
+    println!("simulated time: {}   events: {}   wall clock: {:.2?}",
+        run.end_time(), run.events_processed(), wall);
+    println!("ANTT {:.3}   STP {:.3}   fairness {:.3}   preemptions {}",
+        metrics.antt(), metrics.stp(), metrics.fairness(), run.engine_stats().preemptions);
+    for (i, spec) in workload.processes().iter().enumerate() {
+        let p = ProcessId::from(i);
+        println!(
+            "  {:<14} isolated {:>10.3} ms   turnaround {:>10.3} ms   NTT {:>6.2}   completions {}",
+            spec.benchmark.name(),
+            isolated[i].as_millis_f64(),
+            run.mean_turnaround(p).as_millis_f64(),
+            metrics.ntt()[i],
+            run.iterations()[i].len(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Simulator configuration and policy selection.
+
+use gpreempt_gpu::{EngineParams, PreemptionMechanism};
+use gpreempt_host::TransferPolicy;
+use gpreempt_sched::{DssPolicy, FcfsPolicy, NpqPolicy, PpqPolicy, SchedulingPolicy};
+use gpreempt_trace::Workload;
+use gpreempt_types::SimConfig;
+
+/// Which scheduling policy to plug into the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Baseline first-come first-served (today's GPUs).
+    Fcfs,
+    /// Non-preemptive priority queues.
+    Npq,
+    /// Preemptive priority queues with exclusive access for the
+    /// highest-priority process (the default PPQ of §4.2/§4.3).
+    PpqExclusive,
+    /// Preemptive priority queues that backfill idle SMs with low-priority
+    /// kernels (Figure 6b).
+    PpqShared,
+    /// Dynamic Spatial Sharing with equal token budgets (§4.4).
+    Dss,
+}
+
+impl PolicyKind {
+    /// All policy kinds.
+    pub const fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Fcfs,
+            PolicyKind::Npq,
+            PolicyKind::PpqExclusive,
+            PolicyKind::PpqShared,
+            PolicyKind::Dss,
+        ]
+    }
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Npq => "NPQ",
+            PolicyKind::PpqExclusive => "PPQ",
+            PolicyKind::PpqShared => "PPQ-shared",
+            PolicyKind::Dss => "DSS",
+        }
+    }
+
+    /// Whether the policy ever preempts SMs.
+    pub const fn is_preemptive(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::PpqExclusive | PolicyKind::PpqShared | PolicyKind::Dss
+        )
+    }
+
+    /// Builds the policy instance for a given workload and GPU size.
+    pub fn build(self, workload: &Workload, n_sms: u32) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(FcfsPolicy::new()),
+            PolicyKind::Npq => Box::new(NpqPolicy::new()),
+            PolicyKind::PpqExclusive => Box::new(PpqPolicy::exclusive()),
+            PolicyKind::PpqShared => Box::new(PpqPolicy::shared()),
+            PolicyKind::Dss => Box::new(DssPolicy::equal_share(n_sms, workload.len())),
+        }
+    }
+
+    /// The data-transfer engine policy the paper pairs with this execution
+    /// policy: NPQ for the prioritisation experiments, FCFS otherwise
+    /// (§4.2, §4.4).
+    pub const fn transfer_policy(self) -> TransferPolicy {
+        match self {
+            PolicyKind::Npq | PolicyKind::PpqExclusive | PolicyKind::PpqShared => {
+                TransferPolicy::Priority
+            }
+            PolicyKind::Fcfs | PolicyKind::Dss => TransferPolicy::Fcfs,
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything needed to run a simulation: the machine description, engine
+/// parameters, preemption mechanism, RNG seed and safety limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorConfig {
+    /// Machine parameters (CPU, PCIe, GPU — Table 2).
+    pub machine: SimConfig,
+    /// Engine model parameters (setup latency, block-time jitter).
+    pub engine: EngineParams,
+    /// Preemption mechanism used whenever a policy preempts an SM.
+    pub mechanism: PreemptionMechanism,
+    /// Transfer-engine queue policy; `None` derives it from the execution
+    /// policy the way the paper does.
+    pub transfer_policy: Option<TransferPolicy>,
+    /// Seed for every stochastic choice (block-time jitter).
+    pub seed: u64,
+    /// Upper bound on processed events; exceeded means the workload
+    /// livelocked (a starvation guard, not a tuning knob).
+    pub max_events: u64,
+}
+
+impl SimulatorConfig {
+    /// Creates the default configuration (Table 2 machine, context-switch
+    /// preemption).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption mechanism.
+    #[must_use]
+    pub fn with_mechanism(mut self, mechanism: PreemptionMechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the derived transfer-engine policy.
+    #[must_use]
+    pub fn with_transfer_policy(mut self, policy: TransferPolicy) -> Self {
+        self.transfer_policy = Some(policy);
+        self
+    }
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            machine: SimConfig::default(),
+            engine: EngineParams::default(),
+            mechanism: PreemptionMechanism::ContextSwitch,
+            transfer_policy: None,
+            seed: 0x5EED,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_trace::{parboil, ProcessSpec};
+    use gpreempt_types::GpuConfig;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(PolicyKind::Fcfs.label(), "FCFS");
+        assert_eq!(PolicyKind::Dss.to_string(), "DSS");
+        assert!(!PolicyKind::Fcfs.is_preemptive());
+        assert!(!PolicyKind::Npq.is_preemptive());
+        assert!(PolicyKind::PpqExclusive.is_preemptive());
+        assert!(PolicyKind::Dss.is_preemptive());
+        assert_eq!(PolicyKind::all().len(), 5);
+    }
+
+    #[test]
+    fn transfer_policy_matches_paper() {
+        assert_eq!(PolicyKind::Npq.transfer_policy(), TransferPolicy::Priority);
+        assert_eq!(PolicyKind::PpqExclusive.transfer_policy(), TransferPolicy::Priority);
+        assert_eq!(PolicyKind::Fcfs.transfer_policy(), TransferPolicy::Fcfs);
+        assert_eq!(PolicyKind::Dss.transfer_policy(), TransferPolicy::Fcfs);
+    }
+
+    #[test]
+    fn build_produces_named_policies() {
+        let gpu = GpuConfig::default();
+        let workload = Workload::new(
+            "w",
+            vec![ProcessSpec::new(parboil::benchmark("spmv", &gpu).unwrap())],
+        );
+        for kind in PolicyKind::all() {
+            let policy = kind.build(&workload, gpu.n_sms);
+            assert!(!policy.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimulatorConfig::new()
+            .with_mechanism(PreemptionMechanism::Draining)
+            .with_seed(7)
+            .with_transfer_policy(TransferPolicy::Priority);
+        assert_eq!(c.mechanism, PreemptionMechanism::Draining);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.transfer_policy, Some(TransferPolicy::Priority));
+        assert_eq!(c.machine.gpu.n_sms, 13);
+    }
+}

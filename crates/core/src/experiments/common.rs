@@ -1,0 +1,271 @@
+//! Shared infrastructure of the experiment harnesses.
+
+use crate::config::SimulatorConfig;
+use crate::simulator::Simulator;
+use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_sim::SimRng;
+use gpreempt_trace::{parboil, BenchmarkTrace, Workload, WorkloadGenerator};
+use gpreempt_types::{SimError, SimTime};
+use std::collections::HashMap;
+
+/// How big an experiment to run.
+///
+/// The paper simulates workloads of 2, 4, 6 and 8 processes drawn from ten
+/// Parboil benchmarks, replaying every application until each has completed
+/// at least three executions. Running that full population takes minutes of
+/// wall-clock time in release mode, so the harness also offers a `quick`
+/// preset (fewer workloads, fewer replays, a subset of benchmarks) that
+/// preserves the qualitative shape of every figure and is what the examples
+/// and tests use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Workload sizes (number of co-scheduled processes).
+    pub workload_sizes: Vec<usize>,
+    /// For the prioritisation experiments: how many times each benchmark
+    /// appears as the high-priority process per workload size.
+    pub reps_per_benchmark: usize,
+    /// For the spatial-sharing experiments: how many random workloads per
+    /// workload size.
+    pub random_workloads: usize,
+    /// Replay target: completed executions required of every process.
+    pub min_completions: u32,
+    /// Seed for workload generation.
+    pub seed: u64,
+    /// Restrict the benchmark pool to these names (`None` = all ten).
+    pub benchmarks: Option<Vec<String>>,
+}
+
+impl ExperimentScale {
+    /// The evaluation scale of the paper: all ten benchmarks, 2/4/6/8
+    /// process workloads, one high-priority appearance per benchmark, 20
+    /// random workloads per size, three completed executions per process.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            workload_sizes: vec![2, 4, 6, 8],
+            reps_per_benchmark: 1,
+            random_workloads: 20,
+            min_completions: 3,
+            seed: 2014,
+            benchmarks: None,
+        }
+    }
+
+    /// A reduced scale for tests, examples and quick runs: the five
+    /// shortest benchmarks, 2- and 4-process workloads, single replays.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            workload_sizes: vec![2, 4],
+            reps_per_benchmark: 1,
+            random_workloads: 4,
+            min_completions: 1,
+            seed: 2014,
+            benchmarks: Some(
+                ["spmv", "sgemm", "mri-q", "histo", "cutcp"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A middle ground used by the default `cargo bench` harness: every
+    /// benchmark and all four workload sizes, but fewer random workloads and
+    /// a single completed execution per process, so the whole harness runs
+    /// in minutes rather than tens of minutes.
+    pub fn bench() -> Self {
+        ExperimentScale {
+            workload_sizes: vec![2, 4, 6, 8],
+            reps_per_benchmark: 1,
+            random_workloads: 6,
+            min_completions: 1,
+            seed: 2014,
+            benchmarks: None,
+        }
+    }
+
+    /// Sets the benchmark subset.
+    #[must_use]
+    pub fn with_benchmarks<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.benchmarks = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the workload sizes.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.workload_sizes = sizes;
+        self
+    }
+
+    /// The benchmark pool this scale draws from.
+    pub fn suite(&self, config: &SimulatorConfig) -> Vec<BenchmarkTrace> {
+        let gpu = &config.machine.gpu;
+        match &self.benchmarks {
+            None => parboil::suite(gpu),
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    parboil::benchmark(n, gpu)
+                        .unwrap_or_else(|| panic!("unknown benchmark {n} in experiment scale"))
+                })
+                .collect(),
+        }
+    }
+
+    /// A workload generator over this scale's benchmark pool.
+    pub fn generator(&self, config: &SimulatorConfig) -> WorkloadGenerator {
+        WorkloadGenerator::new(self.suite(config), SimRng::new(self.seed))
+    }
+
+    /// Applies the replay target to a generated workload.
+    pub fn finalize(&self, workload: Workload) -> Workload {
+        workload.with_min_completions(self.min_completions)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::bench()
+    }
+}
+
+/// Cache of per-benchmark isolated execution times (the denominator of every
+/// normalized metric). Isolated times do not depend on the scheduling policy
+/// or the preemption mechanism, so one cache is shared by every experiment.
+#[derive(Debug, Default)]
+pub struct IsolatedTimes {
+    times: HashMap<String, SimTime>,
+}
+
+impl IsolatedTimes {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The isolated execution time of `benchmark`, simulating it on first
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the isolated run.
+    pub fn time_of(
+        &mut self,
+        simulator: &Simulator,
+        benchmark: &BenchmarkTrace,
+    ) -> Result<SimTime, SimError> {
+        if let Some(&t) = self.times.get(benchmark.name()) {
+            return Ok(t);
+        }
+        let t = simulator.isolated_time(benchmark)?;
+        self.times.insert(benchmark.name().to_string(), t);
+        Ok(t)
+    }
+
+    /// Isolated times of every process of a workload, in process order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the isolated runs.
+    pub fn for_workload(
+        &mut self,
+        simulator: &Simulator,
+        workload: &Workload,
+    ) -> Result<Vec<SimTime>, SimError> {
+        workload
+            .processes()
+            .iter()
+            .map(|p| self.time_of(simulator, &p.benchmark))
+            .collect()
+    }
+
+    /// Number of benchmarks cached so far.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Builds a simulator with the given preemption mechanism, sharing all other
+/// configuration.
+pub fn simulator_with_mechanism(
+    config: &SimulatorConfig,
+    mechanism: PreemptionMechanism,
+) -> Simulator {
+    Simulator::new(config.clone().with_mechanism(mechanism))
+}
+
+/// Arithmetic mean of an iterator of values; 0.0 when empty.
+pub fn mean_of<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    gpreempt_sim::stats::mean(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_trace::parboil;
+    use gpreempt_types::GpuConfig;
+
+    #[test]
+    fn scales_have_expected_shapes() {
+        let paper = ExperimentScale::paper();
+        assert_eq!(paper.workload_sizes, vec![2, 4, 6, 8]);
+        assert_eq!(paper.min_completions, 3);
+        assert!(paper.benchmarks.is_none());
+
+        let quick = ExperimentScale::quick();
+        assert!(quick.random_workloads < paper.random_workloads);
+        assert!(quick.benchmarks.is_some());
+
+        let bench = ExperimentScale::default();
+        assert_eq!(bench, ExperimentScale::bench());
+    }
+
+    #[test]
+    fn suite_respects_benchmark_subset() {
+        let config = SimulatorConfig::default();
+        let scale = ExperimentScale::quick().with_benchmarks(["spmv", "sgemm"]);
+        let suite = scale.suite(&config);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name(), "spmv");
+        let full = ExperimentScale::paper().suite(&config);
+        assert_eq!(full.len(), parboil::BENCHMARK_NAMES.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let config = SimulatorConfig::default();
+        let scale = ExperimentScale::quick().with_benchmarks(["nonsense"]);
+        let _ = scale.suite(&config);
+    }
+
+    #[test]
+    fn isolated_cache_deduplicates() {
+        let config = SimulatorConfig::default();
+        let sim = Simulator::new(config);
+        let gpu = GpuConfig::default();
+        let mut cache = IsolatedTimes::new();
+        assert!(cache.is_empty());
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let a = cache.time_of(&sim, &spmv).unwrap();
+        let b = cache.time_of(&sim, &spmv).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean_of([1.0, 3.0]), 2.0);
+        assert_eq!(mean_of(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The Figure 2 scenario: a soft real-time kernel competing with two
+//! previously launched low-priority kernels.
+//!
+//! The paper uses this timeline to motivate preemption: with FCFS the
+//! high-priority kernel K3 waits for K1 *and* K2; with a non-preemptive
+//! priority scheduler it only waits for K1; with a preemptive scheduler it
+//! starts almost immediately.
+
+use crate::config::{PolicyKind, SimulatorConfig};
+use crate::experiments::common::simulator_with_mechanism;
+use crate::report::TextTable;
+use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_trace::{BenchmarkTrace, KernelSpec, ProcessSpec, Workload};
+use gpreempt_types::{KernelFootprint, Priority, ProcessId, SimError, SimTime};
+
+/// Timeline of the three kernels under one scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Timeline {
+    /// The scheduler that produced this timeline.
+    pub policy: PolicyKind,
+    /// When the low-priority kernel K1 finished.
+    pub k1_finish: SimTime,
+    /// When the low-priority kernel K2 finished.
+    pub k2_finish: SimTime,
+    /// When the high-priority kernel K3 started executing on SMs.
+    pub k3_start: SimTime,
+    /// When the high-priority kernel K3 finished (its "deadline" latency).
+    pub k3_finish: SimTime,
+}
+
+/// The Figure 2 experiment: the same three-kernel scenario under FCFS,
+/// non-preemptive priority and preemptive priority scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Results {
+    /// The three timelines in the order the paper draws them: (a) FCFS,
+    /// (b) non-preemptive priority, (c) preemptive priority.
+    pub timelines: Vec<Fig2Timeline>,
+}
+
+impl Fig2Results {
+    /// Runs the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run(config: &SimulatorConfig) -> Result<Self, SimError> {
+        let workload = Self::workload();
+        let mut timelines = Vec::new();
+        for policy in [PolicyKind::Fcfs, PolicyKind::Npq, PolicyKind::PpqExclusive] {
+            let sim = simulator_with_mechanism(config, PreemptionMechanism::ContextSwitch);
+            let run = sim.run(&workload, policy)?;
+            let completion_of = |process: u32| {
+                run.kernel_completions()
+                    .iter()
+                    .find(|c| c.process == ProcessId::new(process))
+                    .copied()
+                    .expect("kernel completed")
+            };
+            // Process 0 launches K1 then K2 (same stream); process 1
+            // launches the high-priority K3.
+            let k1 = run
+                .kernel_completions()
+                .iter()
+                .filter(|c| c.process == ProcessId::new(0))
+                .map(|c| c.finished_at)
+                .min()
+                .expect("K1 completed");
+            let k2 = run
+                .kernel_completions()
+                .iter()
+                .filter(|c| c.process == ProcessId::new(0))
+                .map(|c| c.finished_at)
+                .max()
+                .expect("K2 completed");
+            let k3 = completion_of(1);
+            timelines.push(Fig2Timeline {
+                policy,
+                k1_finish: k1,
+                k2_finish: k2,
+                k3_start: k3.started_at,
+                k3_finish: k3.finished_at,
+            });
+        }
+        Ok(Fig2Results { timelines })
+    }
+
+    /// The three-kernel workload: K1 and K2 are long, low-priority kernels
+    /// from one process; K3 is a short, high-priority kernel from another
+    /// process, launched shortly after.
+    pub fn workload() -> Workload {
+        let long_kernel = |name: &str| {
+            KernelSpec::new(
+                name,
+                KernelFootprint::new(8_192, 0, 256),
+                2_080, // 20 full waves of the GPU
+                SimTime::from_micros(100),
+            )
+        };
+        // K1 and K2 are issued on different streams so both launch commands
+        // reach the execution engine before K3 arrives, exactly as in the
+        // paper's timeline (the engine then executes them in FCFS order).
+        let low = BenchmarkTrace::builder("low-priority")
+            .kernel(long_kernel("K1"))
+            .kernel(long_kernel("K2"))
+            .on_stream(gpreempt_types::StreamId::new(0))
+            .launch(0)
+            .on_stream(gpreempt_types::StreamId::new(1))
+            .launch(1)
+            .build();
+        let high = BenchmarkTrace::builder("soft-real-time")
+            .kernel(KernelSpec::new(
+                "K3",
+                KernelFootprint::new(8_192, 0, 256),
+                104, // one full wave
+                SimTime::from_micros(50),
+            ))
+            .cpu(SimTime::from_micros(300)) // K3 arrives while K1 is running
+            .launch(0)
+            .build();
+        Workload::new(
+            "figure-2",
+            vec![
+                ProcessSpec::new(low),
+                ProcessSpec::new(high).with_priority(Priority::HIGH),
+            ],
+        )
+        .with_min_completions(1)
+    }
+
+    /// The timeline produced by one of the three schedulers.
+    pub fn timeline(&self, policy: PolicyKind) -> Option<&Fig2Timeline> {
+        self.timelines.iter().find(|t| t.policy == policy)
+    }
+
+    /// Renders the three timelines.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "scheduler".into(),
+            "K3 start (us)".into(),
+            "K3 finish (us)".into(),
+            "K1 finish (us)".into(),
+            "K2 finish (us)".into(),
+        ])
+        .with_title("Figure 2: latency of the soft real-time kernel K3 under different schedulers");
+        for t in &self.timelines {
+            table.add_row(vec![
+                t.policy.label().to_string(),
+                format!("{:.1}", t.k3_start.as_micros_f64()),
+                format!("{:.1}", t.k3_finish.as_micros_f64()),
+                format!("{:.1}", t.k1_finish.as_micros_f64()),
+                format!("{:.1}", t.k2_finish.as_micros_f64()),
+            ]);
+        }
+        table
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment harnesses that regenerate the paper's tables and figures.
+//!
+//! | Paper artefact | Harness | What it reports |
+//! |---|---|---|
+//! | Table 1 | [`Table1`] | per-kernel statistics, with the derived columns recomputed |
+//! | Figure 2 | [`Fig2Results`] | latency of a soft real-time kernel under FCFS / NPQ / PPQ |
+//! | Figure 5 | [`PriorityResults::render_fig5`] | NTT improvement of the high-priority process |
+//! | Figure 6a/6b | [`PriorityResults::render_fig6`] | STP degradation of PPQ over NPQ |
+//! | Figure 7a-c | [`SpatialResults`] | DSS turnaround / fairness / throughput vs FCFS |
+//! | Figure 8 | [`SpatialResults::render_fig8`] | ANTT distribution across workloads |
+//!
+//! All harnesses take an [`ExperimentScale`]: `quick()` for smoke runs,
+//! `bench()` for the default `cargo bench` harness and `paper()` for the
+//! full evaluation population.
+
+pub mod common;
+pub mod fig2;
+pub mod priority;
+pub mod spatial;
+pub mod table1;
+
+pub use common::{simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+pub use fig2::{Fig2Results, Fig2Timeline};
+pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResults};
+pub use spatial::{SpatialConfig, SpatialOutcome, SpatialRecord, SpatialResults};
+pub use table1::{Table1, Table1Row};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimulatorConfig;
+    use gpreempt_types::KernelClass;
+
+    fn tiny_scale() -> ExperimentScale {
+        // Keep debug-mode test time low: two small benchmarks, 2-process
+        // workloads, a single completed execution per process.
+        let mut scale = ExperimentScale::quick().with_benchmarks(["spmv", "sgemm", "mri-q"]);
+        scale.workload_sizes = vec![2];
+        scale.reps_per_benchmark = 1;
+        scale.random_workloads = 2;
+        scale
+    }
+
+    #[test]
+    fn table1_reproduces_published_occupancy() {
+        let table = Table1::generate(&SimulatorConfig::default());
+        assert_eq!(table.rows().len(), 24);
+        assert!(table.blocks_per_sm_mismatches().is_empty());
+        // Spot-check the lbm row.
+        let lbm = &table.rows()[0];
+        assert_eq!(lbm.input.kernel, "StreamCollide");
+        assert!((lbm.resource_fraction * 100.0 - 83.26).abs() < 0.2);
+        assert!((lbm.save_time.as_micros_f64() - 16.2).abs() < 0.2);
+        assert!((lbm.time_per_block_us - 2.42).abs() < 0.05);
+        let text = table.render().render();
+        assert!(text.contains("StreamCollide"));
+        assert!(text.contains("gridding_GPU"));
+    }
+
+    #[test]
+    fn fig2_orders_the_schedulers_as_the_paper_argues() {
+        let results = Fig2Results::run(&SimulatorConfig::default()).unwrap();
+        assert_eq!(results.timelines.len(), 3);
+        let fcfs = results.timeline(crate::PolicyKind::Fcfs).unwrap();
+        let npq = results.timeline(crate::PolicyKind::Npq).unwrap();
+        let ppq = results.timeline(crate::PolicyKind::PpqExclusive).unwrap();
+        // K3's latency strictly improves from (a) to (b) to (c).
+        assert!(npq.k3_finish < fcfs.k3_finish, "NPQ should beat FCFS");
+        assert!(ppq.k3_finish < npq.k3_finish, "PPQ should beat NPQ");
+        // With FCFS, K3 waits for both K1 and K2.
+        assert!(fcfs.k3_start >= fcfs.k2_finish);
+        // With PPQ, K3 starts while K1 is still running.
+        assert!(ppq.k3_start < ppq.k1_finish);
+        let text = results.render().render();
+        assert!(text.contains("FCFS"));
+    }
+
+    #[test]
+    fn priority_experiment_shows_preemption_benefit() {
+        let config = SimulatorConfig::default();
+        let scale = tiny_scale();
+        let results = PriorityResults::run(&config, &scale).unwrap();
+        assert_eq!(results.records().len(), 3); // one workload per benchmark
+        for record in results.records() {
+            // Preemptive prioritisation should never be (much) worse than
+            // the FCFS baseline for the high-priority process.
+            assert!(record.ntt_improvement(PriorityConfig::PpqContextSwitch) > 0.8);
+            // NPQ and PPQ outcomes exist for every record.
+            assert_eq!(record.outcomes.len(), PriorityConfig::all().len());
+        }
+        // Averaged over workloads, PPQ improves the high-priority NTT at
+        // least as much as NPQ does.
+        let npq = results.fig5_improvement(None, 2, PriorityConfig::Npq);
+        let ppq = results.fig5_improvement(None, 2, PriorityConfig::PpqContextSwitch);
+        assert!(ppq >= npq * 0.9, "ppq {ppq} vs npq {npq}");
+        let table = results.render_fig5();
+        assert!(!table.is_empty());
+        assert!(!results.render_fig6(false).is_empty());
+        assert!(!results.render_fig6(true).is_empty());
+    }
+
+    #[test]
+    fn spatial_experiment_produces_all_views() {
+        let config = SimulatorConfig::default();
+        let scale = tiny_scale();
+        let results = SpatialResults::run(&config, &scale).unwrap();
+        assert_eq!(results.records().len(), 2);
+        for record in results.records() {
+            assert_eq!(record.outcomes.len(), SpatialConfig::all().len());
+            assert_eq!(record.app_classes.len(), record.size);
+            // Fairness and STP are well formed under every configuration.
+            for outcome in record.outcomes.values() {
+                assert!(outcome.fairness > 0.0 && outcome.fairness <= 1.0 + 1e-9);
+                assert!(outcome.stp > 0.0 && outcome.stp <= record.size as f64 + 1e-9);
+                assert!(outcome.antt >= 1.0 - 1e-9);
+            }
+        }
+        let short = results.fig7a_improvement(Some(KernelClass::Short), 2, SpatialConfig::DssContextSwitch);
+        assert!(short > 0.0);
+        assert!(results.fig7b_fairness(2, SpatialConfig::DssContextSwitch) > 0.0);
+        assert!(results.fig7c_stp_degradation(2, SpatialConfig::DssContextSwitch) > 0.0);
+        assert_eq!(results.fig8_sorted_antt(2, SpatialConfig::Fcfs).len(), 2);
+        assert!(!results.render_fig7a().is_empty());
+        assert!(!results.render_fig7b().is_empty());
+        assert!(!results.render_fig7c().is_empty());
+        assert!(!results.render_fig8().is_empty());
+    }
+
+    #[test]
+    fn priority_config_metadata() {
+        assert_eq!(PriorityConfig::all().len(), 6);
+        for cfg in PriorityConfig::all() {
+            assert!(!cfg.label().is_empty());
+            let (_, _) = cfg.policy_and_mechanism();
+        }
+        assert_eq!(SpatialConfig::all().len(), 3);
+        for cfg in SpatialConfig::all() {
+            assert!(!cfg.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The prioritisation experiment behind Figures 5 and 6.
+//!
+//! Random workloads are generated in which one process is marked
+//! high-priority; every benchmark appears as the high-priority process the
+//! same number of times (§4.2). Each workload is simulated under the FCFS
+//! baseline (the "non-prioritised" reference), the non-preemptive priority
+//! scheduler (NPQ) and the preemptive priority scheduler (PPQ) with both
+//! preemption mechanisms and both access modes.
+
+use crate::config::{PolicyKind, SimulatorConfig};
+use crate::experiments::common::{mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+use crate::report::{times, TextTable};
+use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_types::{KernelClass, SimError};
+use std::collections::HashMap;
+
+/// One scheduler configuration evaluated by the prioritisation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriorityConfig {
+    /// The FCFS baseline (no prioritisation).
+    Fcfs,
+    /// Non-preemptive priority queues.
+    Npq,
+    /// PPQ with the context-switch mechanism, exclusive access.
+    PpqContextSwitch,
+    /// PPQ with the draining mechanism, exclusive access.
+    PpqDraining,
+    /// PPQ with the context-switch mechanism, shared access (Figure 6b).
+    PpqContextSwitchShared,
+    /// PPQ with the draining mechanism, shared access (Figure 6b).
+    PpqDrainingShared,
+}
+
+impl PriorityConfig {
+    /// Every configuration, in evaluation order.
+    pub const fn all() -> [PriorityConfig; 6] {
+        [
+            PriorityConfig::Fcfs,
+            PriorityConfig::Npq,
+            PriorityConfig::PpqContextSwitch,
+            PriorityConfig::PpqDraining,
+            PriorityConfig::PpqContextSwitchShared,
+            PriorityConfig::PpqDrainingShared,
+        ]
+    }
+
+    /// Label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PriorityConfig::Fcfs => "FCFS",
+            PriorityConfig::Npq => "NPQ",
+            PriorityConfig::PpqContextSwitch => "PPQ Context Switch",
+            PriorityConfig::PpqDraining => "PPQ Draining",
+            PriorityConfig::PpqContextSwitchShared => "PPQ Context Switch (shared)",
+            PriorityConfig::PpqDrainingShared => "PPQ Draining (shared)",
+        }
+    }
+
+    /// The policy and preemption mechanism this configuration maps onto.
+    pub const fn policy_and_mechanism(self) -> (PolicyKind, PreemptionMechanism) {
+        match self {
+            PriorityConfig::Fcfs => (PolicyKind::Fcfs, PreemptionMechanism::ContextSwitch),
+            PriorityConfig::Npq => (PolicyKind::Npq, PreemptionMechanism::ContextSwitch),
+            PriorityConfig::PpqContextSwitch => {
+                (PolicyKind::PpqExclusive, PreemptionMechanism::ContextSwitch)
+            }
+            PriorityConfig::PpqDraining => {
+                (PolicyKind::PpqExclusive, PreemptionMechanism::Draining)
+            }
+            PriorityConfig::PpqContextSwitchShared => {
+                (PolicyKind::PpqShared, PreemptionMechanism::ContextSwitch)
+            }
+            PriorityConfig::PpqDrainingShared => {
+                (PolicyKind::PpqShared, PreemptionMechanism::Draining)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PriorityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one workload under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityOutcome {
+    /// Normalized turnaround time of the high-priority process.
+    pub ntt_high_priority: f64,
+    /// System throughput of the whole workload.
+    pub stp: f64,
+}
+
+/// The results of one workload across every configuration.
+#[derive(Debug, Clone)]
+pub struct PriorityRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Number of processes.
+    pub size: usize,
+    /// Name of the high-priority benchmark.
+    pub high_priority_benchmark: String,
+    /// The kernel-duration class ("Class 1") of the high-priority benchmark,
+    /// used to group Figure 5.
+    pub class: KernelClass,
+    /// Outcome under each configuration.
+    pub outcomes: HashMap<PriorityConfig, PriorityOutcome>,
+}
+
+impl PriorityRecord {
+    /// NTT improvement of the high-priority process under `config` relative
+    /// to its non-prioritised (FCFS) execution.
+    pub fn ntt_improvement(&self, config: PriorityConfig) -> f64 {
+        let base = self.outcomes[&PriorityConfig::Fcfs].ntt_high_priority;
+        let new = self.outcomes[&config].ntt_high_priority;
+        if new <= 0.0 {
+            0.0
+        } else {
+            base / new
+        }
+    }
+
+    /// STP degradation of `config` relative to NPQ (values above 1 mean the
+    /// preemptive scheduler sacrifices throughput).
+    pub fn stp_degradation_over_npq(&self, config: PriorityConfig) -> f64 {
+        let base = self.outcomes[&PriorityConfig::Npq].stp;
+        let new = self.outcomes[&config].stp;
+        if new <= 0.0 {
+            f64::INFINITY
+        } else {
+            base / new
+        }
+    }
+}
+
+/// The full prioritisation experiment (Figures 5, 6a and 6b).
+#[derive(Debug, Clone)]
+pub struct PriorityResults {
+    records: Vec<PriorityRecord>,
+    sizes: Vec<usize>,
+}
+
+impl PriorityResults {
+    /// Runs the experiment at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
+        let mut generator = scale.generator(config);
+        let mut isolated = IsolatedTimes::new();
+        let reference_sim = simulator_with_mechanism(config, PreemptionMechanism::ContextSwitch);
+        let mut records = Vec::new();
+
+        for &size in &scale.workload_sizes {
+            let population = generator.prioritized_population(size, scale.reps_per_benchmark);
+            for workload in population {
+                let workload = scale.finalize(workload);
+                let iso = isolated.for_workload(&reference_sim, &workload)?;
+                let hp = workload
+                    .high_priority_process()
+                    .expect("prioritized workloads have a high-priority process");
+                let hp_spec = &workload.processes()[hp.index()];
+                let mut outcomes = HashMap::new();
+                for cfg in PriorityConfig::all() {
+                    let (policy, mechanism) = cfg.policy_and_mechanism();
+                    let sim = simulator_with_mechanism(config, mechanism);
+                    let run = sim.run(&workload, policy)?;
+                    let metrics = run.metrics(&iso)?;
+                    outcomes.insert(
+                        cfg,
+                        PriorityOutcome {
+                            ntt_high_priority: metrics.ntt()[hp.index()],
+                            stp: metrics.stp(),
+                        },
+                    );
+                }
+                records.push(PriorityRecord {
+                    workload: workload.name().to_string(),
+                    size,
+                    high_priority_benchmark: hp_spec.benchmark.name().to_string(),
+                    class: hp_spec.benchmark.kernel_class(),
+                    outcomes,
+                });
+            }
+        }
+
+        Ok(PriorityResults {
+            records,
+            sizes: scale.workload_sizes.clone(),
+        })
+    }
+
+    /// The per-workload records.
+    pub fn records(&self) -> &[PriorityRecord] {
+        &self.records
+    }
+
+    /// The workload sizes evaluated.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Figure 5: mean NTT improvement of the high-priority process over its
+    /// non-prioritised execution, for the given benchmark class (or `None`
+    /// for the AVERAGE group) and workload size.
+    pub fn fig5_improvement(
+        &self,
+        class: Option<KernelClass>,
+        size: usize,
+        config: PriorityConfig,
+    ) -> f64 {
+        mean_of(
+            self.records
+                .iter()
+                .filter(|r| r.size == size && class.is_none_or(|c| r.class == c))
+                .map(|r| r.ntt_improvement(config)),
+        )
+    }
+
+    /// Figure 6: mean STP degradation of the preemptive schedulers over NPQ
+    /// for one workload size.
+    pub fn fig6_degradation(&self, size: usize, config: PriorityConfig) -> f64 {
+        mean_of(
+            self.records
+                .iter()
+                .filter(|r| r.size == size)
+                .map(|r| r.stp_degradation_over_npq(config)),
+        )
+    }
+
+    /// Renders Figure 5 as a table: one row per (class, size), one column
+    /// per scheduler.
+    pub fn render_fig5(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "group".into(),
+            "procs".into(),
+            "NPQ".into(),
+            "PPQ Context Switch".into(),
+            "PPQ Draining".into(),
+        ])
+        .with_title(
+            "Figure 5: turnaround-time improvement of the high-priority process over FCFS (times)",
+        );
+        let groups: Vec<(Option<KernelClass>, &str)> = vec![
+            (Some(KernelClass::Long), "LONG"),
+            (Some(KernelClass::Medium), "MEDIUM"),
+            (Some(KernelClass::Short), "SHORT"),
+            (None, "AVERAGE"),
+        ];
+        for (class, label) in groups {
+            for &size in &self.sizes {
+                table.add_row(vec![
+                    label.to_string(),
+                    size.to_string(),
+                    times(self.fig5_improvement(class, size, PriorityConfig::Npq)),
+                    times(self.fig5_improvement(class, size, PriorityConfig::PpqContextSwitch)),
+                    times(self.fig5_improvement(class, size, PriorityConfig::PpqDraining)),
+                ]);
+            }
+        }
+        table
+    }
+
+    /// Renders Figure 6a (exclusive access) or 6b (shared access).
+    pub fn render_fig6(&self, shared: bool) -> TextTable {
+        let (cs, drain, which) = if shared {
+            (
+                PriorityConfig::PpqContextSwitchShared,
+                PriorityConfig::PpqDrainingShared,
+                "6b: shared access",
+            )
+        } else {
+            (
+                PriorityConfig::PpqContextSwitch,
+                PriorityConfig::PpqDraining,
+                "6a: exclusive access",
+            )
+        };
+        let mut table = TextTable::new(vec![
+            "procs".into(),
+            "PPQ Context Switch".into(),
+            "PPQ Draining".into(),
+        ])
+        .with_title(format!(
+            "Figure {which}: STP degradation over NPQ (times)"
+        ));
+        for &size in &self.sizes {
+            table.add_row(vec![
+                size.to_string(),
+                times(self.fig6_degradation(size, cs)),
+                times(self.fig6_degradation(size, drain)),
+            ]);
+        }
+        table
+    }
+}

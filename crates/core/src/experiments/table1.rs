@@ -1,0 +1,114 @@
+//! Regeneration of Table 1: per-kernel statistics of the benchmark suite.
+//!
+//! The launch counts, kernel execution times, grid sizes and per-block
+//! resource footprints are inputs (taken from the paper); the derived
+//! columns — resident thread blocks per SM, on-chip resource utilisation and
+//! projected context-save time — are recomputed from the GPU configuration
+//! and the context-switch cost model, which is exactly how the paper derives
+//! them.
+
+use crate::config::SimulatorConfig;
+use crate::report::TextTable;
+use gpreempt_trace::parboil::{KernelRow, TABLE1};
+use gpreempt_types::SimTime;
+
+/// One reproduced row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The published input data.
+    pub input: KernelRow,
+    /// Recomputed: resident thread blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Recomputed: fraction of the SM's on-chip storage used at full
+    /// occupancy.
+    pub resource_fraction: f64,
+    /// Recomputed: projected context-save time at full occupancy.
+    pub save_time: SimTime,
+    /// Recomputed: average time per thread block as the paper defines it
+    /// (kernel time divided by the number of per-SM waves), in microseconds.
+    pub time_per_block_us: f64,
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Recomputes every derived column of Table 1 for the configured GPU.
+    pub fn generate(config: &SimulatorConfig) -> Self {
+        let gpu = &config.machine.gpu;
+        let rows = TABLE1
+            .iter()
+            .map(|row| {
+                let footprint = row.footprint();
+                let blocks_per_sm = footprint.max_blocks_per_sm(gpu);
+                let resource_fraction = footprint.on_chip_occupancy(gpu, blocks_per_sm);
+                let save_time = footprint.context_save_time(gpu, blocks_per_sm);
+                let time_per_block_us = if row.n_blocks == 0 {
+                    0.0
+                } else {
+                    row.kernel_time_us * blocks_per_sm as f64 / row.n_blocks as f64
+                };
+                Table1Row {
+                    input: *row,
+                    blocks_per_sm,
+                    resource_fraction,
+                    save_time,
+                    time_per_block_us,
+                }
+            })
+            .collect();
+        Table1 { rows }
+    }
+
+    /// The reproduced rows, in the paper's order.
+    pub fn rows(&self) -> &[Table1Row] {
+        &self.rows
+    }
+
+    /// Renders the table with the same columns the paper reports.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "benchmark".into(),
+            "kernel".into(),
+            "launches".into(),
+            "time (us)".into(),
+            "TBs".into(),
+            "time/TB (us)".into(),
+            "smem/TB (B)".into(),
+            "regs/TB".into(),
+            "TBs/SM".into(),
+            "resour./SM".into(),
+            "save time (us)".into(),
+        ])
+        .with_title("Table 1: kernel statistics of the benchmark applications");
+        for row in &self.rows {
+            table.add_row(vec![
+                row.input.benchmark.to_string(),
+                row.input.kernel.to_string(),
+                row.input.launches.to_string(),
+                format!("{:.2}", row.input.kernel_time_us),
+                row.input.n_blocks.to_string(),
+                format!("{:.2}", row.time_per_block_us),
+                row.input.smem_per_block.to_string(),
+                row.input.regs_per_block.to_string(),
+                row.blocks_per_sm.to_string(),
+                format!("{:.2}%", row.resource_fraction * 100.0),
+                format!("{:.2}", row.save_time.as_micros_f64()),
+            ]);
+        }
+        table
+    }
+
+    /// Verifies that every recomputed "TBs/SM" value matches the published
+    /// column, returning the mismatching kernel names (empty = exact match).
+    pub fn blocks_per_sm_mismatches(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.blocks_per_sm != r.input.blocks_per_sm)
+            .map(|r| format!("{}::{}", r.input.benchmark, r.input.kernel))
+            .collect()
+    }
+}

@@ -1,0 +1,55 @@
+//! `gpreempt` — a from-scratch reproduction of *"Enabling Preemptive
+//! Multiprogramming on GPUs"* (Tanasic et al., ISCA 2014).
+//!
+//! The crate wires together the workspace's components — host model, PCIe,
+//! GK110-like execution engine, preemption mechanisms and scheduling
+//! policies — into a whole-system, trace-driven simulator, and provides the
+//! experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
+//! use gpreempt_trace::{parboil, ProcessSpec, Workload};
+//!
+//! let config = SimulatorConfig::default();
+//! let sim = Simulator::new(config.clone());
+//! let gpu = &config.machine.gpu;
+//!
+//! // Co-schedule two applications and let DSS share the SMs between them.
+//! let workload = Workload::new(
+//!     "demo",
+//!     vec![
+//!         ProcessSpec::new(parboil::benchmark("spmv", gpu).unwrap()),
+//!         ProcessSpec::new(parboil::benchmark("sgemm", gpu).unwrap()),
+//!     ],
+//! )
+//! .with_min_completions(1);
+//!
+//! let run = sim.run(&workload, PolicyKind::Dss).unwrap();
+//! let isolated = sim.isolated_times(&workload).unwrap();
+//! let metrics = run.metrics(&isolated).unwrap();
+//! assert!(metrics.antt() >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod simulator;
+
+pub use config::{PolicyKind, SimulatorConfig};
+pub use simulator::{SimulationRun, Simulator};
+
+// Re-export the workspace crates so downstream users only need one
+// dependency.
+pub use gpreempt_gpu as gpu;
+pub use gpreempt_host as host;
+pub use gpreempt_metrics as metrics;
+pub use gpreempt_sched as sched;
+pub use gpreempt_sim as sim;
+pub use gpreempt_trace as trace;
+pub use gpreempt_types as types;

@@ -1,0 +1,139 @@
+//! Plain-text table rendering for the experiment harnesses.
+//!
+//! Every experiment can render its results as an aligned text table so that
+//! `cargo bench` / the example binaries print output directly comparable to
+//! the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use gpreempt::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["policy".into(), "ANTT".into()]);
+/// t.add_row(vec!["FCFS".into(), "3.21".into()]);
+/// t.add_row(vec!["DSS".into(), "1.75".into()]);
+/// let text = t.render();
+/// assert!(text.contains("FCFS"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn add_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(n_cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "{title}");
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", render_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper prints them (e.g. `"15.6x"`).
+pub fn times(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Formats a simulated time in microseconds.
+pub fn micros(value: gpreempt_types::SimTime) -> String {
+    format!("{:.2}us", value.as_micros_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_types::SimTime;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "value".into()]).with_title("demo");
+        t.add_row(vec!["longer-name".into(), "1".into()]);
+        t.add_row(vec!["x".into()]); // short row gets padded
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.starts_with("demo\n"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("a"));
+        assert!(lines[2].starts_with("---"));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(times(15.63), "15.63x");
+        assert_eq!(percent(0.123), "12.3%");
+        assert_eq!(micros(SimTime::from_micros(5)), "5.00us");
+    }
+}

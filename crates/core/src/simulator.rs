@@ -1,0 +1,451 @@
+//! The whole-system simulator: host + PCIe + execution engine + policy.
+
+use crate::config::{PolicyKind, SimulatorConfig};
+use gpreempt_gpu::{
+    EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch,
+};
+use gpreempt_host::{HostEvent, HostSystem, IterationRecord, LaunchRequest};
+use gpreempt_metrics::{ProcessPerformance, WorkloadMetrics};
+use gpreempt_sim::EventQueue;
+use gpreempt_sched::SchedulingPolicy;
+use gpreempt_trace::{BenchmarkTrace, ProcessSpec, Workload};
+use gpreempt_types::{KernelLaunchId, ProcessId, SimError, SimTime};
+
+/// One event of the combined simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Host(HostEvent),
+    Engine(EngineEvent),
+}
+
+/// The result of simulating one workload under one policy.
+#[derive(Debug, Clone)]
+pub struct SimulationRun {
+    workload_name: String,
+    policy: PolicyKind,
+    n_processes: usize,
+    end_time: SimTime,
+    iterations: Vec<Vec<IterationRecord>>,
+    kernel_completions: Vec<KernelCompletion>,
+    engine_stats: EngineStats,
+    events_processed: u64,
+}
+
+impl SimulationRun {
+    /// Name of the workload that was simulated.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// The scheduling policy that was used.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Number of processes in the workload.
+    pub fn n_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    /// The simulated time at which the stop condition (every process reached
+    /// its replay target) was met.
+    pub fn end_time(&self) -> SimTime {
+        self.end_time
+    }
+
+    /// Completed executions of each process (indexed by process id).
+    pub fn iterations(&self) -> &[Vec<IterationRecord>] {
+        &self.iterations
+    }
+
+    /// Every kernel completion observed, in completion order.
+    pub fn kernel_completions(&self) -> &[KernelCompletion] {
+        &self.kernel_completions
+    }
+
+    /// Execution-engine counters at the end of the run.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
+    }
+
+    /// Number of simulation events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Average turnaround time of the completed executions of one process.
+    pub fn mean_turnaround(&self, process: ProcessId) -> SimTime {
+        let records = &self.iterations[process.index()];
+        if records.is_empty() {
+            return SimTime::ZERO;
+        }
+        let total: SimTime = records.iter().map(IterationRecord::turnaround).sum();
+        total / records.len() as u64
+    }
+
+    /// Average turnaround of every process, in process order.
+    pub fn mean_turnarounds(&self) -> Vec<SimTime> {
+        (0..self.iterations.len())
+            .map(|p| self.mean_turnaround(ProcessId::from(p)))
+            .collect()
+    }
+
+    /// Computes the Eyerman & Eeckhout metrics of this run given each
+    /// process's isolated execution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] if the lengths differ or any
+    /// time is zero.
+    pub fn metrics(&self, isolated: &[SimTime]) -> Result<WorkloadMetrics, SimError> {
+        if isolated.len() != self.iterations.len() {
+            return Err(SimError::invalid_workload(
+                "isolated time count does not match the number of processes",
+            ));
+        }
+        let perf: Vec<ProcessPerformance> = isolated
+            .iter()
+            .enumerate()
+            .map(|(p, &iso)| ProcessPerformance::new(iso, self.mean_turnaround(ProcessId::from(p))))
+            .collect();
+        WorkloadMetrics::new(&perf)
+    }
+}
+
+/// The top-level simulator. Construct it once (it is cheap) and run as many
+/// workloads as needed; every run is independent and deterministic for a
+/// given configuration.
+///
+/// # Example
+///
+/// ```
+/// use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
+/// use gpreempt_trace::{parboil, ProcessSpec, Workload};
+///
+/// let config = SimulatorConfig::default();
+/// let sim = Simulator::new(config.clone());
+/// let gpu = &config.machine.gpu;
+/// let workload = Workload::new(
+///     "two-spmv",
+///     vec![
+///         ProcessSpec::new(parboil::benchmark("spmv", gpu).unwrap()),
+///         ProcessSpec::new(parboil::benchmark("spmv", gpu).unwrap()),
+///     ],
+/// )
+/// .with_min_completions(1);
+/// let run = sim.run(&workload, PolicyKind::Fcfs).unwrap();
+/// assert_eq!(run.iterations().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimulatorConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimulatorConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
+    /// Simulates `workload` under `policy` until every process has completed
+    /// at least [`Workload::min_completions`] executions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload is invalid for the configured GPU,
+    /// or if the event budget is exhausted before the replay target is met
+    /// (which indicates starvation or a livelock).
+    pub fn run(&self, workload: &Workload, policy: PolicyKind) -> Result<SimulationRun, SimError> {
+        self.config.machine.validate()?;
+        workload.validate(&self.config.machine.gpu)?;
+
+        let transfer_policy = self
+            .config
+            .transfer_policy
+            .unwrap_or_else(|| policy.transfer_policy());
+        let mut host = HostSystem::new(workload, self.config.machine.pcie.clone(), transfer_policy);
+        let mut engine = ExecutionEngine::new(
+            self.config.machine.gpu.clone(),
+            self.config.machine.preemption,
+            self.config.mechanism,
+            self.config.engine,
+            gpreempt_sim::SimRng::new(self.config.seed),
+        );
+        let mut policy_impl: Box<dyn SchedulingPolicy> =
+            policy.build(workload, self.config.machine.gpu.n_sms);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+
+        let mut iterations: Vec<Vec<IterationRecord>> = vec![Vec::new(); workload.len()];
+        let mut kernel_completions: Vec<KernelCompletion> = Vec::new();
+        let mut next_launch_id: u64 = 0;
+        let target = workload.min_completions();
+
+        host.start(SimTime::ZERO);
+        Self::drain(
+            &mut host,
+            &mut engine,
+            policy_impl.as_mut(),
+            &mut queue,
+            workload,
+            &mut iterations,
+            &mut kernel_completions,
+            &mut next_launch_id,
+            SimTime::ZERO,
+        );
+
+        let end_time;
+        loop {
+            if host.all_completed_at_least(target) {
+                end_time = Self::latest_needed_completion(&iterations, target);
+                break;
+            }
+            if queue.processed() >= self.config.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    processed: queue.processed(),
+                });
+            }
+            let Some((now, event)) = queue.pop() else {
+                return Err(SimError::internal(format!(
+                    "simulation deadlocked at {} with completions {:?}",
+                    queue.now(),
+                    host.completions()
+                )));
+            };
+            match event {
+                Event::Host(e) => host.handle(now, e),
+                Event::Engine(e) => engine.handle(now, e),
+            }
+            Self::drain(
+                &mut host,
+                &mut engine,
+                policy_impl.as_mut(),
+                &mut queue,
+                workload,
+                &mut iterations,
+                &mut kernel_completions,
+                &mut next_launch_id,
+                now,
+            );
+        }
+
+        Ok(SimulationRun {
+            workload_name: workload.name().to_string(),
+            policy,
+            n_processes: workload.len(),
+            end_time,
+            iterations,
+            kernel_completions,
+            engine_stats: engine.stats(),
+            events_processed: queue.processed(),
+        })
+    }
+
+    /// Runs one benchmark alone on the machine and returns the execution
+    /// time of its first completed iteration — the "isolated execution"
+    /// reference the metrics are normalised to.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the benchmark trace is invalid for the configured
+    /// GPU.
+    pub fn isolated_time(&self, benchmark: &BenchmarkTrace) -> Result<SimTime, SimError> {
+        let workload = Workload::new(
+            format!("isolated-{}", benchmark.name()),
+            vec![ProcessSpec::new(benchmark.clone())],
+        )
+        .with_min_completions(1);
+        let run = self.run(&workload, PolicyKind::Fcfs)?;
+        Ok(run.iterations()[0][0].turnaround())
+    }
+
+    /// Isolated execution times of every process of a workload, in process
+    /// order. Identical benchmarks are simulated only once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Simulator::isolated_time`].
+    pub fn isolated_times(&self, workload: &Workload) -> Result<Vec<SimTime>, SimError> {
+        let mut cache: std::collections::HashMap<String, SimTime> = std::collections::HashMap::new();
+        let mut times = Vec::with_capacity(workload.len());
+        for spec in workload.processes() {
+            let name = spec.benchmark.name().to_string();
+            let time = match cache.get(&name) {
+                Some(&t) => t,
+                None => {
+                    let t = self.isolated_time(&spec.benchmark)?;
+                    cache.insert(name, t);
+                    t
+                }
+            };
+            times.push(time);
+        }
+        Ok(times)
+    }
+
+    /// The timestamp of the completion that satisfied the replay target:
+    /// the time at which the slowest process finished its `target`-th
+    /// execution.
+    fn latest_needed_completion(iterations: &[Vec<IterationRecord>], target: u32) -> SimTime {
+        iterations
+            .iter()
+            .filter_map(|records| records.get(target.saturating_sub(1).max(0) as usize))
+            .map(|r| r.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Moves pending outputs between the host, the engine and the policy
+    /// until everything settles.
+    #[allow(clippy::too_many_arguments)]
+    fn drain(
+        host: &mut HostSystem,
+        engine: &mut ExecutionEngine,
+        policy: &mut dyn SchedulingPolicy,
+        queue: &mut EventQueue<Event>,
+        workload: &Workload,
+        iterations: &mut [Vec<IterationRecord>],
+        kernel_completions: &mut Vec<KernelCompletion>,
+        next_launch_id: &mut u64,
+        now: SimTime,
+    ) {
+        loop {
+            let mut progressed = false;
+
+            for (t, e) in host.take_scheduled() {
+                queue.schedule(t, Event::Host(e));
+            }
+            for record in host.take_iterations() {
+                iterations[record.process.index()].push(record);
+            }
+            let launches = host.take_launches();
+            for req in launches {
+                progressed = true;
+                engine.submit(Self::build_launch(workload, &req, next_launch_id), now);
+            }
+
+            for (t, e) in engine.take_scheduled() {
+                queue.schedule(t, Event::Engine(e));
+            }
+            let completions = engine.take_completions();
+            for completion in completions {
+                progressed = true;
+                kernel_completions.push(completion);
+                host.kernel_completed(now, completion.command);
+            }
+            let hooks = engine.take_hooks();
+            for hook in hooks {
+                progressed = true;
+                policy.on_hook(now, hook, engine);
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Translates a host launch request into an execution-engine launch
+    /// command by looking the kernel up in the workload's traces.
+    fn build_launch(workload: &Workload, req: &LaunchRequest, next_id: &mut u64) -> KernelLaunch {
+        let spec = workload.processes()[req.process.index()]
+            .benchmark
+            .kernels()[req.kernel]
+            .clone();
+        let id = KernelLaunchId::new(*next_id);
+        *next_id += 1;
+        KernelLaunch::new(id, req.command, req.process, req.priority, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_trace::parboil;
+    use gpreempt_types::GpuConfig;
+
+    fn quick_workload(names: &[&str], min_completions: u32) -> Workload {
+        let gpu = GpuConfig::default();
+        let processes = names
+            .iter()
+            .map(|n| ProcessSpec::new(parboil::benchmark(n, &gpu).unwrap()))
+            .collect();
+        Workload::new(format!("{names:?}"), processes).with_min_completions(min_completions)
+    }
+
+    #[test]
+    fn isolated_spmv_time_is_close_to_trace_content() {
+        let sim = Simulator::new(SimulatorConfig::default());
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let t = sim.isolated_time(&spmv).unwrap();
+        // GPU kernels alone are ~2.1ms; with CPU phases and transfers the
+        // whole application lands in the 2.5-4ms range.
+        let ms = t.as_millis_f64();
+        assert!((2.4..4.5).contains(&ms), "isolated spmv {ms}ms");
+    }
+
+    #[test]
+    fn two_process_fcfs_run_completes_and_slows_processes_down() {
+        let sim = Simulator::new(SimulatorConfig::default());
+        let w = quick_workload(&["spmv", "mri-q"], 2);
+        let run = sim.run(&w, PolicyKind::Fcfs).unwrap();
+        assert_eq!(run.iterations().len(), 2);
+        assert!(run.iterations().iter().all(|i| i.len() >= 2));
+        assert!(run.end_time() > SimTime::ZERO);
+        assert_eq!(run.policy(), PolicyKind::Fcfs);
+        assert_eq!(run.n_processes(), 2);
+        assert!(run.events_processed() > 0);
+        assert!(!run.kernel_completions().is_empty());
+
+        let isolated = sim.isolated_times(&w).unwrap();
+        let metrics = run.metrics(&isolated).unwrap();
+        // Sharing the GPU can only slow applications down.
+        assert!(metrics.antt() >= 1.0);
+        assert!(metrics.stp() <= 2.0 + 1e-9);
+        assert!(metrics.fairness() > 0.0 && metrics.fairness() <= 1.0);
+    }
+
+    #[test]
+    fn dss_improves_fairness_over_fcfs_for_asymmetric_pair() {
+        // A long application (sgemm) next to a short one (spmv): FCFS makes
+        // the short one wait; DSS shares the SMs.
+        let sim = Simulator::new(SimulatorConfig::default());
+        let w = quick_workload(&["spmv", "sgemm"], 2);
+        let isolated = sim.isolated_times(&w).unwrap();
+        let fcfs = sim.run(&w, PolicyKind::Fcfs).unwrap();
+        let dss = sim.run(&w, PolicyKind::Dss).unwrap();
+        let m_fcfs = fcfs.metrics(&isolated).unwrap();
+        let m_dss = dss.metrics(&isolated).unwrap();
+        assert!(
+            m_dss.fairness() >= m_fcfs.fairness() * 0.95,
+            "DSS fairness {} should not be below FCFS {}",
+            m_dss.fairness(),
+            m_fcfs.fairness()
+        );
+        assert!(dss.engine_stats().preemptions > 0 || m_dss.fairness() >= m_fcfs.fairness());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sim = Simulator::new(SimulatorConfig::default().with_seed(99));
+        let w = quick_workload(&["spmv", "spmv"], 1);
+        let a = sim.run(&w, PolicyKind::Dss).unwrap();
+        let b = sim.run(&w, PolicyKind::Dss).unwrap();
+        assert_eq!(a.end_time(), b.end_time());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.mean_turnarounds(), b.mean_turnarounds());
+    }
+
+    #[test]
+    fn metrics_reject_mismatched_isolated_times() {
+        let sim = Simulator::new(SimulatorConfig::default());
+        let w = quick_workload(&["spmv"], 1);
+        let run = sim.run(&w, PolicyKind::Fcfs).unwrap();
+        assert!(run.metrics(&[]).is_err());
+    }
+}

@@ -1,0 +1,677 @@
+//! The GPU execution engine.
+//!
+//! [`ExecutionEngine`] models the shaded part of Figure 1 of the paper: the
+//! SM driver, the SMs, and the scheduling-framework state (KSRT, SMST,
+//! PTBQs, command buffers). It is a self-contained event machine: external
+//! code submits kernel launches, feeds back the [`EngineEvent`]s the engine
+//! asked to have scheduled, and dispatches the [`PolicyHook`]s the engine
+//! raises to whatever scheduling policy is plugged in.
+
+use crate::framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmState, SmStatus};
+use crate::launch::{KernelCompletion, KernelLaunch};
+use crate::preempt::{ContextSwitchCost, PreemptionMechanism};
+use gpreempt_sim::SimRng;
+use gpreempt_types::{
+    GpuConfig, KernelLaunchId, PreemptionConfig, SimTime, SmId, ThreadBlockId,
+};
+use std::collections::VecDeque;
+
+/// Tunable parameters of the engine model that are not part of the paper's
+/// Table 2 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineParams {
+    /// Latency of the SM driver setting up an SM for a kernel (context id,
+    /// page-table base, kernel parameters) before thread blocks are issued.
+    pub sm_setup_time: SimTime,
+    /// Uniform jitter applied to per-block execution times (0.1 = ±10 %).
+    pub block_time_jitter: f64,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            sm_setup_time: SimTime::from_micros(1),
+            block_time_jitter: 0.05,
+        }
+    }
+}
+
+/// Events the engine schedules for itself. External code owns the event
+/// queue; it must hand each event back to [`ExecutionEngine::handle`] at the
+/// requested time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The SM driver finished setting up `sm` for its current kernel.
+    SetupDone {
+        /// The SM that was being set up.
+        sm: SmId,
+        /// Epoch guard: stale events (from before a preemption) are ignored.
+        epoch: u64,
+    },
+    /// A thread block finished executing on `sm`.
+    BlockDone {
+        /// The SM the block ran on.
+        sm: SmId,
+        /// Epoch guard.
+        epoch: u64,
+        /// The block that finished.
+        block: ThreadBlockId,
+    },
+    /// The context-save trap routine on `sm` finished writing the preempted
+    /// blocks' state to memory.
+    SaveDone {
+        /// The SM that finished saving.
+        sm: SmId,
+        /// Epoch guard.
+        epoch: u64,
+    },
+}
+
+/// Notifications the engine raises for the scheduling policy. The policy is
+/// not invoked directly by the engine (that would borrow it mutably twice);
+/// instead the simulator drains these hooks and dispatches them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyHook {
+    /// A kernel was admitted into the KSRT / active queue.
+    KernelAdmitted(KsrIndex),
+    /// An SM became idle.
+    SmIdle(SmId),
+    /// A kernel finished and its KSRT entry was freed.
+    KernelFinished {
+        /// The table slot that was freed (may be reused immediately).
+        ksr: KsrIndex,
+        /// The launch that finished, for policy bookkeeping keyed by launch.
+        launch: KernelLaunchId,
+    },
+}
+
+/// Aggregate counters the engine maintains, used for utilisation analysis
+/// and the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Thread blocks that ran to completion.
+    pub blocks_completed: u64,
+    /// Total SM-busy time accumulated by completed blocks.
+    pub busy_time: SimTime,
+    /// Number of SM preemptions requested.
+    pub preemptions: u64,
+    /// Thread blocks whose context was saved by the context-switch mechanism.
+    pub blocks_saved: u64,
+    /// Total time SMs spent saving contexts.
+    pub save_time: SimTime,
+    /// Kernels that finished.
+    pub kernels_completed: u64,
+}
+
+/// The GPU execution engine model.
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    gpu: GpuConfig,
+    preemption_cfg: PreemptionConfig,
+    mechanism: PreemptionMechanism,
+    params: EngineParams,
+    rng: SimRng,
+    sms: Vec<SmStatus>,
+    ksrt: Vec<Option<KernelState>>,
+    waiting_admission: VecDeque<KernelLaunch>,
+    scheduled: Vec<(SimTime, EngineEvent)>,
+    completions: Vec<KernelCompletion>,
+    hooks: Vec<PolicyHook>,
+    stats: EngineStats,
+}
+
+impl ExecutionEngine {
+    /// Creates an execution engine for the given GPU, using `mechanism`
+    /// whenever a policy preempts an SM.
+    pub fn new(
+        gpu: GpuConfig,
+        preemption_cfg: PreemptionConfig,
+        mechanism: PreemptionMechanism,
+        params: EngineParams,
+        rng: SimRng,
+    ) -> Self {
+        let n = gpu.n_sms as usize;
+        ExecutionEngine {
+            gpu,
+            preemption_cfg,
+            mechanism,
+            params,
+            rng,
+            sms: vec![SmStatus::new(); n],
+            ksrt: vec![None; n],
+            waiting_admission: VecDeque::new(),
+            scheduled: Vec::new(),
+            completions: Vec::new(),
+            hooks: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The GPU configuration the engine was built with.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The preemption mechanism in use.
+    pub fn mechanism(&self) -> PreemptionMechanism {
+        self.mechanism
+    }
+
+    /// Number of SMs.
+    pub fn n_sms(&self) -> u32 {
+        self.gpu.n_sms
+    }
+
+    /// All SM ids.
+    pub fn sm_ids(&self) -> impl Iterator<Item = SmId> {
+        (0..self.gpu.n_sms).map(SmId::new)
+    }
+
+    /// The SM Status Table entry of `sm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn sm(&self, sm: SmId) -> &SmStatus {
+        &self.sms[sm.index()]
+    }
+
+    /// SMs that are currently idle.
+    pub fn idle_sms(&self) -> Vec<SmId> {
+        self.sm_ids().filter(|s| self.sm(*s).is_idle()).collect()
+    }
+
+    /// The KSRT entry at `ksr`, if that slot is occupied.
+    pub fn kernel(&self, ksr: KsrIndex) -> Option<&KernelState> {
+        self.ksrt.get(ksr.index()).and_then(|k| k.as_ref())
+    }
+
+    /// Indices of all occupied KSRT slots (the active queue), in slot order.
+    pub fn active_kernels(&self) -> Vec<KsrIndex> {
+        self.ksrt
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.as_ref().map(|_| KsrIndex(i as u32)))
+            .collect()
+    }
+
+    /// Number of kernels waiting in command buffers for a free KSRT slot.
+    pub fn waiting_admission(&self) -> usize {
+        self.waiting_admission.len()
+    }
+
+    /// Whether the execution engine is completely empty (no active kernels,
+    /// no waiting kernels, all SMs idle).
+    pub fn is_empty(&self) -> bool {
+        self.ksrt.iter().all(Option::is_none)
+            && self.waiting_admission.is_empty()
+            && self.sms.iter().all(|s| s.is_idle())
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Events the engine wants scheduled; the caller must deliver each back
+    /// via [`handle`](Self::handle) at the given absolute time.
+    pub fn take_scheduled(&mut self) -> Vec<(SimTime, EngineEvent)> {
+        std::mem::take(&mut self.scheduled)
+    }
+
+    /// Kernel completions produced since the last call.
+    pub fn take_completions(&mut self) -> Vec<KernelCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Policy hooks raised since the last call.
+    pub fn take_hooks(&mut self) -> Vec<PolicyHook> {
+        std::mem::take(&mut self.hooks)
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel submission / admission
+    // ------------------------------------------------------------------
+
+    /// Submits a kernel launch command to the engine (the command dispatcher
+    /// issuing from a hardware queue). The kernel is admitted to the KSRT if
+    /// a slot is free; otherwise it waits in a command buffer until an
+    /// active kernel finishes.
+    pub fn submit(&mut self, launch: KernelLaunch, now: SimTime) {
+        debug_assert!(
+            launch.spec.footprint().max_blocks_per_sm(&self.gpu) > 0,
+            "kernel {} cannot fit on an SM; workloads must be validated first",
+            launch.spec.name()
+        );
+        if self.admit(launch, now).is_none() {
+            // No free KSRT slot: hold the command until one frees up.
+        }
+    }
+
+    fn admit(&mut self, launch: KernelLaunch, now: SimTime) -> Option<KsrIndex> {
+        let slot = self.ksrt.iter().position(Option::is_none);
+        match slot {
+            Some(i) => {
+                self.ksrt[i] = Some(KernelState::new(launch, &self.gpu, now));
+                let ksr = KsrIndex(i as u32);
+                self.hooks.push(PolicyHook::KernelAdmitted(ksr));
+                Some(ksr)
+            }
+            None => {
+                self.waiting_admission.push_back(launch);
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Policy actions
+    // ------------------------------------------------------------------
+
+    /// Assigns an idle SM to a kernel. The SM driver sets the SM up and then
+    /// starts issuing thread blocks.
+    ///
+    /// Returns `false` (and does nothing) if the SM is not idle or the
+    /// kernel slot is empty or already finished.
+    pub fn assign_sm(&mut self, now: SimTime, sm: SmId, ksr: KsrIndex) -> bool {
+        if !self.sms[sm.index()].is_idle() {
+            return false;
+        }
+        let usable = self
+            .kernel(ksr)
+            .map(|k| !k.is_finished() && k.has_blocks_to_issue())
+            .unwrap_or(false);
+        if !usable {
+            return false;
+        }
+        let status = &mut self.sms[sm.index()];
+        status.state = SmState::Running;
+        status.current = Some(ksr);
+        status.next = None;
+        status.mechanism = None;
+        status.setting_up = true;
+        status.epoch += 1;
+        let epoch = status.epoch;
+        if let Some(k) = self.ksrt[ksr.index()].as_mut() {
+            k.note_assigned();
+            k.note_started(now);
+        }
+        self.scheduled.push((
+            now + self.params.sm_setup_time,
+            EngineEvent::SetupDone { sm, epoch },
+        ));
+        true
+    }
+
+    /// Preempts a running SM on behalf of `next` using the engine's
+    /// preemption mechanism. The SM is marked reserved; once the preemption
+    /// completes the SM is set up for `next` (unless the reservation is
+    /// retargeted in the meantime).
+    ///
+    /// Returns `false` (and does nothing) if the SM is not in the running
+    /// state.
+    pub fn preempt_sm(&mut self, now: SimTime, sm: SmId, next: KsrIndex) -> bool {
+        if self.sms[sm.index()].state != SmState::Running {
+            return false;
+        }
+        if self.sms[sm.index()].setting_up {
+            // The SM is still being set up for its current kernel; treat it
+            // like an immediate hand-over: cancel the setup and retarget.
+            let status = &mut self.sms[sm.index()];
+            status.epoch += 1;
+            status.setting_up = false;
+            let old = status.current.take();
+            status.state = SmState::Idle;
+            if let Some(old_ksr) = old {
+                if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+                    k.note_unassigned();
+                }
+            }
+            self.stats.preemptions += 1;
+            let assigned = self.assign_sm(now, sm, next);
+            if !assigned {
+                self.hooks.push(PolicyHook::SmIdle(sm));
+            }
+            return true;
+        }
+        self.stats.preemptions += 1;
+        let mechanism = self.mechanism;
+        let status = &mut self.sms[sm.index()];
+        status.state = SmState::Reserved;
+        status.next = Some(next);
+        status.mechanism = Some(mechanism);
+        match mechanism {
+            PreemptionMechanism::Draining => {
+                if status.resident.is_empty() {
+                    self.complete_preemption(now, sm);
+                }
+                // Otherwise resident blocks keep their completion events; the
+                // preemption finishes when the last one completes.
+            }
+            PreemptionMechanism::ContextSwitch => {
+                // Cancel outstanding block completions and move the resident
+                // blocks to the kernel's PTBQ with their remaining time.
+                status.epoch += 1;
+                let epoch = status.epoch;
+                status.saving = true;
+                let current = status.current.expect("running SM has a kernel");
+                let resident: Vec<ResidentBlock> = std::mem::take(&mut status.resident);
+                let n_saved = resident.len() as u32;
+                let footprint = self.ksrt[current.index()]
+                    .as_ref()
+                    .expect("current kernel exists")
+                    .launch()
+                    .spec
+                    .footprint();
+                let cost = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg);
+                let save_time = cost.save_time(&footprint, n_saved);
+                if let Some(k) = self.ksrt[current.index()].as_mut() {
+                    for rb in resident {
+                        let elapsed = now - rb.issued_at;
+                        let remaining = rb.duration.saturating_sub(elapsed);
+                        k.note_block_preempted(PreemptedBlock {
+                            block: rb.block,
+                            remaining,
+                        });
+                    }
+                }
+                self.stats.blocks_saved += n_saved as u64;
+                self.stats.save_time += save_time;
+                self.scheduled
+                    .push((now + save_time, EngineEvent::SaveDone { sm, epoch }));
+            }
+        }
+        true
+    }
+
+    /// Changes the kernel a reserved SM will be handed to once its
+    /// preemption completes (§3.4 allows this to cope with long-latency
+    /// preemptions). Returns `false` if the SM is not reserved.
+    pub fn retarget_reservation(&mut self, sm: SmId, next: KsrIndex) -> bool {
+        let status = &mut self.sms[sm.index()];
+        if status.state != SmState::Reserved {
+            return false;
+        }
+        status.next = Some(next);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Delivers an engine event back at its scheduled time.
+    pub fn handle(&mut self, now: SimTime, event: EngineEvent) {
+        match event {
+            EngineEvent::SetupDone { sm, epoch } => self.on_setup_done(now, sm, epoch),
+            EngineEvent::BlockDone { sm, epoch, block } => self.on_block_done(now, sm, epoch, block),
+            EngineEvent::SaveDone { sm, epoch } => self.on_save_done(now, sm, epoch),
+        }
+    }
+
+    fn on_setup_done(&mut self, now: SimTime, sm: SmId, epoch: u64) {
+        if self.sms[sm.index()].epoch != epoch {
+            return;
+        }
+        self.sms[sm.index()].setting_up = false;
+        self.issue_blocks(now, sm);
+    }
+
+    fn on_block_done(&mut self, now: SimTime, sm: SmId, epoch: u64, block: ThreadBlockId) {
+        if self.sms[sm.index()].epoch != epoch {
+            return;
+        }
+        let status = &mut self.sms[sm.index()];
+        let Some(pos) = status.resident.iter().position(|b| b.block == block) else {
+            return;
+        };
+        let finished = status.resident.swap_remove(pos);
+        let Some(ksr) = status.current else { return };
+        self.stats.blocks_completed += 1;
+        self.stats.busy_time += finished.duration;
+        let kernel_finished = {
+            let k = self.ksrt[ksr.index()].as_mut().expect("current kernel exists");
+            k.note_block_completed();
+            k.is_finished()
+        };
+        if kernel_finished {
+            self.finish_kernel(now, ksr);
+            return;
+        }
+        match self.sms[sm.index()].state {
+            SmState::Running => {
+                self.issue_blocks(now, sm);
+            }
+            SmState::Reserved => {
+                if self.sms[sm.index()].resident.is_empty() {
+                    self.complete_preemption(now, sm);
+                }
+            }
+            SmState::Idle => {}
+        }
+    }
+
+    fn on_save_done(&mut self, now: SimTime, sm: SmId, epoch: u64) {
+        if self.sms[sm.index()].epoch != epoch {
+            return;
+        }
+        self.sms[sm.index()].saving = false;
+        self.complete_preemption(now, sm);
+    }
+
+    // ------------------------------------------------------------------
+    // SM driver internals
+    // ------------------------------------------------------------------
+
+    /// Issues thread blocks of the SM's current kernel until the SM is full
+    /// or the kernel has nothing left to issue. Preempted blocks are issued
+    /// before fresh ones.
+    fn issue_blocks(&mut self, now: SimTime, sm: SmId) {
+        let Some(ksr) = self.sms[sm.index()].current else {
+            return;
+        };
+        if self.sms[sm.index()].state != SmState::Running || self.sms[sm.index()].setting_up {
+            return;
+        }
+        let (footprint, blocks_per_sm, mean_block_time) = {
+            let k = self.ksrt[ksr.index()].as_ref().expect("current kernel exists");
+            (
+                k.launch().spec.footprint(),
+                k.blocks_per_sm(),
+                k.launch().spec.mean_block_time(),
+            )
+        };
+        let restore = match self.mechanism {
+            PreemptionMechanism::ContextSwitch => {
+                ContextSwitchCost::new(&self.gpu, &self.preemption_cfg).restore_time_per_block(&footprint)
+            }
+            PreemptionMechanism::Draining => SimTime::ZERO,
+        };
+        loop {
+            if self.sms[sm.index()].resident.len() as u32 >= blocks_per_sm {
+                return;
+            }
+            let taken = self.ksrt[ksr.index()]
+                .as_mut()
+                .expect("current kernel exists")
+                .take_next_block();
+            let Some((block, restored_remaining)) = taken else {
+                break;
+            };
+            let duration = match restored_remaining {
+                Some(remaining) => remaining + restore,
+                None => self.rng.jittered(mean_block_time, self.params.block_time_jitter),
+            };
+            let status = &mut self.sms[sm.index()];
+            status.resident.push(ResidentBlock {
+                block,
+                issued_at: now,
+                duration,
+            });
+            let epoch = status.epoch;
+            self.scheduled
+                .push((now + duration, EngineEvent::BlockDone { sm, epoch, block }));
+        }
+        // Nothing left to issue: if the SM also has no resident blocks it
+        // cannot contribute to this kernel any more and becomes idle.
+        if self.sms[sm.index()].resident.is_empty() {
+            self.release_sm(sm);
+            self.hooks.push(PolicyHook::SmIdle(sm));
+        }
+    }
+
+    /// Finishes a preemption on `sm`: unassigns the old kernel and hands the
+    /// SM to the reserved kernel (or back to the idle pool).
+    fn complete_preemption(&mut self, now: SimTime, sm: SmId) {
+        let next = {
+            let status = &mut self.sms[sm.index()];
+            status.mechanism = None;
+            status.saving = false;
+            let old = status.current.take();
+            let next = status.next.take();
+            status.state = SmState::Idle;
+            if let Some(old_ksr) = old {
+                if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+                    k.note_unassigned();
+                }
+            }
+            next
+        };
+        let assigned = match next {
+            Some(next_ksr) => self.assign_sm(now, sm, next_ksr),
+            None => false,
+        };
+        if !assigned {
+            self.hooks.push(PolicyHook::SmIdle(sm));
+        }
+    }
+
+    /// Marks the SM idle and unassigns it from its current kernel.
+    fn release_sm(&mut self, sm: SmId) {
+        let status = &mut self.sms[sm.index()];
+        let old = status.current.take();
+        status.state = SmState::Idle;
+        status.next = None;
+        status.mechanism = None;
+        status.setting_up = false;
+        status.saving = false;
+        if let Some(old_ksr) = old {
+            if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+                k.note_unassigned();
+            }
+        }
+    }
+
+    /// Completes a kernel: frees its KSRT slot, releases every SM that was
+    /// assigned or reserved for it, notifies the host side, and admits a
+    /// waiting kernel into the freed slot.
+    fn finish_kernel(&mut self, now: SimTime, ksr: KsrIndex) {
+        let state = self.ksrt[ksr.index()].take().expect("finishing an active kernel");
+        debug_assert!(state.is_finished(), "kernel finished with unexecuted blocks");
+        self.stats.kernels_completed += 1;
+        let launch = state.launch();
+        self.completions.push(KernelCompletion {
+            launch: launch.id,
+            command: launch.command,
+            process: launch.process,
+            started_at: state.started_at().unwrap_or(now),
+            finished_at: now,
+        });
+        self.hooks.push(PolicyHook::KernelFinished {
+            ksr,
+            launch: launch.id,
+        });
+        // Release SMs that were running this kernel (they have no resident
+        // blocks left) and fix up reservations that point at it.
+        for i in 0..self.sms.len() {
+            let sm_id = SmId::new(i as u32);
+            let (is_current, is_reserved_for) = {
+                let s = &self.sms[i];
+                (s.current == Some(ksr), s.next == Some(ksr))
+            };
+            if is_current {
+                match self.sms[i].state {
+                    SmState::Running => {
+                        debug_assert!(self.sms[i].resident.is_empty());
+                        // Invalidate any in-flight setup events.
+                        self.sms[i].epoch += 1;
+                        self.sms[i].current = None;
+                        self.sms[i].state = SmState::Idle;
+                        self.sms[i].setting_up = false;
+                        self.hooks.push(PolicyHook::SmIdle(sm_id));
+                    }
+                    SmState::Reserved => {
+                        // The kernel being preempted finished on its own; the
+                        // reservation resolves immediately.
+                        debug_assert!(self.sms[i].resident.is_empty());
+                        self.sms[i].epoch += 1;
+                        self.sms[i].current = None;
+                        self.sms[i].saving = false;
+                        let next = self.sms[i].next.take();
+                        self.sms[i].state = SmState::Idle;
+                        self.sms[i].mechanism = None;
+                        let assigned = match next {
+                            Some(n) if n != ksr => self.assign_sm(now, sm_id, n),
+                            _ => false,
+                        };
+                        if !assigned {
+                            self.hooks.push(PolicyHook::SmIdle(sm_id));
+                        }
+                    }
+                    SmState::Idle => {}
+                }
+            } else if is_reserved_for {
+                // The kernel this SM was reserved for no longer exists; leave
+                // the preemption running but drop the target so the SM goes
+                // idle (and raises a hook) when the preemption completes.
+                self.sms[i].next = None;
+            }
+        }
+        // Admit a waiting kernel into the freed slot.
+        if let Some(waiting) = self.waiting_admission.pop_front() {
+            let admitted = self.admit(waiting, now);
+            debug_assert!(admitted.is_some(), "a slot was just freed");
+        }
+    }
+
+    /// Checks engine-wide invariants; used by tests and the property suite.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, k) in self.ksrt.iter().enumerate() {
+            if let Some(k) = k {
+                if !k.check_block_accounting() {
+                    return Err(format!("KSR{i}: block accounting broken"));
+                }
+            }
+        }
+        for (i, s) in self.sms.iter().enumerate() {
+            if let Some(ksr) = s.current {
+                if self.ksrt[ksr.index()].is_none() {
+                    return Err(format!("SM{i} points at an empty KSRT slot"));
+                }
+            }
+            if s.is_idle() && !s.resident.is_empty() {
+                return Err(format!("SM{i} is idle but has resident blocks"));
+            }
+            if s.is_idle() && s.current.is_some() {
+                return Err(format!("SM{i} is idle but owns a kernel"));
+            }
+        }
+        for (i, k) in self.ksrt.iter().enumerate() {
+            if let Some(k) = k {
+                let assigned = self
+                    .sms
+                    .iter()
+                    .filter(|s| s.current == Some(KsrIndex(i as u32)))
+                    .count() as u32;
+                if assigned != k.assigned_sms() {
+                    return Err(format!(
+                        "KSR{i}: assigned_sms={} but {} SMs point at it",
+                        k.assigned_sms(),
+                        assigned
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,407 @@
+//! The hardware scheduling framework (§3.3).
+//!
+//! The framework tracks the state of active kernels and SMs so that a
+//! scheduling policy can decide when and where kernels run:
+//!
+//! * the **Kernel Status Register Table** (KSRT) — one [`KernelState`] per
+//!   active kernel, indexed by [`KsrIndex`],
+//! * the **SM Status Table** (SMST) — one [`SmStatus`] per SM,
+//! * the **Preempted Thread Block Queues** (PTBQ) — per-kernel queues of
+//!   thread blocks that were context-switched out and wait to be re-issued.
+
+use crate::launch::KernelLaunch;
+use crate::preempt::PreemptionMechanism;
+use gpreempt_types::{GpuConfig, SimTime, ThreadBlockId};
+use std::collections::VecDeque;
+
+/// Index of an entry in the Kernel Status Register Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KsrIndex(pub(crate) u32);
+
+impl KsrIndex {
+    /// Creates an index (mainly useful in tests).
+    pub const fn new(raw: u32) -> Self {
+        KsrIndex(raw)
+    }
+
+    /// The raw table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KsrIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KSR{}", self.0)
+    }
+}
+
+/// A thread block that was preempted by the context-switch mechanism and
+/// waits in its kernel's PTBQ to be re-issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptedBlock {
+    /// The block's flat grid index.
+    pub block: ThreadBlockId,
+    /// Execution time the block still needs once restored.
+    pub remaining: SimTime,
+}
+
+/// One entry of the KSRT: the status of an active (running or preempted)
+/// kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelState {
+    launch: KernelLaunch,
+    blocks_per_sm: u32,
+    admitted_at: SimTime,
+    next_block: u32,
+    completed: u32,
+    running: u32,
+    assigned_sms: u32,
+    started_at: Option<SimTime>,
+    ptbq: VecDeque<PreemptedBlock>,
+}
+
+impl KernelState {
+    /// Creates the state for a newly admitted kernel.
+    pub(crate) fn new(launch: KernelLaunch, gpu: &GpuConfig, admitted_at: SimTime) -> Self {
+        let blocks_per_sm = launch.spec.footprint().max_blocks_per_sm(gpu).max(1);
+        KernelState {
+            launch,
+            blocks_per_sm,
+            admitted_at,
+            next_block: 0,
+            completed: 0,
+            running: 0,
+            assigned_sms: 0,
+            started_at: None,
+            ptbq: VecDeque::new(),
+        }
+    }
+
+    /// The launch command this entry tracks.
+    pub fn launch(&self) -> &KernelLaunch {
+        &self.launch
+    }
+
+    /// Maximum resident thread blocks per SM for this kernel.
+    pub fn blocks_per_sm(&self) -> u32 {
+        self.blocks_per_sm
+    }
+
+    /// When the kernel was admitted to the active queue.
+    pub fn admitted_at(&self) -> SimTime {
+        self.admitted_at
+    }
+
+    /// Total thread blocks in the kernel's grid.
+    pub fn total_blocks(&self) -> u32 {
+        self.launch.spec.n_blocks()
+    }
+
+    /// Thread blocks that have finished execution.
+    pub fn completed_blocks(&self) -> u32 {
+        self.completed
+    }
+
+    /// Thread blocks currently resident on some SM.
+    pub fn running_blocks(&self) -> u32 {
+        self.running
+    }
+
+    /// Number of SMs currently assigned to this kernel (running or being
+    /// set up for it).
+    pub fn assigned_sms(&self) -> u32 {
+        self.assigned_sms
+    }
+
+    /// Thread blocks waiting in the PTBQ after a context-switch preemption.
+    pub fn preempted_blocks(&self) -> usize {
+        self.ptbq.len()
+    }
+
+    /// Thread blocks that still need to be issued (fresh ones plus
+    /// preempted ones).
+    pub fn blocks_to_issue(&self) -> u32 {
+        (self.total_blocks() - self.next_block) + self.ptbq.len() as u32
+    }
+
+    /// Whether the kernel still has work that an SM could pick up.
+    pub fn has_blocks_to_issue(&self) -> bool {
+        self.blocks_to_issue() > 0
+    }
+
+    /// Whether every block of the kernel has finished.
+    pub fn is_finished(&self) -> bool {
+        self.completed == self.total_blocks()
+    }
+
+    /// Whether the kernel has started executing (has or had SMs / blocks in
+    /// flight). Used by the FCFS baseline to decide whether the execution
+    /// engine is still occupied by another process.
+    pub fn has_started(&self) -> bool {
+        self.assigned_sms > 0 || self.next_block > 0 || self.completed > 0
+    }
+
+    /// Number of additional SMs that could still do useful work for this
+    /// kernel: enough to hold every block that is not yet issued.
+    pub fn sms_needed(&self) -> u32 {
+        self.blocks_to_issue().div_ceil(self.blocks_per_sm.max(1))
+    }
+
+    pub(crate) fn note_assigned(&mut self) {
+        self.assigned_sms += 1;
+    }
+
+    pub(crate) fn note_started(&mut self, now: SimTime) {
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+    }
+
+    /// When the kernel was first assigned an SM, if it has started at all.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    pub(crate) fn note_unassigned(&mut self) {
+        debug_assert!(self.assigned_sms > 0, "unassigning an SM that was never assigned");
+        self.assigned_sms = self.assigned_sms.saturating_sub(1);
+    }
+
+    /// Takes the next block to issue: preempted blocks first (so the PTBQ
+    /// stays small, §3.3), then fresh blocks. Returns the block id, the
+    /// remaining execution time if it is a restored block, or `None` if
+    /// there is nothing to issue.
+    pub(crate) fn take_next_block(&mut self) -> Option<(ThreadBlockId, Option<SimTime>)> {
+        if let Some(pb) = self.ptbq.pop_front() {
+            self.running += 1;
+            return Some((pb.block, Some(pb.remaining)));
+        }
+        if self.next_block < self.total_blocks() {
+            let block = ThreadBlockId::new(self.next_block);
+            self.next_block += 1;
+            self.running += 1;
+            return Some((block, None));
+        }
+        None
+    }
+
+    pub(crate) fn note_block_completed(&mut self) {
+        debug_assert!(self.running > 0);
+        self.running = self.running.saturating_sub(1);
+        self.completed += 1;
+    }
+
+    pub(crate) fn note_block_preempted(&mut self, block: PreemptedBlock) {
+        debug_assert!(self.running > 0);
+        self.running = self.running.saturating_sub(1);
+        self.ptbq.push_back(block);
+    }
+
+    /// Internal consistency check: every block is either unissued, running,
+    /// waiting in the PTBQ, or completed. Equivalently, every block that has
+    /// ever been issued is currently running, preempted or done.
+    pub fn check_block_accounting(&self) -> bool {
+        self.running + self.completed + self.ptbq.len() as u32 == self.next_block
+    }
+}
+
+/// The state of one SM as recorded in the SM Status Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmState {
+    /// The SM has no kernel assigned.
+    Idle,
+    /// The SM is executing thread blocks of its current kernel (or being set
+    /// up to do so).
+    Running,
+    /// The SM has been reserved for another kernel and is being preempted
+    /// (context save in progress, or draining).
+    Reserved,
+}
+
+/// A thread block currently resident on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentBlock {
+    /// The block's flat grid index.
+    pub block: ThreadBlockId,
+    /// When the block started executing on the SM.
+    pub issued_at: SimTime,
+    /// Its total execution time for this residency.
+    pub duration: SimTime,
+}
+
+/// One entry of the SM Status Table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmStatus {
+    pub(crate) state: SmState,
+    pub(crate) current: Option<KsrIndex>,
+    pub(crate) next: Option<KsrIndex>,
+    pub(crate) mechanism: Option<PreemptionMechanism>,
+    pub(crate) resident: Vec<ResidentBlock>,
+    pub(crate) epoch: u64,
+    pub(crate) setting_up: bool,
+    pub(crate) saving: bool,
+}
+
+impl SmStatus {
+    pub(crate) fn new() -> Self {
+        SmStatus {
+            state: SmState::Idle,
+            current: None,
+            next: None,
+            mechanism: None,
+            resident: Vec::new(),
+            epoch: 0,
+            setting_up: false,
+            saving: false,
+        }
+    }
+
+    /// The SM's scheduling state.
+    pub fn state(&self) -> SmState {
+        self.state
+    }
+
+    /// The kernel currently owning the SM, if any.
+    pub fn current_kernel(&self) -> Option<KsrIndex> {
+        self.current
+    }
+
+    /// The kernel the SM is reserved for, if a preemption is in flight.
+    pub fn next_kernel(&self) -> Option<KsrIndex> {
+        self.next
+    }
+
+    /// Number of thread blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether the SM is idle.
+    pub fn is_idle(&self) -> bool {
+        self.state == SmState::Idle
+    }
+
+    /// Whether a preemption (of either mechanism) is in progress.
+    pub fn is_preempting(&self) -> bool {
+        self.state == SmState::Reserved
+    }
+
+    /// Whether the SM is being set up for a kernel (context transfer from
+    /// the SM driver).
+    pub fn is_setting_up(&self) -> bool {
+        self.setting_up
+    }
+
+    /// Whether a context save is in progress.
+    pub fn is_saving(&self) -> bool {
+        self.saving
+    }
+}
+
+impl Default for SmStatus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_trace::KernelSpec;
+    use gpreempt_types::{CommandId, KernelFootprint, KernelLaunchId, Priority, ProcessId};
+
+    fn launch(blocks: u32) -> KernelLaunch {
+        KernelLaunch::new(
+            KernelLaunchId::new(0),
+            CommandId::new(0),
+            ProcessId::new(0),
+            Priority::NORMAL,
+            KernelSpec::new(
+                "k",
+                KernelFootprint::new(4_096, 0, 256),
+                blocks,
+                SimTime::from_micros(10),
+            ),
+        )
+    }
+
+    #[test]
+    fn fresh_kernel_state() {
+        let gpu = GpuConfig::default();
+        let ks = KernelState::new(launch(100), &gpu, SimTime::from_micros(3));
+        assert_eq!(ks.total_blocks(), 100);
+        assert_eq!(ks.completed_blocks(), 0);
+        assert_eq!(ks.running_blocks(), 0);
+        assert_eq!(ks.blocks_to_issue(), 100);
+        assert!(ks.has_blocks_to_issue());
+        assert!(!ks.is_finished());
+        assert_eq!(ks.blocks_per_sm(), 8); // 2048 threads / 256, regs allow 16
+        assert_eq!(ks.admitted_at(), SimTime::from_micros(3));
+        assert_eq!(ks.preempted_blocks(), 0);
+    }
+
+    #[test]
+    fn block_lifecycle() {
+        let gpu = GpuConfig::default();
+        let mut ks = KernelState::new(launch(2), &gpu, SimTime::ZERO);
+        let (b0, rem0) = ks.take_next_block().unwrap();
+        assert_eq!(b0, ThreadBlockId::new(0));
+        assert!(rem0.is_none());
+        assert_eq!(ks.running_blocks(), 1);
+        ks.note_block_completed();
+        assert_eq!(ks.completed_blocks(), 1);
+        let (b1, _) = ks.take_next_block().unwrap();
+        assert_eq!(b1, ThreadBlockId::new(1));
+        assert!(ks.take_next_block().is_none());
+        ks.note_block_completed();
+        assert!(ks.is_finished());
+        assert!(!ks.has_blocks_to_issue());
+    }
+
+    #[test]
+    fn preempted_blocks_are_reissued_first() {
+        let gpu = GpuConfig::default();
+        let mut ks = KernelState::new(launch(10), &gpu, SimTime::ZERO);
+        let (b0, _) = ks.take_next_block().unwrap();
+        ks.note_block_preempted(PreemptedBlock {
+            block: b0,
+            remaining: SimTime::from_micros(4),
+        });
+        assert_eq!(ks.preempted_blocks(), 1);
+        assert_eq!(ks.blocks_to_issue(), 10);
+        let (again, rem) = ks.take_next_block().unwrap();
+        assert_eq!(again, b0);
+        assert_eq!(rem, Some(SimTime::from_micros(4)));
+    }
+
+    #[test]
+    fn assignment_counting() {
+        let gpu = GpuConfig::default();
+        let mut ks = KernelState::new(launch(10), &gpu, SimTime::ZERO);
+        ks.note_assigned();
+        ks.note_assigned();
+        assert_eq!(ks.assigned_sms(), 2);
+        ks.note_unassigned();
+        assert_eq!(ks.assigned_sms(), 1);
+    }
+
+    #[test]
+    fn sm_status_defaults() {
+        let sm = SmStatus::new();
+        assert!(sm.is_idle());
+        assert!(!sm.is_preempting());
+        assert!(!sm.is_setting_up());
+        assert!(!sm.is_saving());
+        assert_eq!(sm.resident_blocks(), 0);
+        assert_eq!(sm.current_kernel(), None);
+        assert_eq!(sm.next_kernel(), None);
+        assert_eq!(sm.state(), SmState::Idle);
+    }
+
+    #[test]
+    fn ksr_index_display() {
+        assert_eq!(KsrIndex::new(3).to_string(), "KSR3");
+        assert_eq!(KsrIndex::new(3).index(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Kernel launch commands as seen by the execution engine.
+
+use gpreempt_trace::KernelSpec;
+use gpreempt_types::{CommandId, KernelLaunchId, Priority, ProcessId, SimTime};
+
+/// A kernel launch command issued to the execution engine by the command
+/// dispatcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelLaunch {
+    /// Unique id of this dynamic launch.
+    pub id: KernelLaunchId,
+    /// The host command that produced this launch (used to notify the
+    /// dispatcher / stream on completion).
+    pub command: CommandId,
+    /// The process (GPU context) the launch belongs to.
+    pub process: ProcessId,
+    /// Scheduling priority inherited from the process.
+    pub priority: Priority,
+    /// The static kernel description (grid size, footprint, block time).
+    pub spec: KernelSpec,
+}
+
+impl KernelLaunch {
+    /// Creates a launch command.
+    pub fn new(
+        id: KernelLaunchId,
+        command: CommandId,
+        process: ProcessId,
+        priority: Priority,
+        spec: KernelSpec,
+    ) -> Self {
+        KernelLaunch {
+            id,
+            command,
+            process,
+            priority,
+            spec,
+        }
+    }
+}
+
+/// Notification that a kernel launch has finished executing all of its
+/// thread blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCompletion {
+    /// The dynamic launch that finished.
+    pub launch: KernelLaunchId,
+    /// The host command it corresponds to.
+    pub command: CommandId,
+    /// The owning process.
+    pub process: ProcessId,
+    /// When the kernel was first assigned an SM (its execution start).
+    pub started_at: SimTime,
+    /// Completion timestamp.
+    pub finished_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_types::KernelFootprint;
+
+    #[test]
+    fn launch_carries_identity() {
+        let spec = KernelSpec::new(
+            "k",
+            KernelFootprint::new(1_024, 0, 128),
+            16,
+            SimTime::from_micros(5),
+        );
+        let launch = KernelLaunch::new(
+            KernelLaunchId::new(1),
+            CommandId::new(2),
+            ProcessId::new(3),
+            Priority::HIGH,
+            spec,
+        );
+        assert_eq!(launch.id, KernelLaunchId::new(1));
+        assert_eq!(launch.command, CommandId::new(2));
+        assert_eq!(launch.process, ProcessId::new(3));
+        assert_eq!(launch.priority, Priority::HIGH);
+        assert_eq!(launch.spec.n_blocks(), 16);
+    }
+}

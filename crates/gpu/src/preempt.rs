@@ -1,0 +1,117 @@
+//! Preemption mechanisms and their cost model.
+
+use gpreempt_types::{GpuConfig, KernelFootprint, PreemptionConfig, SimTime};
+
+/// The preemption mechanism the execution engine uses to take an SM away
+/// from a running kernel (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreemptionMechanism {
+    /// Stop the SM, save the architectural state of every resident thread
+    /// block to off-chip memory, and re-issue those blocks later (restoring
+    /// their state first). Latency is predictable and proportional to the
+    /// register-file + shared-memory footprint of the resident blocks.
+    ContextSwitch,
+    /// Stop issuing new thread blocks to the SM and wait for the resident
+    /// blocks to finish. Nothing is saved or restored; latency depends on
+    /// the remaining execution time of the resident blocks.
+    Draining,
+}
+
+impl PreemptionMechanism {
+    /// Human-readable label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PreemptionMechanism::ContextSwitch => "context-switch",
+            PreemptionMechanism::Draining => "draining",
+        }
+    }
+
+    /// Both mechanisms, in the order the paper presents them.
+    pub const fn all() -> [PreemptionMechanism; 2] {
+        [PreemptionMechanism::ContextSwitch, PreemptionMechanism::Draining]
+    }
+}
+
+impl std::fmt::Display for PreemptionMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cost model of the context-switch mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextSwitchCost<'a> {
+    gpu: &'a GpuConfig,
+    cfg: &'a PreemptionConfig,
+}
+
+impl<'a> ContextSwitchCost<'a> {
+    /// Creates the cost model for a GPU and preemption configuration.
+    pub fn new(gpu: &'a GpuConfig, cfg: &'a PreemptionConfig) -> Self {
+        ContextSwitchCost { gpu, cfg }
+    }
+
+    /// Time to drain the pipelines and save the state of `resident_blocks`
+    /// blocks of a kernel with the given footprint (the SM is unavailable
+    /// for this long).
+    pub fn save_time(&self, footprint: &KernelFootprint, resident_blocks: u32) -> SimTime {
+        if resident_blocks == 0 {
+            return self.cfg.pipeline_drain + self.cfg.trap_overhead;
+        }
+        self.cfg.pipeline_drain
+            + self.cfg.trap_overhead
+            + footprint.context_save_time(self.gpu, resident_blocks)
+    }
+
+    /// Extra latency added to one preempted block when it is re-issued, to
+    /// account for restoring its registers and shared memory.
+    pub fn restore_time_per_block(&self, footprint: &KernelFootprint) -> SimTime {
+        footprint.context_save_time(self.gpu, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_all() {
+        assert_eq!(PreemptionMechanism::ContextSwitch.to_string(), "context-switch");
+        assert_eq!(PreemptionMechanism::Draining.label(), "draining");
+        assert_eq!(PreemptionMechanism::all().len(), 2);
+    }
+
+    #[test]
+    fn save_time_matches_table1_plus_fixed_overheads() {
+        let gpu = GpuConfig::default();
+        let cfg = PreemptionConfig::default();
+        let cost = ContextSwitchCost::new(&gpu, &cfg);
+        // lbm StreamCollide: 15 resident blocks of 4320 regs -> ~16.2us + fixed.
+        let fp = KernelFootprint::new(4_320, 0, 120);
+        let t = cost.save_time(&fp, 15);
+        let fixed = cfg.pipeline_drain + cfg.trap_overhead;
+        let data = t - fixed;
+        assert!((data.as_micros_f64() - 16.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_sm_costs_only_fixed_overhead() {
+        let gpu = GpuConfig::default();
+        let cfg = PreemptionConfig::default();
+        let cost = ContextSwitchCost::new(&gpu, &cfg);
+        let fp = KernelFootprint::new(4_320, 0, 120);
+        assert_eq!(cost.save_time(&fp, 0), cfg.pipeline_drain + cfg.trap_overhead);
+    }
+
+    #[test]
+    fn restore_is_per_block_share_of_save() {
+        let gpu = GpuConfig::default();
+        let cfg = PreemptionConfig::default();
+        let cost = ContextSwitchCost::new(&gpu, &cfg);
+        let fp = KernelFootprint::new(4_320, 0, 120);
+        let one = cost.restore_time_per_block(&fp);
+        let fifteen = fp.context_save_time(&gpu, 15);
+        // 15 blocks take ~15x the single-block restore.
+        assert!((fifteen.as_micros_f64() / one.as_micros_f64() - 15.0).abs() < 0.01);
+    }
+}

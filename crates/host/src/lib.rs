@@ -1,0 +1,25 @@
+//! Host-side simulation model: processes, command dispatch and the PCIe DMA
+//! engine.
+//!
+//! The paper's simulator performs coarse-grained CPU modelling and accurate
+//! PCIe modelling (§4.1). This crate implements that host side:
+//!
+//! * [`ProcessModel`] — one process replaying its application trace
+//!   (CPU phases, copies, launches, synchronisations),
+//! * [`CommandDispatcher`] — the Hyper-Q front-end mapping software streams
+//!   to hardware command queues with one in-flight command per queue (§2.2),
+//! * [`TransferEngine`] — the single DMA engine serialising PCIe transfers,
+//! * [`HostSystem`] — the aggregate that the simulator drives.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dispatcher;
+pub mod process;
+pub mod system;
+pub mod transfer;
+
+pub use dispatcher::{Command, CommandDispatcher, CommandKind};
+pub use process::{IterationRecord, ProcessModel, ProcessState};
+pub use system::{HostEvent, HostSystem, LaunchRequest};
+pub use transfer::{StartedTransfer, TransferEngine, TransferPolicy};

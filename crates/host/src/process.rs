@@ -1,0 +1,251 @@
+//! Host-side model of one process replaying its application trace.
+
+use gpreempt_trace::{BenchmarkTrace, TraceOp};
+use gpreempt_types::{CommandId, Priority, ProcessId, SimTime};
+use std::collections::HashSet;
+
+/// What a process is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Executing a CPU phase; the host is blocked until it ends.
+    InCpuPhase,
+    /// Blocked in a device-wide synchronisation, waiting for outstanding
+    /// commands to complete.
+    WaitingSync,
+    /// Ready to process the next trace operation.
+    Ready,
+}
+
+/// A completed execution (one replay iteration) of a process's application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// The process that completed an execution.
+    pub process: ProcessId,
+    /// Which replay iteration this was (0-based).
+    pub iteration: u32,
+    /// When the iteration started.
+    pub started: SimTime,
+    /// When the iteration finished (last command completed).
+    pub finished: SimTime,
+}
+
+impl IterationRecord {
+    /// The turnaround time of this execution.
+    pub fn turnaround(&self) -> SimTime {
+        self.finished.saturating_sub(self.started)
+    }
+}
+
+/// The host-side state of one process: its trace cursor, outstanding GPU
+/// commands and replay bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ProcessModel {
+    id: ProcessId,
+    priority: Priority,
+    trace: BenchmarkTrace,
+    pc: usize,
+    state: ProcessState,
+    outstanding: HashSet<CommandId>,
+    iteration: u32,
+    iteration_start: SimTime,
+    completions: u32,
+}
+
+impl ProcessModel {
+    /// Creates the model for process `id` replaying `trace`.
+    pub fn new(id: ProcessId, trace: BenchmarkTrace, priority: Priority) -> Self {
+        ProcessModel {
+            id,
+            priority,
+            trace,
+            pc: 0,
+            state: ProcessState::Ready,
+            outstanding: HashSet::new(),
+            iteration: 0,
+            iteration_start: SimTime::ZERO,
+            completions: 0,
+        }
+    }
+
+    /// The process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The process priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The application trace being replayed.
+    pub fn trace(&self) -> &BenchmarkTrace {
+        &self.trace
+    }
+
+    /// The current state.
+    pub fn state(&self) -> ProcessState {
+        self.state
+    }
+
+    /// Number of completed executions so far.
+    pub fn completions(&self) -> u32 {
+        self.completions
+    }
+
+    /// The current replay iteration (0-based).
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// When the current iteration started.
+    pub fn iteration_start(&self) -> SimTime {
+        self.iteration_start
+    }
+
+    /// Commands issued to the GPU that have not completed yet.
+    pub fn outstanding_commands(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The trace operation at the cursor, if the trace is not exhausted.
+    pub fn current_op(&self) -> Option<&TraceOp> {
+        self.trace.ops().get(self.pc)
+    }
+
+    /// Whether the trace cursor is past the last operation.
+    pub fn at_end_of_trace(&self) -> bool {
+        self.pc >= self.trace.ops().len()
+    }
+
+    /// Advances the cursor past the current operation.
+    pub fn advance_cursor(&mut self) {
+        self.pc += 1;
+    }
+
+    /// Marks the process as executing a CPU phase.
+    pub fn enter_cpu_phase(&mut self) {
+        self.state = ProcessState::InCpuPhase;
+    }
+
+    /// Marks the process as blocked in a synchronisation.
+    pub fn enter_sync_wait(&mut self) {
+        self.state = ProcessState::WaitingSync;
+    }
+
+    /// Marks the process as ready to continue its trace.
+    pub fn set_ready(&mut self) {
+        self.state = ProcessState::Ready;
+    }
+
+    /// Registers a command issued on behalf of this process.
+    pub fn note_command_issued(&mut self, command: CommandId) {
+        self.outstanding.insert(command);
+    }
+
+    /// Registers the completion of a command. Returns `true` if the command
+    /// belonged to this process.
+    pub fn note_command_completed(&mut self, command: CommandId) -> bool {
+        self.outstanding.remove(&command)
+    }
+
+    /// Whether every issued command has completed.
+    pub fn all_commands_completed(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Records the completion of the current iteration at `now` and restarts
+    /// the trace for the next replay. Returns the completed iteration's
+    /// record.
+    pub fn complete_iteration(&mut self, now: SimTime) -> IterationRecord {
+        let record = IterationRecord {
+            process: self.id,
+            iteration: self.iteration,
+            started: self.iteration_start,
+            finished: now,
+        };
+        self.completions += 1;
+        self.iteration += 1;
+        self.iteration_start = now;
+        self.pc = 0;
+        self.state = ProcessState::Ready;
+        debug_assert!(self.outstanding.is_empty(), "iteration completed with outstanding commands");
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_trace::{BenchmarkTrace, KernelSpec};
+    use gpreempt_types::KernelFootprint;
+
+    fn trace() -> BenchmarkTrace {
+        BenchmarkTrace::builder("toy")
+            .kernel(KernelSpec::new(
+                "k",
+                KernelFootprint::new(1_024, 0, 128),
+                8,
+                SimTime::from_micros(10),
+            ))
+            .cpu(SimTime::from_micros(5))
+            .launch(0)
+            .build()
+    }
+
+    #[test]
+    fn cursor_walks_the_trace() {
+        let mut p = ProcessModel::new(ProcessId::new(0), trace(), Priority::NORMAL);
+        assert_eq!(p.state(), ProcessState::Ready);
+        assert!(matches!(p.current_op(), Some(TraceOp::CpuPhase { .. })));
+        p.advance_cursor();
+        assert!(matches!(p.current_op(), Some(TraceOp::Launch { .. })));
+        p.advance_cursor();
+        assert!(matches!(p.current_op(), Some(TraceOp::Synchronize)));
+        p.advance_cursor();
+        assert!(p.at_end_of_trace());
+    }
+
+    #[test]
+    fn outstanding_command_tracking() {
+        let mut p = ProcessModel::new(ProcessId::new(1), trace(), Priority::HIGH);
+        assert_eq!(p.priority(), Priority::HIGH);
+        p.note_command_issued(CommandId::new(10));
+        p.note_command_issued(CommandId::new(11));
+        assert_eq!(p.outstanding_commands(), 2);
+        assert!(!p.all_commands_completed());
+        assert!(p.note_command_completed(CommandId::new(10)));
+        assert!(!p.note_command_completed(CommandId::new(99)));
+        assert!(p.note_command_completed(CommandId::new(11)));
+        assert!(p.all_commands_completed());
+    }
+
+    #[test]
+    fn iteration_replay_resets_cursor() {
+        let mut p = ProcessModel::new(ProcessId::new(0), trace(), Priority::NORMAL);
+        p.advance_cursor();
+        p.advance_cursor();
+        p.advance_cursor();
+        assert!(p.at_end_of_trace());
+        let rec = p.complete_iteration(SimTime::from_micros(100));
+        assert_eq!(rec.iteration, 0);
+        assert_eq!(rec.started, SimTime::ZERO);
+        assert_eq!(rec.finished, SimTime::from_micros(100));
+        assert_eq!(rec.turnaround(), SimTime::from_micros(100));
+        assert_eq!(p.completions(), 1);
+        assert_eq!(p.iteration(), 1);
+        assert_eq!(p.iteration_start(), SimTime::from_micros(100));
+        assert!(!p.at_end_of_trace());
+        assert_eq!(p.state(), ProcessState::Ready);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut p = ProcessModel::new(ProcessId::new(0), trace(), Priority::NORMAL);
+        p.enter_cpu_phase();
+        assert_eq!(p.state(), ProcessState::InCpuPhase);
+        p.enter_sync_wait();
+        assert_eq!(p.state(), ProcessState::WaitingSync);
+        p.set_ready();
+        assert_eq!(p.state(), ProcessState::Ready);
+    }
+}

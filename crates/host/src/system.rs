@@ -1,0 +1,390 @@
+//! The complete host-side model: processes, driver/dispatcher and DMA engine.
+
+use crate::dispatcher::{Command, CommandDispatcher, CommandKind};
+use crate::process::{IterationRecord, ProcessModel, ProcessState};
+use crate::transfer::{TransferEngine, TransferPolicy};
+use gpreempt_trace::{TraceOp, Workload};
+use gpreempt_types::{CommandId, PcieConfig, Priority, ProcessId, SimTime, StreamId};
+use std::collections::HashMap;
+
+/// Events the host model schedules for itself; the simulator owns the event
+/// queue and must deliver each back via [`HostSystem::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEvent {
+    /// A process finished a CPU phase.
+    CpuPhaseDone {
+        /// The process whose phase ended.
+        process: ProcessId,
+    },
+    /// The DMA engine finished the in-progress transfer.
+    TransferDone {
+        /// The transfer command that completed.
+        command: CommandId,
+    },
+}
+
+/// A kernel launch the host wants executed; the simulator forwards it to the
+/// execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchRequest {
+    /// The host command id (the execution engine echoes it on completion).
+    pub command: CommandId,
+    /// The launching process.
+    pub process: ProcessId,
+    /// Kernel index within the process's benchmark trace.
+    pub kernel: usize,
+    /// The software stream the launch was ordered on.
+    pub stream: StreamId,
+    /// The process's scheduling priority.
+    pub priority: Priority,
+}
+
+/// The host side of the simulation: every process of the workload, the
+/// command dispatcher and the DMA/transfer engine.
+#[derive(Debug)]
+pub struct HostSystem {
+    processes: Vec<ProcessModel>,
+    dispatcher: CommandDispatcher,
+    transfer: TransferEngine,
+    command_owner: HashMap<CommandId, ProcessId>,
+    next_command: u64,
+    scheduled: Vec<(SimTime, HostEvent)>,
+    launches: Vec<LaunchRequest>,
+    iterations: Vec<IterationRecord>,
+}
+
+impl HostSystem {
+    /// Builds the host model for a workload.
+    pub fn new(workload: &Workload, pcie: PcieConfig, transfer_policy: TransferPolicy) -> Self {
+        let processes = workload
+            .processes()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                ProcessModel::new(ProcessId::from(i), spec.benchmark.clone(), spec.priority)
+            })
+            .collect();
+        HostSystem {
+            processes,
+            dispatcher: CommandDispatcher::new(),
+            transfer: TransferEngine::new(pcie, transfer_policy),
+            command_owner: HashMap::new(),
+            next_command: 0,
+            scheduled: Vec::new(),
+            launches: Vec::new(),
+            iterations: Vec::new(),
+        }
+    }
+
+    /// The per-process models (read-only).
+    pub fn processes(&self) -> &[ProcessModel] {
+        &self.processes
+    }
+
+    /// The DMA engine (read-only, for statistics).
+    pub fn transfer_engine(&self) -> &TransferEngine {
+        &self.transfer
+    }
+
+    /// Number of completed executions of each process, indexed by process id.
+    pub fn completions(&self) -> Vec<u32> {
+        self.processes.iter().map(|p| p.completions()).collect()
+    }
+
+    /// Whether every process has completed at least `n` executions.
+    pub fn all_completed_at_least(&self, n: u32) -> bool {
+        self.processes.iter().all(|p| p.completions() >= n)
+    }
+
+    /// Events the host wants scheduled (drained by the simulator).
+    pub fn take_scheduled(&mut self) -> Vec<(SimTime, HostEvent)> {
+        std::mem::take(&mut self.scheduled)
+    }
+
+    /// Kernel launches the host wants forwarded to the execution engine.
+    pub fn take_launches(&mut self) -> Vec<LaunchRequest> {
+        std::mem::take(&mut self.launches)
+    }
+
+    /// Completed process executions since the last call.
+    pub fn take_iterations(&mut self) -> Vec<IterationRecord> {
+        std::mem::take(&mut self.iterations)
+    }
+
+    /// Starts every process at `now` (usually zero).
+    pub fn start(&mut self, now: SimTime) {
+        for pid in 0..self.processes.len() {
+            self.advance(now, ProcessId::from(pid));
+        }
+    }
+
+    /// Delivers a host event back at its scheduled time.
+    pub fn handle(&mut self, now: SimTime, event: HostEvent) {
+        match event {
+            HostEvent::CpuPhaseDone { process } => {
+                let p = &mut self.processes[process.index()];
+                debug_assert_eq!(p.state(), ProcessState::InCpuPhase);
+                p.set_ready();
+                p.advance_cursor();
+                self.advance(now, process);
+            }
+            HostEvent::TransferDone { command } => {
+                let (done, next) = self.transfer.finish_current(now);
+                debug_assert_eq!(done, Some(command));
+                if let Some(started) = next {
+                    self.scheduled.push((
+                        started.finishes_at,
+                        HostEvent::TransferDone {
+                            command: started.command,
+                        },
+                    ));
+                }
+                self.command_completed(now, command);
+            }
+        }
+    }
+
+    /// Notifies the host that the execution engine finished a kernel launch
+    /// command.
+    pub fn kernel_completed(&mut self, now: SimTime, command: CommandId) {
+        self.command_completed(now, command);
+    }
+
+    fn command_completed(&mut self, now: SimTime, command: CommandId) {
+        let ready = self.dispatcher.complete(command);
+        self.issue(now, ready);
+        let Some(owner) = self.command_owner.remove(&command) else {
+            return;
+        };
+        let unblocked = {
+            let p = &mut self.processes[owner.index()];
+            p.note_command_completed(command);
+            p.state() == ProcessState::WaitingSync && p.all_commands_completed()
+        };
+        if unblocked {
+            let p = &mut self.processes[owner.index()];
+            p.set_ready();
+            p.advance_cursor();
+            self.advance(now, owner);
+        }
+    }
+
+    /// Runs a process forward until it blocks on a CPU phase or a
+    /// synchronisation.
+    fn advance(&mut self, now: SimTime, pid: ProcessId) {
+        loop {
+            let op = self.processes[pid.index()].current_op().cloned();
+            match op {
+                None => {
+                    // End of trace: the trailing synchronisation guarantees
+                    // no outstanding commands remain, so the iteration is
+                    // complete. Replay immediately.
+                    let record = self.processes[pid.index()].complete_iteration(now);
+                    self.iterations.push(record);
+                }
+                Some(TraceOp::CpuPhase { duration }) => {
+                    self.processes[pid.index()].enter_cpu_phase();
+                    self.scheduled
+                        .push((now + duration, HostEvent::CpuPhaseDone { process: pid }));
+                    return;
+                }
+                Some(TraceOp::Copy {
+                    direction,
+                    bytes,
+                    stream,
+                }) => {
+                    let id = self.new_command(pid);
+                    self.processes[pid.index()].advance_cursor();
+                    let ready = self.dispatcher.enqueue(Command {
+                        id,
+                        process: pid,
+                        stream,
+                        kind: CommandKind::Copy { direction, bytes },
+                    });
+                    self.issue(now, ready);
+                }
+                Some(TraceOp::Launch { kernel, stream }) => {
+                    let id = self.new_command(pid);
+                    self.processes[pid.index()].advance_cursor();
+                    let ready = self.dispatcher.enqueue(Command {
+                        id,
+                        process: pid,
+                        stream,
+                        kind: CommandKind::Launch { kernel },
+                    });
+                    self.issue(now, ready);
+                }
+                Some(TraceOp::Synchronize) => {
+                    if self.processes[pid.index()].all_commands_completed() {
+                        self.processes[pid.index()].advance_cursor();
+                    } else {
+                        self.processes[pid.index()].enter_sync_wait();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn new_command(&mut self, pid: ProcessId) -> CommandId {
+        let id = CommandId::new(self.next_command);
+        self.next_command += 1;
+        self.command_owner.insert(id, pid);
+        self.processes[pid.index()].note_command_issued(id);
+        id
+    }
+
+    /// Issues dispatcher-ready commands to their target engines.
+    fn issue(&mut self, now: SimTime, ready: Vec<Command>) {
+        for cmd in ready {
+            match cmd.kind {
+                CommandKind::Copy { bytes, .. } => {
+                    let priority = self.processes[cmd.process.index()].priority();
+                    if let Some(started) =
+                        self.transfer.submit(cmd.id, cmd.process, priority, bytes, now)
+                    {
+                        self.scheduled.push((
+                            started.finishes_at,
+                            HostEvent::TransferDone {
+                                command: started.command,
+                            },
+                        ));
+                    }
+                }
+                CommandKind::Launch { kernel } => {
+                    let priority = self.processes[cmd.process.index()].priority();
+                    self.launches.push(LaunchRequest {
+                        command: cmd.id,
+                        process: cmd.process,
+                        kernel,
+                        stream: cmd.stream,
+                        priority,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_sim::EventQueue;
+    use gpreempt_trace::{BenchmarkTrace, KernelSpec, ProcessSpec};
+    use gpreempt_types::KernelFootprint;
+
+    fn toy_trace(cpu_us: u64, copies: usize, launches: usize) -> BenchmarkTrace {
+        let mut b = BenchmarkTrace::builder("toy").kernel(KernelSpec::new(
+            "k",
+            KernelFootprint::new(1_024, 0, 128),
+            8,
+            SimTime::from_micros(10),
+        ));
+        b = b.cpu(SimTime::from_micros(cpu_us));
+        for _ in 0..copies {
+            b = b.h2d(64 * 1024);
+        }
+        for _ in 0..launches {
+            b = b.launch(0);
+        }
+        b.build()
+    }
+
+    fn workload(traces: Vec<BenchmarkTrace>) -> Workload {
+        Workload::new(
+            "test",
+            traces.into_iter().map(ProcessSpec::new).collect(),
+        )
+        .with_min_completions(1)
+    }
+
+    /// Drives the host alone, acknowledging kernel launches after a fixed
+    /// simulated execution time.
+    fn run_host(host: &mut HostSystem, kernel_time: SimTime, until_completions: u32) -> SimTime {
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Host(HostEvent),
+            KernelDone(CommandId),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        host.start(SimTime::ZERO);
+        loop {
+            for (t, e) in host.take_scheduled() {
+                q.schedule(t, Ev::Host(e));
+            }
+            for l in host.take_launches() {
+                q.schedule_after(kernel_time, Ev::KernelDone(l.command));
+            }
+            if host.all_completed_at_least(until_completions) {
+                return q.now();
+            }
+            let Some((t, ev)) = q.pop() else {
+                panic!("host deadlocked before reaching the completion target");
+            };
+            match ev {
+                Ev::Host(e) => host.handle(t, e),
+                Ev::KernelDone(c) => host.kernel_completed(t, c),
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_runs_and_replays() {
+        let w = workload(vec![toy_trace(100, 1, 2)]);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let end = run_host(&mut host, SimTime::from_micros(50), 3);
+        assert!(host.processes()[0].completions() >= 3);
+        let iters = host.take_iterations();
+        assert!(iters.len() >= 3);
+        // Iterations are sequential and non-overlapping for one process.
+        for pair in iters.windows(2) {
+            assert!(pair[1].started >= pair[0].finished);
+        }
+        assert!(end > SimTime::ZERO);
+        // CPU phase + transfer + 2 kernels (serialized on one stream).
+        let first = iters[0];
+        assert!(first.turnaround() >= SimTime::from_micros(100 + 50 + 50));
+    }
+
+    #[test]
+    fn stream_serialises_kernels() {
+        // Two kernels on the same stream: the second launch request must not
+        // appear until the first completes.
+        let w = workload(vec![toy_trace(10, 0, 2)]);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        host.start(SimTime::ZERO);
+        let sched = host.take_scheduled();
+        assert_eq!(sched.len(), 1); // the CPU phase
+        host.handle(SimTime::from_micros(10), HostEvent::CpuPhaseDone { process: ProcessId::new(0) });
+        let launches = host.take_launches();
+        assert_eq!(launches.len(), 1, "only the first kernel may be issued");
+        host.kernel_completed(SimTime::from_micros(60), launches[0].command);
+        let launches = host.take_launches();
+        assert_eq!(launches.len(), 1, "second kernel follows the first");
+    }
+
+    #[test]
+    fn transfers_share_the_single_dma_engine() {
+        let w = workload(vec![toy_trace(0, 2, 1), toy_trace(0, 2, 1)]);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let _ = run_host(&mut host, SimTime::from_micros(20), 1);
+        // Each process performs two H2D copies per completed iteration, all
+        // through the single shared DMA engine.
+        assert!(host.transfer_engine().completed() >= 4);
+        assert!(host.transfer_engine().bytes_moved() >= 4 * 64 * 1024);
+        assert!(host.transfer_engine().busy_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn completions_tracks_every_process() {
+        let w = workload(vec![toy_trace(5, 0, 1), toy_trace(500, 0, 1)]);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let _ = run_host(&mut host, SimTime::from_micros(10), 2);
+        let completions = host.completions();
+        assert!(completions.iter().all(|&c| c >= 2));
+        // The short process replays more often than the long one.
+        assert!(completions[0] > completions[1]);
+        assert!(host.all_completed_at_least(2));
+        assert!(!host.all_completed_at_least(100));
+    }
+}

@@ -1,0 +1,267 @@
+//! System-level multiprogram performance metrics.
+//!
+//! The paper evaluates every experiment with the metrics of Eyerman &
+//! Eeckhout, *"System-level performance metrics for multiprogram workloads"*
+//! (IEEE Micro 2008), computed from each application's execution time in
+//! isolation and inside the multiprogrammed workload (§4.1):
+//!
+//! * **NTT** — normalized turnaround time of one application,
+//! * **ANTT** — the arithmetic mean of the NTTs of a workload,
+//! * **STP** — system throughput, the sum of normalized progress,
+//! * **Fairness** — the ratio between the slowest and fastest relative
+//!   progress in the workload (1 = perfectly fair, 0 = starvation).
+//!
+//! # Example
+//!
+//! ```
+//! use gpreempt_metrics::WorkloadMetrics;
+//! use gpreempt_types::SimTime;
+//!
+//! let isolated = vec![SimTime::from_millis(10), SimTime::from_millis(20)];
+//! let multi = vec![SimTime::from_millis(20), SimTime::from_millis(30)];
+//! let m = WorkloadMetrics::from_times(&isolated, &multi).unwrap();
+//! assert_eq!(m.ntt(), &[2.0, 1.5]);
+//! assert!((m.antt() - 1.75).abs() < 1e-12);
+//! assert!((m.stp() - (0.5 + 2.0 / 3.0)).abs() < 1e-12);
+//! assert!((m.fairness() - 0.75).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use gpreempt_types::{SimError, SimTime};
+
+/// The measured performance of one process: its isolated execution time and
+/// its (average) turnaround time inside the multiprogrammed workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessPerformance {
+    /// Average execution time of the application when run alone.
+    pub isolated: SimTime,
+    /// Average turnaround time of its completed executions in the workload.
+    pub multiprogrammed: SimTime,
+}
+
+impl ProcessPerformance {
+    /// Creates a performance record.
+    pub fn new(isolated: SimTime, multiprogrammed: SimTime) -> Self {
+        ProcessPerformance {
+            isolated,
+            multiprogrammed,
+        }
+    }
+
+    /// Normalized turnaround time: slowdown relative to isolated execution
+    /// (1.0 = no slowdown; larger is worse).
+    pub fn ntt(&self) -> f64 {
+        self.multiprogrammed.ratio(self.isolated)
+    }
+
+    /// Normalized progress: fraction of its isolated speed the application
+    /// achieved (1.0 = full speed; smaller is worse). The reciprocal of NTT.
+    pub fn normalized_progress(&self) -> f64 {
+        self.isolated.ratio(self.multiprogrammed)
+    }
+}
+
+/// The Eyerman & Eeckhout metrics of one multiprogrammed workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMetrics {
+    ntt: Vec<f64>,
+    antt: f64,
+    stp: f64,
+    fairness: f64,
+}
+
+impl WorkloadMetrics {
+    /// Computes the metrics from per-process performance records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] if the slice is empty or any
+    /// time is zero (metrics would be undefined).
+    pub fn new(processes: &[ProcessPerformance]) -> Result<Self, SimError> {
+        if processes.is_empty() {
+            return Err(SimError::invalid_workload(
+                "metrics need at least one process",
+            ));
+        }
+        for (i, p) in processes.iter().enumerate() {
+            if p.isolated.is_zero() || p.multiprogrammed.is_zero() {
+                return Err(SimError::invalid_workload(format!(
+                    "process {i} has a zero execution time"
+                )));
+            }
+        }
+        let ntt: Vec<f64> = processes.iter().map(ProcessPerformance::ntt).collect();
+        let np: Vec<f64> = processes
+            .iter()
+            .map(ProcessPerformance::normalized_progress)
+            .collect();
+        let antt = ntt.iter().sum::<f64>() / ntt.len() as f64;
+        let stp = np.iter().sum::<f64>();
+        let min_np = np.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_np = np.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let fairness = if max_np > 0.0 { min_np / max_np } else { 0.0 };
+        Ok(WorkloadMetrics {
+            ntt,
+            antt,
+            stp,
+            fairness,
+        })
+    }
+
+    /// Convenience constructor from parallel slices of isolated and
+    /// multiprogrammed execution times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] if the slices differ in length,
+    /// are empty, or contain zero times.
+    pub fn from_times(isolated: &[SimTime], multiprogrammed: &[SimTime]) -> Result<Self, SimError> {
+        if isolated.len() != multiprogrammed.len() {
+            return Err(SimError::invalid_workload(
+                "isolated and multiprogrammed time slices differ in length",
+            ));
+        }
+        let perf: Vec<ProcessPerformance> = isolated
+            .iter()
+            .zip(multiprogrammed)
+            .map(|(&i, &m)| ProcessPerformance::new(i, m))
+            .collect();
+        Self::new(&perf)
+    }
+
+    /// Per-process normalized turnaround times, in process order.
+    pub fn ntt(&self) -> &[f64] {
+        &self.ntt
+    }
+
+    /// Average normalized turnaround time (lower is better, 1.0 is ideal).
+    pub fn antt(&self) -> f64 {
+        self.antt
+    }
+
+    /// System throughput: total normalized progress per unit time (higher is
+    /// better, the number of processes is the ideal).
+    pub fn stp(&self) -> f64 {
+        self.stp
+    }
+
+    /// Fairness in `[0, 1]`: 1 when every process suffers the same slowdown,
+    /// approaching 0 when some process starves.
+    pub fn fairness(&self) -> f64 {
+        self.fairness
+    }
+
+    /// Number of processes the metrics were computed over.
+    pub fn len(&self) -> usize {
+        self.ntt.len()
+    }
+
+    /// Whether the metrics cover no processes (never true for a constructed
+    /// value).
+    pub fn is_empty(&self) -> bool {
+        self.ntt.is_empty()
+    }
+}
+
+/// The improvement (speed-up) of `new` over `baseline` for a
+/// lower-is-better metric such as NTT or ANTT. Values above 1 mean `new` is
+/// better.
+pub fn improvement_over(baseline: f64, new: f64) -> f64 {
+    if new <= 0.0 {
+        return 0.0;
+    }
+    baseline / new
+}
+
+/// The degradation of `new` relative to `baseline` for a higher-is-better
+/// metric such as STP. Values above 1 mean `new` is worse (the paper reports
+/// "STP degradation (times)" this way).
+pub fn degradation_from(baseline: f64, new: f64) -> f64 {
+    if new <= 0.0 {
+        return f64::INFINITY;
+    }
+    baseline / new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn single_process_at_full_speed() {
+        let m = WorkloadMetrics::from_times(&[ms(10)], &[ms(10)]).unwrap();
+        assert_eq!(m.ntt(), &[1.0]);
+        assert_eq!(m.antt(), 1.0);
+        assert_eq!(m.stp(), 1.0);
+        assert_eq!(m.fairness(), 1.0);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn perfect_sharing_of_two_processes() {
+        // Both run at exactly half speed: perfectly fair, STP = 1.
+        let m = WorkloadMetrics::from_times(&[ms(10), ms(30)], &[ms(20), ms(60)]).unwrap();
+        assert_eq!(m.antt(), 2.0);
+        assert!((m.stp() - 1.0).abs() < 1e-12);
+        assert_eq!(m.fairness(), 1.0);
+    }
+
+    #[test]
+    fn starvation_shows_up_in_fairness() {
+        // Process 0 runs at full speed, process 1 is slowed 100x.
+        let m = WorkloadMetrics::from_times(&[ms(10), ms(10)], &[ms(10), ms(1000)]).unwrap();
+        assert!(m.fairness() <= 0.011);
+        assert!(m.stp() > 1.0);
+        assert!(m.ntt()[1] > 99.0);
+    }
+
+    #[test]
+    fn fairness_is_symmetric_in_process_order() {
+        let a = WorkloadMetrics::from_times(&[ms(10), ms(20)], &[ms(40), ms(25)]).unwrap();
+        let b = WorkloadMetrics::from_times(&[ms(20), ms(10)], &[ms(25), ms(40)]).unwrap();
+        assert!((a.fairness() - b.fairness()).abs() < 1e-12);
+        assert!((a.stp() - b.stp()).abs() < 1e-12);
+        assert!((a.antt() - b.antt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(WorkloadMetrics::new(&[]).is_err());
+        assert!(WorkloadMetrics::from_times(&[ms(1)], &[]).is_err());
+        assert!(WorkloadMetrics::from_times(&[SimTime::ZERO], &[ms(1)]).is_err());
+        assert!(WorkloadMetrics::from_times(&[ms(1)], &[SimTime::ZERO]).is_err());
+    }
+
+    #[test]
+    fn improvement_and_degradation_helpers() {
+        assert_eq!(improvement_over(4.0, 2.0), 2.0);
+        assert_eq!(improvement_over(4.0, 0.0), 0.0);
+        assert_eq!(degradation_from(2.0, 1.0), 2.0);
+        assert_eq!(degradation_from(2.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ntt_and_progress_are_reciprocal() {
+        let p = ProcessPerformance::new(ms(10), ms(25));
+        assert!((p.ntt() * p.normalized_progress() - 1.0).abs() < 1e-12);
+        assert!((p.ntt() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_bounded_by_process_count() {
+        let m = WorkloadMetrics::from_times(
+            &[ms(10), ms(10), ms(10)],
+            &[ms(15), ms(30), ms(12)],
+        )
+        .unwrap();
+        assert!(m.stp() <= 3.0);
+        assert!(m.stp() > 0.0);
+    }
+}

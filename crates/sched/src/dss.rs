@@ -1,0 +1,293 @@
+//! Dynamic Spatial Sharing (DSS) — the paper's token-based policy (§3.4).
+//!
+//! Every process is given an SM budget expressed in tokens. Assigning an SM
+//! to one of the process's kernels consumes a token; an SM being returned
+//! (preemption or kernel completion) gives the token back. The partitioning
+//! procedure (Algorithm 1) runs when a kernel enters the active queue and
+//! when an SM goes idle: idle SMs are handed to the kernel with the highest
+//! remaining token count, and if the imbalance between the richest and the
+//! poorest kernel exceeds one token, an SM is preempted from the poorest
+//! (most over-provisioned) kernel and handed to the richest.
+//!
+//! To avoid leaving SMs idle when budgets are exhausted, kernels are allowed
+//! to go into debt (negative token counts), which keeps the policy
+//! work-conserving.
+
+use crate::policy::{owned_sms, SchedulingPolicy};
+use gpreempt_gpu::{ExecutionEngine, KsrIndex, SmState};
+use gpreempt_types::{KernelLaunchId, ProcessId, SimTime, SmId};
+use std::collections::HashMap;
+
+/// The Dynamic Spatial Sharing policy.
+#[derive(Debug)]
+pub struct DssPolicy {
+    /// SM budget (in tokens) of each process.
+    budgets: HashMap<ProcessId, i32>,
+    /// Budget used for processes that were not explicitly configured.
+    default_budget: i32,
+}
+
+impl DssPolicy {
+    /// Creates a DSS policy with explicit per-process budgets. Processes not
+    /// present in the map fall back to `default_budget`.
+    pub fn new(budgets: HashMap<ProcessId, i32>, default_budget: i32) -> Self {
+        DssPolicy {
+            budgets,
+            default_budget: default_budget.max(0),
+        }
+    }
+
+    /// Creates the equal-sharing configuration of §4.4: every one of the
+    /// `n_processes` processes gets `floor(n_sms / n_processes)` tokens and
+    /// the remainder goes to the first processes (by id), mirroring "the r
+    /// kernels that first reach the active queue".
+    pub fn equal_share(n_sms: u32, n_processes: usize) -> Self {
+        let n_processes = n_processes.max(1);
+        let base = (n_sms as usize / n_processes) as i32;
+        let remainder = n_sms as usize % n_processes;
+        let mut budgets = HashMap::new();
+        for p in 0..n_processes {
+            let bonus = if p < remainder { 1 } else { 0 };
+            budgets.insert(ProcessId::from(p), base + bonus);
+        }
+        DssPolicy {
+            budgets,
+            default_budget: base.max(1),
+        }
+    }
+
+    /// The token budget of a process.
+    pub fn budget(&self, process: ProcessId) -> i32 {
+        self.budgets.get(&process).copied().unwrap_or(self.default_budget)
+    }
+
+    /// The *current* token count of a kernel: its process budget minus the
+    /// SMs it currently owns (assigned or reserved for it). Kernels holding
+    /// more SMs than their budget have a negative count (debt).
+    fn token_count(&self, engine: &ExecutionEngine, ksr: KsrIndex) -> i32 {
+        let Some(kernel) = engine.kernel(ksr) else {
+            return i32::MIN;
+        };
+        self.budget(kernel.launch().process) - owned_sms(engine, ksr) as i32
+    }
+
+    /// The kernel with the highest token count that still has blocks to
+    /// issue (the next recipient of an SM).
+    fn richest_needy(&self, engine: &ExecutionEngine) -> Option<(KsrIndex, i32)> {
+        engine
+            .active_kernels()
+            .into_iter()
+            .filter(|&k| {
+                engine
+                    .kernel(k)
+                    .map(|s| s.has_blocks_to_issue())
+                    .unwrap_or(false)
+            })
+            .map(|k| (k, self.token_count(engine, k)))
+            .max_by_key(|&(k, c)| (c, std::cmp::Reverse(k.index())))
+    }
+
+    /// The kernel with the lowest token count that owns a preemptible SM
+    /// (the next donor), excluding `exclude`.
+    fn poorest_donor(
+        &self,
+        engine: &ExecutionEngine,
+        exclude: KsrIndex,
+    ) -> Option<(KsrIndex, i32)> {
+        engine
+            .active_kernels()
+            .into_iter()
+            .filter(|&k| k != exclude)
+            .filter(|&k| self.preemptible_sm_of(engine, k).is_some())
+            .map(|k| (k, self.token_count(engine, k)))
+            .min_by_key(|&(k, c)| (c, k.index()))
+    }
+
+    /// A running (not yet reserved) SM currently assigned to `ksr`.
+    fn preemptible_sm_of(&self, engine: &ExecutionEngine, ksr: KsrIndex) -> Option<SmId> {
+        engine.sm_ids().find(|&sm| {
+            let s = engine.sm(sm);
+            s.state() == SmState::Running && s.current_kernel() == Some(ksr)
+        })
+    }
+
+    /// Algorithm 1: repartition the SMs among the active kernels.
+    fn rebalance(&mut self, now: SimTime, engine: &mut ExecutionEngine) {
+        // Bound the number of repartitioning steps: each step either assigns
+        // an idle SM or triggers one preemption, so n_sms^2 is a generous
+        // upper bound that guarantees termination.
+        let max_steps = (engine.n_sms() as usize + 1).pow(2);
+        for _ in 0..max_steps {
+            let Some((rich, rich_count)) = self.richest_needy(engine) else {
+                return;
+            };
+            // Work-conserving: idle SMs always go to the richest needy
+            // kernel, even if that pushes it into debt.
+            if let Some(&sm) = engine.idle_sms().first() {
+                if engine.assign_sm(now, sm, rich) {
+                    continue;
+                }
+                return;
+            }
+            // No idle SMs: steal from the poorest donor if the imbalance is
+            // larger than one token.
+            let Some((poor, poor_count)) = self.poorest_donor(engine, rich) else {
+                return;
+            };
+            if rich_count <= poor_count + 1 {
+                return;
+            }
+            let Some(victim) = self.preemptible_sm_of(engine, poor) else {
+                return;
+            };
+            if !engine.preempt_sm(now, victim, rich) {
+                return;
+            }
+        }
+    }
+}
+
+impl SchedulingPolicy for DssPolicy {
+    fn name(&self) -> &'static str {
+        "DSS"
+    }
+
+    fn on_kernel_admitted(&mut self, now: SimTime, _ksr: KsrIndex, engine: &mut ExecutionEngine) {
+        self.rebalance(now, engine);
+    }
+
+    fn on_sm_idle(&mut self, now: SimTime, _sm: SmId, engine: &mut ExecutionEngine) {
+        self.rebalance(now, engine);
+    }
+
+    fn on_kernel_finished(
+        &mut self,
+        now: SimTime,
+        _ksr: KsrIndex,
+        _launch: KernelLaunchId,
+        engine: &mut ExecutionEngine,
+    ) {
+        self.rebalance(now, engine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{toy_launch, PolicyHarness};
+    use gpreempt_gpu::PreemptionMechanism;
+    use gpreempt_types::SimTime;
+
+    #[test]
+    fn equal_share_budgets_distribute_remainder() {
+        let dss = DssPolicy::equal_share(13, 4);
+        assert_eq!(dss.budget(ProcessId::new(0)), 4);
+        assert_eq!(dss.budget(ProcessId::new(1)), 3);
+        assert_eq!(dss.budget(ProcessId::new(2)), 3);
+        assert_eq!(dss.budget(ProcessId::new(3)), 3);
+        // Unknown processes fall back to the base share.
+        assert_eq!(dss.budget(ProcessId::new(9)), 3);
+        let total: i32 = (0..4).map(|p| dss.budget(ProcessId::new(p))).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn equal_share_with_more_processes_than_sms() {
+        let dss = DssPolicy::equal_share(4, 8);
+        // Budgets of 1 or 0; defaults stay at least 1 so nothing starves.
+        let total: i32 = (0..8).map(|p| dss.budget(ProcessId::new(p))).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn single_kernel_gets_the_whole_gpu() {
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 2),
+            PreemptionMechanism::ContextSwitch,
+        );
+        h.submit(toy_launch(0, 0, 260, 50));
+        h.run_for(SimTime::from_micros(5));
+        // Work conservation: the only kernel owns every SM despite a budget
+        // of 7 (it goes into debt).
+        let ksr = h.engine().active_kernels()[0];
+        assert_eq!(crate::policy::owned_sms(h.engine(), ksr), 13);
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 1);
+    }
+
+    #[test]
+    fn second_kernel_receives_its_share_through_preemption() {
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 2),
+            PreemptionMechanism::ContextSwitch,
+        );
+        // Process 0 hogs the GPU first.
+        h.submit(toy_launch(0, 0, 4_000, 100));
+        h.run_for(SimTime::from_micros(30));
+        // Process 1 arrives; DSS must carve out roughly half the SMs.
+        h.submit(toy_launch(1, 1, 4_000, 100));
+        h.run_for(SimTime::from_micros(200));
+        let kernels = h.engine().active_kernels();
+        let counts: Vec<(ProcessId, u32)> = kernels
+            .iter()
+            .map(|&k| {
+                (
+                    h.engine().kernel(k).unwrap().launch().process,
+                    crate::policy::owned_sms(h.engine(), k),
+                )
+            })
+            .collect();
+        let p0 = counts.iter().find(|(p, _)| *p == ProcessId::new(0)).unwrap().1;
+        let p1 = counts.iter().find(|(p, _)| *p == ProcessId::new(1)).unwrap().1;
+        assert_eq!(p0 + p1, 13, "all SMs stay in use");
+        assert!(p0.abs_diff(p1) <= 1, "split should be 7/6: got {p0}/{p1}");
+        assert!(h.engine().stats().preemptions >= 6, "preemptions carve the share");
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 2);
+    }
+
+    #[test]
+    fn dss_prevents_monopolisation_with_draining_too() {
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 2),
+            PreemptionMechanism::Draining,
+        );
+        h.submit(toy_launch(0, 0, 2_000, 50));
+        h.run_for(SimTime::from_micros(20));
+        h.submit(toy_launch(1, 1, 2_000, 50));
+        // Draining takes up to one block time (50us); give it 200us.
+        h.run_for(SimTime::from_micros(200));
+        let kernels = h.engine().active_kernels();
+        let owned: Vec<u32> = kernels
+            .iter()
+            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+            .collect();
+        assert!(owned.iter().all(|&c| c >= 6), "roughly equal split: {owned:?}");
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 2);
+        // Draining never saves contexts.
+        assert_eq!(h.engine().stats().blocks_saved, 0);
+    }
+
+    #[test]
+    fn four_processes_share_with_bounded_imbalance() {
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 4),
+            PreemptionMechanism::ContextSwitch,
+        );
+        for p in 0..4 {
+            h.submit(toy_launch(p as u64, p, 2_000, 80));
+        }
+        h.run_for(SimTime::from_micros(300));
+        let owned: Vec<u32> = h
+            .engine()
+            .active_kernels()
+            .iter()
+            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+            .collect();
+        assert_eq!(owned.iter().sum::<u32>(), 13);
+        let max = *owned.iter().max().unwrap();
+        let min = *owned.iter().min().unwrap();
+        assert!(max - min <= 1, "token imbalance must stay within one: {owned:?}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Scheduling policies for the GPU execution engine.
+//!
+//! The paper separates mechanisms from policies (§3): the execution engine
+//! (crate `gpreempt-gpu`) provides preemption and per-SM assignment, and the
+//! policies in this crate decide *when* and *where* kernels run:
+//!
+//! * [`FcfsPolicy`] — the baseline behaviour of current GPUs (§2.3),
+//! * [`NpqPolicy`] — non-preemptive priority queues,
+//! * [`PpqPolicy`] — preemptive priority queues, in exclusive-access and
+//!   shared-access variants (§4.2, §4.3),
+//! * [`DssPolicy`] — Dynamic Spatial Sharing, the token-based dynamic
+//!   partitioning policy (§3.4, Algorithm 1).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dss;
+pub mod fcfs;
+pub mod policy;
+pub mod priority;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use dss::DssPolicy;
+pub use fcfs::FcfsPolicy;
+pub use policy::{assign_idle_sms, owned_sms, SchedulingPolicy};
+pub use priority::{NpqPolicy, PpqAccess, PpqPolicy};
+
+#[cfg(test)]
+mod proptests;

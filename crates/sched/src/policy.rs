@@ -1,0 +1,169 @@
+//! The scheduling-policy interface.
+
+use gpreempt_gpu::{ExecutionEngine, KsrIndex, PolicyHook};
+use gpreempt_types::{KernelLaunchId, SimTime, SmId};
+
+/// A scheduling policy plugged into the hardware scheduling framework
+/// (§3.3/§3.4 of the paper).
+///
+/// The execution engine raises [`PolicyHook`]s; the simulator dispatches
+/// them to the policy, which reacts by inspecting the engine's KSRT / SMST
+/// and calling [`ExecutionEngine::assign_sm`],
+/// [`ExecutionEngine::preempt_sm`] or
+/// [`ExecutionEngine::retarget_reservation`].
+pub trait SchedulingPolicy: std::fmt::Debug {
+    /// Short policy name used in reports (e.g. `"FCFS"`, `"DSS"`).
+    fn name(&self) -> &'static str;
+
+    /// Called when a kernel is admitted into the KSRT.
+    fn on_kernel_admitted(&mut self, now: SimTime, ksr: KsrIndex, engine: &mut ExecutionEngine);
+
+    /// Called when an SM becomes idle.
+    fn on_sm_idle(&mut self, now: SimTime, sm: SmId, engine: &mut ExecutionEngine);
+
+    /// Called when a kernel finishes and its KSRT entry is freed.
+    fn on_kernel_finished(
+        &mut self,
+        now: SimTime,
+        ksr: KsrIndex,
+        launch: KernelLaunchId,
+        engine: &mut ExecutionEngine,
+    );
+
+    /// Dispatches a raw hook to the specific callbacks. Policies normally do
+    /// not override this.
+    fn on_hook(&mut self, now: SimTime, hook: PolicyHook, engine: &mut ExecutionEngine) {
+        match hook {
+            PolicyHook::KernelAdmitted(ksr) => self.on_kernel_admitted(now, ksr, engine),
+            PolicyHook::SmIdle(sm) => self.on_sm_idle(now, sm, engine),
+            PolicyHook::KernelFinished { ksr, launch } => {
+                self.on_kernel_finished(now, ksr, launch, engine)
+            }
+        }
+    }
+}
+
+/// Assigns idle SMs to `ksr` until the kernel has enough SMs to hold every
+/// unissued block or the GPU runs out of idle SMs. Returns the number of SMs
+/// assigned.
+///
+/// This is the common "give a kernel what it can use" helper shared by every
+/// policy implementation.
+pub fn assign_idle_sms(
+    now: SimTime,
+    engine: &mut ExecutionEngine,
+    ksr: KsrIndex,
+    limit: Option<u32>,
+) -> u32 {
+    let mut assigned = 0u32;
+    loop {
+        let Some(kernel) = engine.kernel(ksr) else { break };
+        if !kernel.has_blocks_to_issue() {
+            break;
+        }
+        // SMs already working for (or reserved for) this kernel will keep
+        // pulling blocks; only add SMs that can hold blocks nobody else will
+        // take.
+        let owned = owned_sms(engine, ksr);
+        let needed = kernel.sms_needed().saturating_sub(owned);
+        if needed == 0 {
+            break;
+        }
+        if let Some(limit) = limit {
+            if assigned >= limit {
+                break;
+            }
+        }
+        let Some(&sm) = engine.idle_sms().first() else { break };
+        if !engine.assign_sm(now, sm, ksr) {
+            break;
+        }
+        assigned += 1;
+    }
+    assigned
+}
+
+/// Number of SMs currently owned by `ksr`: SMs executing it that are not in
+/// the middle of being handed to another kernel, plus SMs reserved for it.
+///
+/// An SM that is being preempted away from `ksr` no longer counts towards it
+/// (the paper returns the token to the preempted kernel at reservation time,
+/// §3.4), while an SM reserved *for* `ksr` already does.
+pub fn owned_sms(engine: &ExecutionEngine, ksr: KsrIndex) -> u32 {
+    engine
+        .sm_ids()
+        .filter(|&sm| {
+            let s = engine.sm(sm);
+            match s.next_kernel() {
+                Some(next) => next == ksr,
+                None => s.current_kernel() == Some(ksr),
+            }
+        })
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_gpu::{EngineParams, KernelLaunch, PreemptionMechanism};
+    use gpreempt_sim::SimRng;
+    use gpreempt_trace::KernelSpec;
+    use gpreempt_types::{
+        CommandId, GpuConfig, KernelFootprint, PreemptionConfig, Priority, ProcessId,
+    };
+
+    fn engine() -> ExecutionEngine {
+        ExecutionEngine::new(
+            GpuConfig::default(),
+            PreemptionConfig::default(),
+            PreemptionMechanism::ContextSwitch,
+            EngineParams::default(),
+            SimRng::new(3),
+        )
+    }
+
+    fn launch(id: u64, blocks: u32) -> KernelLaunch {
+        KernelLaunch::new(
+            KernelLaunchId::new(id),
+            CommandId::new(id),
+            ProcessId::new(0),
+            Priority::NORMAL,
+            KernelSpec::new(
+                "k",
+                KernelFootprint::new(8_192, 0, 256), // 8 blocks / SM
+                blocks,
+                SimTime::from_micros(10),
+            ),
+        )
+    }
+
+    #[test]
+    fn assign_idle_sms_respects_need() {
+        let mut e = engine();
+        // 16 blocks at 8 per SM -> needs exactly 2 SMs.
+        e.submit(launch(0, 16), SimTime::ZERO);
+        let ksr = e.active_kernels()[0];
+        let n = assign_idle_sms(SimTime::ZERO, &mut e, ksr, None);
+        assert_eq!(n, 2);
+        assert_eq!(owned_sms(&e, ksr), 2);
+        assert_eq!(e.idle_sms().len(), 11);
+    }
+
+    #[test]
+    fn assign_idle_sms_respects_limit() {
+        let mut e = engine();
+        e.submit(launch(0, 10_000), SimTime::ZERO);
+        let ksr = e.active_kernels()[0];
+        let n = assign_idle_sms(SimTime::ZERO, &mut e, ksr, Some(5));
+        assert_eq!(n, 5);
+        let n2 = assign_idle_sms(SimTime::ZERO, &mut e, ksr, None);
+        assert_eq!(n2, 8, "the rest of the GPU");
+        assert!(e.idle_sms().is_empty());
+    }
+
+    #[test]
+    fn assign_idle_sms_on_missing_kernel_is_zero() {
+        let mut e = engine();
+        assert_eq!(assign_idle_sms(SimTime::ZERO, &mut e, KsrIndex::new(5), None), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared helpers for the policy unit tests: a tiny simulator that drives an
+//! execution engine plus one policy, with no host model.
+
+#![allow(missing_docs)]
+
+use crate::policy::SchedulingPolicy;
+use gpreempt_gpu::{
+    EngineEvent, EngineParams, ExecutionEngine, KernelCompletion, KernelLaunch,
+    PreemptionMechanism,
+};
+use gpreempt_sim::{EventQueue, SimRng};
+use gpreempt_trace::KernelSpec;
+use gpreempt_types::{
+    CommandId, GpuConfig, KernelFootprint, KernelLaunchId, PreemptionConfig, Priority, ProcessId,
+    SimTime,
+};
+
+/// A kernel launch with an 8-blocks-per-SM footprint, deterministic timing.
+pub fn toy_launch(id: u64, process: u32, blocks: u32, block_us: u64) -> KernelLaunch {
+    toy_launch_with_priority(id, process, blocks, block_us, Priority::NORMAL)
+}
+
+/// Same as [`toy_launch`] but with an explicit priority.
+pub fn toy_launch_with_priority(
+    id: u64,
+    process: u32,
+    blocks: u32,
+    block_us: u64,
+    priority: Priority,
+) -> KernelLaunch {
+    KernelLaunch::new(
+        KernelLaunchId::new(id),
+        CommandId::new(id),
+        ProcessId::new(process),
+        priority,
+        KernelSpec::new(
+            format!("k{id}"),
+            KernelFootprint::new(8_192, 0, 256),
+            blocks,
+            SimTime::from_micros(block_us),
+        ),
+    )
+}
+
+/// Drives an [`ExecutionEngine`] and a single policy, with kernels submitted
+/// directly (no host model, no PCIe).
+pub struct PolicyHarness {
+    engine: ExecutionEngine,
+    policy: Box<dyn SchedulingPolicy>,
+    queue: EventQueue<EngineEvent>,
+    completions: Vec<KernelCompletion>,
+}
+
+impl PolicyHarness {
+    pub fn new<P: SchedulingPolicy + 'static>(policy: P, mechanism: PreemptionMechanism) -> Self {
+        Self::new_boxed(Box::new(policy), mechanism)
+    }
+
+    pub fn new_boxed(policy: Box<dyn SchedulingPolicy>, mechanism: PreemptionMechanism) -> Self {
+        let mut params = EngineParams::default();
+        params.block_time_jitter = 0.0;
+        PolicyHarness {
+            engine: ExecutionEngine::new(
+                GpuConfig::default(),
+                PreemptionConfig::default(),
+                mechanism,
+                params,
+                SimRng::new(11),
+            ),
+            policy,
+            queue: EventQueue::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    pub fn completions(&self) -> &[KernelCompletion] {
+        &self.completions
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    pub fn submit(&mut self, launch: KernelLaunch) {
+        let now = self.now();
+        self.engine.submit(launch, now);
+        self.pump();
+    }
+
+    fn pump(&mut self) {
+        loop {
+            for (t, ev) in self.engine.take_scheduled() {
+                self.queue.schedule(t, ev);
+            }
+            self.completions.extend(self.engine.take_completions());
+            let hooks = self.engine.take_hooks();
+            if hooks.is_empty() {
+                break;
+            }
+            let now = self.now();
+            for hook in hooks {
+                self.policy.on_hook(now, hook, &mut self.engine);
+            }
+        }
+        self.engine.check_invariants().expect("engine invariants");
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.engine.handle(t, ev);
+            self.pump();
+        }
+        self.now()
+    }
+
+    /// Runs events up to (and including) `deadline`, leaving later ones
+    /// queued.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let deadline = self.now() + duration;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().unwrap();
+            self.engine.handle(t, ev);
+            self.pump();
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyHarness")
+            .field("policy", &self.policy.name())
+            .field("now", &self.now())
+            .finish()
+    }
+}

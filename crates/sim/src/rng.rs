@@ -1,0 +1,199 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic choices in the simulator (workload composition, per-thread-
+//! block execution-time jitter, transfer sizes of synthetic traces) flow
+//! through [`SimRng`], a thin wrapper over a seeded [`rand::rngs::StdRng`].
+//! Running the same experiment with the same seed always produces the same
+//! results.
+
+use gpreempt_types::SimTime;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A seeded, reproducible random number generator.
+pub struct SimRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator. Children created with the
+    /// same `salt` from generators with the same seed are identical.
+    pub fn derive(&self, salt: u64) -> SimRng {
+        SimRng::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform integer in `[0, bound)`. Returns 0 when `bound` is 0.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+
+    /// A duration jittered uniformly within `±fraction` of `mean`
+    /// (e.g. `fraction = 0.2` gives a value in `[0.8, 1.2] * mean`).
+    ///
+    /// A non-finite or negative `fraction` is treated as zero jitter.
+    pub fn jittered(&mut self, mean: SimTime, fraction: f64) -> SimTime {
+        if !(fraction.is_finite()) || fraction <= 0.0 || mean.is_zero() {
+            return mean;
+        }
+        let f = fraction.min(0.99);
+        let factor = self.next_range(1.0 - f, 1.0 + f);
+        mean.scale(factor)
+    }
+
+    /// Picks one element of the slice uniformly at random.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        items.choose(&mut self.rng)
+    }
+
+    /// Shuffles the slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.rng);
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimRng").field("seed", &self.seed).finish()
+    }
+}
+
+impl Clone for SimRng {
+    /// Cloning re-seeds from the original seed, so a clone replays the
+    /// original stream from the start.
+    fn clone(&self) -> Self {
+        SimRng::new(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_index(1000), b.next_index(1000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<usize> = (0..32).map(|_| a.next_index(1_000_000)).collect();
+        let vb: Vec<usize> = (0..32).map(|_| b.next_index(1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = SimRng::new(7).derive(3);
+        let b = SimRng::new(7).derive(3);
+        let c = SimRng::new(7).derive(4);
+        assert_eq!(a.seed(), b.seed());
+        assert_ne!(a.seed(), c.seed());
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let mut rng = SimRng::new(9);
+        let mean = SimTime::from_micros(100);
+        for _ in 0..1000 {
+            let t = rng.jittered(mean, 0.2);
+            assert!(t.as_nanos() >= 80_000 && t.as_nanos() <= 120_000, "{t}");
+        }
+    }
+
+    #[test]
+    fn jitter_degenerate_inputs() {
+        let mut rng = SimRng::new(9);
+        let mean = SimTime::from_micros(5);
+        assert_eq!(rng.jittered(mean, 0.0), mean);
+        assert_eq!(rng.jittered(mean, -1.0), mean);
+        assert_eq!(rng.jittered(mean, f64::NAN), mean);
+        assert_eq!(rng.jittered(SimTime::ZERO, 0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_index_zero_bound() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(rng.next_index(0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::new(3);
+        let items = [1, 2, 3, 4];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_replays_stream() {
+        let mut a = SimRng::new(11);
+        let _ = a.next_unit();
+        let mut b = a.clone();
+        let mut fresh = SimRng::new(11);
+        assert_eq!(b.next_index(100), fresh.next_index(100));
+    }
+}

@@ -1,0 +1,282 @@
+//! Small statistics helpers used when aggregating experiment results.
+
+use std::fmt;
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean of a slice of positive values. Non-positive values are
+/// ignored; returns 0.0 if nothing remains.
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Harmonic mean of a slice of positive values. Non-positive values are
+/// ignored; returns 0.0 if nothing remains.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let inv: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .map(|v| 1.0 / v)
+        .collect();
+    if inv.is_empty() {
+        return 0.0;
+    }
+    inv.len() as f64 / inv.iter().sum::<f64>()
+}
+
+/// Sample standard deviation. Returns 0.0 for fewer than two values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`). Returns 0.0 for an
+/// empty slice. The input does not need to be sorted.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A one-pass summary (count, min, max, mean) of a stream of samples.
+///
+/// # Example
+///
+/// ```
+/// use gpreempt_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn geomean_of_values() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        // Non-positive values are skipped.
+        assert!((geomean(&[-5.0, 4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_of_values() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 6.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_values() {
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        s.record(1.0);
+        s.record(5.0);
+        s.record(f64::NAN); // ignored
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.sum(), 6.0);
+    }
+
+    #[test]
+    fn summary_merge_and_collect() {
+        let a: Summary = [1.0, 2.0].into_iter().collect();
+        let mut b: Summary = [3.0, 4.0].into_iter().collect();
+        b.merge(&a);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.mean(), 2.5);
+        let empty = Summary::new();
+        let mut c = a;
+        c.merge(&empty);
+        assert_eq!(c.count(), 2);
+        let mut d = Summary::new();
+        d.extend([10.0, 20.0]);
+        assert_eq!(d.max(), 20.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: Summary = [1.0, 3.0].into_iter().collect();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=2.0000"));
+    }
+}

@@ -1,0 +1,457 @@
+//! Whole-application traces.
+
+use crate::command::{CopyDirection, TraceOp};
+use crate::kernel::KernelSpec;
+use gpreempt_types::{GpuConfig, KernelClass, SimError, SimTime, StreamId};
+
+/// The trace of one benchmark application: its kernel table and the ordered
+/// list of operations the host performs from the first to the last CUDA
+/// call (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkTrace {
+    name: String,
+    dataset: String,
+    kernel_class: KernelClass,
+    app_class: KernelClass,
+    kernels: Vec<KernelSpec>,
+    ops: Vec<TraceOp>,
+}
+
+impl BenchmarkTrace {
+    /// Starts building a trace. See [`BenchmarkBuilder`].
+    pub fn builder(name: impl Into<String>) -> BenchmarkBuilder {
+        BenchmarkBuilder::new(name)
+    }
+
+    /// The benchmark name (e.g. `"lbm"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input dataset label (e.g. `"short"`).
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The per-kernel duration class used to group Figure 5 results
+    /// ("Class 1" in Table 1).
+    pub fn kernel_class(&self) -> KernelClass {
+        self.kernel_class
+    }
+
+    /// The whole-application duration class used to group Figure 7 results
+    /// ("Class 2" in Table 1).
+    pub fn app_class(&self) -> KernelClass {
+        self.app_class
+    }
+
+    /// The kernels this application launches.
+    pub fn kernels(&self) -> &[KernelSpec] {
+        &self.kernels
+    }
+
+    /// The ordered trace operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of kernel launches in one execution of the application.
+    pub fn launch_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Launch { .. }))
+            .count()
+    }
+
+    /// Number of launches of the kernel at `kernel_index`.
+    pub fn launches_of(&self, kernel_index: usize) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Launch { kernel, .. } if *kernel == kernel_index))
+            .count()
+    }
+
+    /// Total CPU time in one execution of the application.
+    pub fn total_cpu_time(&self) -> SimTime {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::CpuPhase { duration } => *duration,
+                _ => SimTime::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total bytes copied in the given direction in one execution.
+    pub fn total_copy_bytes(&self, direction: CopyDirection) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Copy {
+                    direction: d,
+                    bytes,
+                    ..
+                } if *d == direction => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// A lower bound on the GPU busy time of one execution: the sum of each
+    /// launched kernel's isolated execution time on the whole GPU.
+    pub fn gpu_kernel_time(&self, gpu: &GpuConfig) -> SimTime {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Launch { kernel, .. } => self.kernels[*kernel].isolated_time_on(gpu, gpu.n_sms),
+                _ => SimTime::ZERO,
+            })
+            .sum()
+    }
+
+    /// Checks the trace is well formed: at least one launch, every launch
+    /// refers to an existing kernel, and every kernel fits on an SM of the
+    /// given GPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] describing the first problem
+    /// found.
+    pub fn validate(&self, gpu: &GpuConfig) -> Result<(), SimError> {
+        if self.launch_count() == 0 {
+            return Err(SimError::invalid_workload(format!(
+                "benchmark {} never launches a kernel",
+                self.name
+            )));
+        }
+        for op in &self.ops {
+            if let TraceOp::Launch { kernel, .. } = op {
+                if *kernel >= self.kernels.len() {
+                    return Err(SimError::invalid_workload(format!(
+                        "benchmark {} launches kernel index {kernel} but only {} kernels exist",
+                        self.name,
+                        self.kernels.len()
+                    )));
+                }
+            }
+        }
+        for k in &self.kernels {
+            if k.footprint().max_blocks_per_sm(gpu) == 0 {
+                return Err(SimError::invalid_workload(format!(
+                    "kernel {} of benchmark {} does not fit on an SM",
+                    k.name(),
+                    self.name
+                )));
+            }
+            if k.n_blocks() == 0 {
+                return Err(SimError::invalid_workload(format!(
+                    "kernel {} of benchmark {} has an empty grid",
+                    k.name(),
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`BenchmarkTrace`].
+///
+/// # Example
+///
+/// ```
+/// use gpreempt_trace::{BenchmarkTrace, KernelSpec};
+/// use gpreempt_types::{KernelFootprint, SimTime};
+///
+/// let trace = BenchmarkTrace::builder("toy")
+///     .kernel(KernelSpec::new(
+///         "k0",
+///         KernelFootprint::new(1_024, 0, 128),
+///         64,
+///         SimTime::from_micros(10),
+///     ))
+///     .cpu(SimTime::from_micros(100))
+///     .h2d(1 << 20)
+///     .launch(0)
+///     .d2h(1 << 20)
+///     .build();
+/// assert_eq!(trace.launch_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchmarkBuilder {
+    name: String,
+    dataset: String,
+    kernel_class: KernelClass,
+    app_class: KernelClass,
+    kernels: Vec<KernelSpec>,
+    ops: Vec<TraceOp>,
+    default_stream: StreamId,
+}
+
+impl BenchmarkBuilder {
+    /// Starts a builder for a benchmark with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchmarkBuilder {
+            name: name.into(),
+            dataset: String::new(),
+            kernel_class: KernelClass::Short,
+            app_class: KernelClass::Short,
+            kernels: Vec::new(),
+            ops: Vec::new(),
+            default_stream: StreamId::new(0),
+        }
+    }
+
+    /// Sets the dataset label.
+    #[must_use]
+    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.dataset = dataset.into();
+        self
+    }
+
+    /// Sets the kernel-duration class ("Class 1").
+    #[must_use]
+    pub fn kernel_class(mut self, class: KernelClass) -> Self {
+        self.kernel_class = class;
+        self
+    }
+
+    /// Sets the application-duration class ("Class 2").
+    #[must_use]
+    pub fn app_class(mut self, class: KernelClass) -> Self {
+        self.app_class = class;
+        self
+    }
+
+    /// Registers a kernel and returns its index for later `launch` calls.
+    #[must_use]
+    pub fn kernel(mut self, spec: KernelSpec) -> Self {
+        self.kernels.push(spec);
+        self
+    }
+
+    /// Registers a kernel, returning the builder and the new kernel's index.
+    pub fn add_kernel(&mut self, spec: KernelSpec) -> usize {
+        self.kernels.push(spec);
+        self.kernels.len() - 1
+    }
+
+    /// Switches the stream subsequent asynchronous operations are enqueued on.
+    #[must_use]
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.default_stream = stream;
+        self
+    }
+
+    /// Appends a CPU phase.
+    #[must_use]
+    pub fn cpu(mut self, duration: SimTime) -> Self {
+        self.push_cpu(duration);
+        self
+    }
+
+    /// Appends a CPU phase (by-reference form).
+    pub fn push_cpu(&mut self, duration: SimTime) {
+        if !duration.is_zero() {
+            self.ops.push(TraceOp::CpuPhase { duration });
+        }
+    }
+
+    /// Appends a host-to-device copy on the current stream.
+    #[must_use]
+    pub fn h2d(mut self, bytes: u64) -> Self {
+        self.push_copy(CopyDirection::HostToDevice, bytes);
+        self
+    }
+
+    /// Appends a device-to-host copy on the current stream.
+    #[must_use]
+    pub fn d2h(mut self, bytes: u64) -> Self {
+        self.push_copy(CopyDirection::DeviceToHost, bytes);
+        self
+    }
+
+    /// Appends a copy (by-reference form).
+    pub fn push_copy(&mut self, direction: CopyDirection, bytes: u64) {
+        self.ops.push(TraceOp::Copy {
+            direction,
+            bytes,
+            stream: self.default_stream,
+        });
+    }
+
+    /// Appends a kernel launch of the kernel at `kernel_index` on the
+    /// current stream.
+    #[must_use]
+    pub fn launch(mut self, kernel_index: usize) -> Self {
+        self.push_launch(kernel_index);
+        self
+    }
+
+    /// Appends a kernel launch (by-reference form).
+    pub fn push_launch(&mut self, kernel_index: usize) {
+        self.ops.push(TraceOp::Launch {
+            kernel: kernel_index,
+            stream: self.default_stream,
+        });
+    }
+
+    /// Appends a device-wide synchronisation.
+    #[must_use]
+    pub fn sync(mut self) -> Self {
+        self.push_sync();
+        self
+    }
+
+    /// Appends a device-wide synchronisation (by-reference form).
+    pub fn push_sync(&mut self) {
+        self.ops.push(TraceOp::Synchronize);
+    }
+
+    /// Finishes the trace. A trailing synchronisation is appended if the
+    /// trace does not already end with one, mirroring the implicit
+    /// synchronisation at process exit.
+    pub fn build(mut self) -> BenchmarkTrace {
+        if !matches!(self.ops.last(), Some(TraceOp::Synchronize)) {
+            self.ops.push(TraceOp::Synchronize);
+        }
+        BenchmarkTrace {
+            name: self.name,
+            dataset: self.dataset,
+            kernel_class: self.kernel_class,
+            app_class: self.app_class,
+            kernels: self.kernels,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpreempt_types::KernelFootprint;
+
+    fn toy_kernel(name: &str) -> KernelSpec {
+        KernelSpec::new(
+            name,
+            KernelFootprint::new(2_048, 0, 128),
+            32,
+            SimTime::from_micros(10),
+        )
+    }
+
+    #[test]
+    fn builder_produces_trace_with_trailing_sync() {
+        let t = BenchmarkTrace::builder("toy")
+            .dataset("small")
+            .kernel(toy_kernel("a"))
+            .cpu(SimTime::from_micros(50))
+            .h2d(4096)
+            .launch(0)
+            .d2h(4096)
+            .build();
+        assert_eq!(t.name(), "toy");
+        assert_eq!(t.dataset(), "small");
+        assert_eq!(t.launch_count(), 1);
+        assert!(matches!(t.ops().last(), Some(TraceOp::Synchronize)));
+        assert_eq!(t.total_cpu_time(), SimTime::from_micros(50));
+        assert_eq!(t.total_copy_bytes(CopyDirection::HostToDevice), 4096);
+        assert_eq!(t.total_copy_bytes(CopyDirection::DeviceToHost), 4096);
+    }
+
+    #[test]
+    fn explicit_sync_not_duplicated() {
+        let t = BenchmarkTrace::builder("toy")
+            .kernel(toy_kernel("a"))
+            .launch(0)
+            .sync()
+            .build();
+        let syncs = t
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Synchronize))
+            .count();
+        assert_eq!(syncs, 1);
+    }
+
+    #[test]
+    fn zero_cpu_phase_is_dropped() {
+        let t = BenchmarkTrace::builder("toy")
+            .kernel(toy_kernel("a"))
+            .cpu(SimTime::ZERO)
+            .launch(0)
+            .build();
+        assert!(!t
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TraceOp::CpuPhase { .. })));
+    }
+
+    #[test]
+    fn launches_of_counts_per_kernel() {
+        let t = BenchmarkTrace::builder("toy")
+            .kernel(toy_kernel("a"))
+            .kernel(toy_kernel("b"))
+            .launch(0)
+            .launch(1)
+            .launch(0)
+            .build();
+        assert_eq!(t.launches_of(0), 2);
+        assert_eq!(t.launches_of(1), 1);
+        assert_eq!(t.launch_count(), 3);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let gpu = GpuConfig::default();
+        // No launches.
+        let t = BenchmarkTrace::builder("empty")
+            .kernel(toy_kernel("a"))
+            .cpu(SimTime::from_micros(10))
+            .build();
+        assert!(t.validate(&gpu).is_err());
+
+        // Launch of a missing kernel.
+        let t = BenchmarkTrace::builder("bad").kernel(toy_kernel("a")).launch(7).build();
+        assert!(t.validate(&gpu).is_err());
+
+        // Kernel that does not fit.
+        let huge = KernelSpec::new(
+            "huge",
+            KernelFootprint::new(0, 128 * 1024, 32),
+            8,
+            SimTime::from_micros(1),
+        );
+        let t = BenchmarkTrace::builder("bad").kernel(huge).launch(0).build();
+        assert!(t.validate(&gpu).is_err());
+
+        // A good trace validates.
+        let t = BenchmarkTrace::builder("ok").kernel(toy_kernel("a")).launch(0).build();
+        assert!(t.validate(&gpu).is_ok());
+    }
+
+    #[test]
+    fn gpu_kernel_time_sums_launches() {
+        let gpu = GpuConfig::default();
+        let t = BenchmarkTrace::builder("toy")
+            .kernel(toy_kernel("a"))
+            .launch(0)
+            .launch(0)
+            .build();
+        let one = t.kernels()[0].isolated_time_on(&gpu, gpu.n_sms);
+        assert_eq!(t.gpu_kernel_time(&gpu), one * 2);
+    }
+
+    #[test]
+    fn streams_can_be_switched() {
+        let t = BenchmarkTrace::builder("toy")
+            .kernel(toy_kernel("a"))
+            .on_stream(StreamId::new(1))
+            .launch(0)
+            .on_stream(StreamId::new(2))
+            .h2d(128)
+            .build();
+        assert_eq!(t.ops()[0].stream(), Some(StreamId::new(1)));
+        assert_eq!(t.ops()[1].stream(), Some(StreamId::new(2)));
+    }
+}

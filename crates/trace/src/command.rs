@@ -1,0 +1,113 @@
+//! Commands recorded in an application trace.
+//!
+//! A trace is the sequence of CUDA-runtime level operations one process
+//! performs: stretches of CPU execution, host↔device memory copies, kernel
+//! launches and stream synchronisations (§2.1 and §4.1 of the paper).
+
+use gpreempt_types::{SimTime, StreamId};
+
+/// Direction of a host↔device memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyDirection {
+    /// Host to device (input upload).
+    HostToDevice,
+    /// Device to host (result download).
+    DeviceToHost,
+}
+
+impl CopyDirection {
+    /// Short label used in trace dumps.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CopyDirection::HostToDevice => "H2D",
+            CopyDirection::DeviceToHost => "D2H",
+        }
+    }
+}
+
+/// One operation in an application trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// The host runs on the CPU for `duration` before issuing the next
+    /// operation. CPU phases are blocking by definition.
+    CpuPhase {
+        /// How long the CPU phase lasts.
+        duration: SimTime,
+    },
+    /// An asynchronous memory copy enqueued on `stream`.
+    Copy {
+        /// Transfer direction.
+        direction: CopyDirection,
+        /// Number of bytes moved.
+        bytes: u64,
+        /// The software stream the copy is ordered in.
+        stream: StreamId,
+    },
+    /// An asynchronous kernel launch enqueued on `stream`. The index refers
+    /// to the owning benchmark's kernel table.
+    Launch {
+        /// Index into [`BenchmarkTrace::kernels`](crate::BenchmarkTrace::kernels).
+        kernel: usize,
+        /// The software stream the launch is ordered in.
+        stream: StreamId,
+    },
+    /// The host blocks until every previously issued operation on every
+    /// stream of this process has completed (`cudaDeviceSynchronize`).
+    Synchronize,
+}
+
+impl TraceOp {
+    /// Whether this operation blocks the host until something completes.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, TraceOp::CpuPhase { .. } | TraceOp::Synchronize)
+    }
+
+    /// The stream the operation is enqueued on, if it targets the GPU.
+    pub fn stream(&self) -> Option<StreamId> {
+        match self {
+            TraceOp::Copy { stream, .. } | TraceOp::Launch { stream, .. } => Some(*stream),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(TraceOp::CpuPhase {
+            duration: SimTime::from_micros(1)
+        }
+        .is_blocking());
+        assert!(TraceOp::Synchronize.is_blocking());
+        assert!(!TraceOp::Launch {
+            kernel: 0,
+            stream: StreamId::new(0)
+        }
+        .is_blocking());
+        assert!(!TraceOp::Copy {
+            direction: CopyDirection::HostToDevice,
+            bytes: 16,
+            stream: StreamId::new(0)
+        }
+        .is_blocking());
+    }
+
+    #[test]
+    fn stream_accessor() {
+        let launch = TraceOp::Launch {
+            kernel: 2,
+            stream: StreamId::new(3),
+        };
+        assert_eq!(launch.stream(), Some(StreamId::new(3)));
+        assert_eq!(TraceOp::Synchronize.stream(), None);
+    }
+
+    #[test]
+    fn direction_labels() {
+        assert_eq!(CopyDirection::HostToDevice.label(), "H2D");
+        assert_eq!(CopyDirection::DeviceToHost.label(), "D2H");
+    }
+}

@@ -1,0 +1,38 @@
+//! Application traces and multiprogrammed workloads.
+//!
+//! The paper's evaluation drives a trace-driven simulator with traces of the
+//! Parboil benchmarks (§4.1). This crate provides:
+//!
+//! * [`KernelSpec`] — the static description of a kernel (footprint, grid,
+//!   per-block execution time),
+//! * [`TraceOp`] / [`BenchmarkTrace`] — the CUDA-call-level trace of one
+//!   application, from its first to its last CUDA call,
+//! * [`parboil`] — the embedded Table 1 dataset and synthetic reconstructions
+//!   of all ten benchmark traces,
+//! * [`Workload`] / [`WorkloadGenerator`] — random multiprogrammed workloads
+//!   with the replay policy the paper uses.
+//!
+//! # Example
+//!
+//! ```
+//! use gpreempt_trace::parboil;
+//! use gpreempt_types::GpuConfig;
+//!
+//! let gpu = GpuConfig::default();
+//! let lbm = parboil::benchmark("lbm", &gpu).unwrap();
+//! assert_eq!(lbm.launch_count(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmark;
+pub mod command;
+pub mod kernel;
+pub mod parboil;
+pub mod workload;
+
+pub use benchmark::{BenchmarkBuilder, BenchmarkTrace};
+pub use command::{CopyDirection, TraceOp};
+pub use kernel::KernelSpec;
+pub use workload::{ProcessSpec, Workload, WorkloadGenerator};

@@ -1,0 +1,504 @@
+//! The Parboil benchmark suite as used in the paper's evaluation.
+//!
+//! The paper drives its simulator with traces of ten Parboil benchmarks
+//! captured on a Tesla K20c (§4.1, Table 1). Those traces are not public, so
+//! this module reconstructs equivalent synthetic traces from the per-kernel
+//! statistics the paper publishes in Table 1: number of launches, kernel
+//! execution time, grid size, per-block resource footprint and the derived
+//! per-block execution time. Host (CPU) phases and PCIe transfer sizes are
+//! not in the table; they are filled in with representative values so that
+//! each application's total running time lands in the duration class the
+//! paper assigns it ("Class 2").
+//!
+//! The `bfs` benchmark is excluded, exactly as in the paper.
+
+use crate::benchmark::{BenchmarkBuilder, BenchmarkTrace};
+use crate::kernel::KernelSpec;
+use gpreempt_types::{GpuConfig, KernelClass, KernelFootprint, SimTime};
+
+/// One row of Table 1: the statistics of a single kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRow {
+    /// Benchmark the kernel belongs to.
+    pub benchmark: &'static str,
+    /// Input dataset used in the paper.
+    pub dataset: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Number of launches in one execution of the application.
+    pub launches: u32,
+    /// Measured kernel execution time in microseconds ("Avg. Time").
+    pub kernel_time_us: f64,
+    /// Grid size in thread blocks ("Num. TBs").
+    pub n_blocks: u32,
+    /// Shared memory per thread block in bytes ("Sh. M. /TB").
+    pub smem_per_block: u32,
+    /// Registers per thread block ("# Regs /TB").
+    pub regs_per_block: u32,
+    /// Threads per block (not in the table; chosen so the resident-blocks
+    /// limit matches the "TBs /SM" column).
+    pub threads_per_block: u32,
+    /// Expected resident thread blocks per SM ("TBs /SM"), used to validate
+    /// the reconstruction.
+    pub blocks_per_sm: u32,
+    /// Per-kernel duration class ("Class 1").
+    pub kernel_class: KernelClass,
+}
+
+impl KernelRow {
+    /// The per-block resource footprint of this kernel.
+    pub fn footprint(&self) -> KernelFootprint {
+        KernelFootprint::new(self.regs_per_block, self.smem_per_block, self.threads_per_block)
+    }
+
+    /// Builds the [`KernelSpec`] for this row, deriving the per-block time
+    /// from the measured kernel time and the GPU configuration.
+    pub fn spec(&self, gpu: &GpuConfig) -> KernelSpec {
+        KernelSpec::from_measured(
+            self.kernel,
+            self.footprint(),
+            self.n_blocks,
+            SimTime::from_micros_f64(self.kernel_time_us),
+            gpu,
+        )
+        .with_class(self.kernel_class)
+    }
+}
+
+use KernelClass::{Long, Medium, Short};
+
+/// Every kernel row of Table 1, in the paper's order.
+pub const TABLE1: &[KernelRow] = &[
+    KernelRow { benchmark: "lbm", dataset: "short", kernel: "StreamCollide", launches: 100, kernel_time_us: 2905.81, n_blocks: 18000, smem_per_block: 0, regs_per_block: 4320, threads_per_block: 120, blocks_per_sm: 15, kernel_class: Medium },
+    KernelRow { benchmark: "histo", dataset: "default", kernel: "final", launches: 20, kernel_time_us: 70.24, n_blocks: 42, smem_per_block: 0, regs_per_block: 19456, threads_per_block: 512, blocks_per_sm: 3, kernel_class: Short },
+    KernelRow { benchmark: "histo", dataset: "default", kernel: "prescan", launches: 20, kernel_time_us: 20.87, n_blocks: 64, smem_per_block: 4096, regs_per_block: 9216, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Short },
+    KernelRow { benchmark: "histo", dataset: "default", kernel: "intermediates", launches: 20, kernel_time_us: 77.88, n_blocks: 65, smem_per_block: 0, regs_per_block: 8964, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Short },
+    KernelRow { benchmark: "histo", dataset: "default", kernel: "main", launches: 20, kernel_time_us: 372.58, n_blocks: 84, smem_per_block: 24576, regs_per_block: 16896, threads_per_block: 768, blocks_per_sm: 1, kernel_class: Short },
+    KernelRow { benchmark: "tpacf", dataset: "small", kernel: "gen_hists", launches: 1, kernel_time_us: 14615.33, n_blocks: 201, smem_per_block: 13312, regs_per_block: 7680, threads_per_block: 256, blocks_per_sm: 1, kernel_class: Long },
+    KernelRow { benchmark: "spmv", dataset: "medium", kernel: "spmv_jds", launches: 50, kernel_time_us: 42.38, n_blocks: 374, smem_per_block: 0, regs_per_block: 928, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Short },
+    KernelRow { benchmark: "mri-q", dataset: "large", kernel: "ComputeQ", launches: 2, kernel_time_us: 3389.71, n_blocks: 1024, smem_per_block: 0, regs_per_block: 5376, threads_per_block: 256, blocks_per_sm: 8, kernel_class: Medium },
+    KernelRow { benchmark: "mri-q", dataset: "large", kernel: "ComputePhiMag", launches: 1, kernel_time_us: 4.70, n_blocks: 4, smem_per_block: 0, regs_per_block: 6144, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Medium },
+    KernelRow { benchmark: "sad", dataset: "large", kernel: "larger_sad_calc_8", launches: 1, kernel_time_us: 8174.21, n_blocks: 8040, smem_per_block: 0, regs_per_block: 3328, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
+    KernelRow { benchmark: "sad", dataset: "large", kernel: "larger_sad_calc_16", launches: 1, kernel_time_us: 1529.38, n_blocks: 8040, smem_per_block: 0, regs_per_block: 832, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
+    KernelRow { benchmark: "sad", dataset: "large", kernel: "mb_sad_calc", launches: 1, kernel_time_us: 15446.02, n_blocks: 128640, smem_per_block: 2224, regs_per_block: 2135, threads_per_block: 256, blocks_per_sm: 7, kernel_class: Long },
+    KernelRow { benchmark: "sgemm", dataset: "medium", kernel: "mysgemmNT", launches: 1, kernel_time_us: 3717.18, n_blocks: 528, smem_per_block: 512, regs_per_block: 4480, threads_per_block: 128, blocks_per_sm: 14, kernel_class: Medium },
+    KernelRow { benchmark: "stencil", dataset: "default", kernel: "block2D_reg_tiling", launches: 100, kernel_time_us: 2227.30, n_blocks: 256, smem_per_block: 0, regs_per_block: 41984, threads_per_block: 512, blocks_per_sm: 1, kernel_class: Medium },
+    KernelRow { benchmark: "cutcp", dataset: "small", kernel: "lattice6overlap", launches: 11, kernel_time_us: 1520.11, n_blocks: 121, smem_per_block: 4116, regs_per_block: 3328, threads_per_block: 128, blocks_per_sm: 3, kernel_class: Medium },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "binning", launches: 1, kernel_time_us: 2021.41, n_blocks: 5188, smem_per_block: 0, regs_per_block: 4096, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_inter1", launches: 9, kernel_time_us: 7.59, n_blocks: 29, smem_per_block: 665, regs_per_block: 1173, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_L1", launches: 8, kernel_time_us: 826.12, n_blocks: 2084, smem_per_block: 4368, regs_per_block: 9216, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "uniformAdd", launches: 8, kernel_time_us: 127.30, n_blocks: 2084, smem_per_block: 16, regs_per_block: 4096, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "reorder", launches: 1, kernel_time_us: 2535.30, n_blocks: 5188, smem_per_block: 0, regs_per_block: 8192, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "splitSort", launches: 7, kernel_time_us: 3838.84, n_blocks: 2594, smem_per_block: 4484, regs_per_block: 10240, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "gridding_GPU", launches: 1, kernel_time_us: 208398.47, n_blocks: 65536, smem_per_block: 1536, regs_per_block: 3648, threads_per_block: 128, blocks_per_sm: 10, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "splitRearrange", launches: 7, kernel_time_us: 1622.93, n_blocks: 2594, smem_per_block: 4160, regs_per_block: 5888, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
+    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_inter2", launches: 9, kernel_time_us: 8.81, n_blocks: 29, smem_per_block: 665, regs_per_block: 1173, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
+];
+
+/// Names of the ten benchmarks, in Table 1 order.
+pub const BENCHMARK_NAMES: [&str; 10] = [
+    "lbm",
+    "histo",
+    "tpacf",
+    "spmv",
+    "mri-q",
+    "sad",
+    "sgemm",
+    "stencil",
+    "cutcp",
+    "mri-gridding",
+];
+
+/// Returns the Table 1 rows belonging to `benchmark`.
+pub fn rows_of(benchmark: &str) -> Vec<KernelRow> {
+    TABLE1
+        .iter()
+        .copied()
+        .filter(|r| r.benchmark == benchmark)
+        .collect()
+}
+
+/// Builds the synthetic trace suite used throughout the evaluation.
+///
+/// # Example
+///
+/// ```
+/// use gpreempt_trace::parboil;
+/// use gpreempt_types::GpuConfig;
+///
+/// let suite = parboil::suite(&GpuConfig::default());
+/// assert_eq!(suite.len(), 10);
+/// assert!(suite.iter().any(|b| b.name() == "lbm"));
+/// ```
+pub fn suite(gpu: &GpuConfig) -> Vec<BenchmarkTrace> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| benchmark(name, gpu).expect("built-in benchmark"))
+        .collect()
+}
+
+/// Builds a single benchmark trace by name. Returns `None` for unknown names.
+pub fn benchmark(name: &str, gpu: &GpuConfig) -> Option<BenchmarkTrace> {
+    match name {
+        "lbm" => Some(lbm(gpu)),
+        "histo" => Some(histo(gpu)),
+        "tpacf" => Some(tpacf(gpu)),
+        "spmv" => Some(spmv(gpu)),
+        "mri-q" => Some(mri_q(gpu)),
+        "sad" => Some(sad(gpu)),
+        "sgemm" => Some(sgemm(gpu)),
+        "stencil" => Some(stencil(gpu)),
+        "cutcp" => Some(cutcp(gpu)),
+        "mri-gridding" => Some(mri_gridding(gpu)),
+        _ => None,
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn us(v: u64) -> SimTime {
+    SimTime::from_micros(v)
+}
+
+fn builder(name: &str, app_class: KernelClass, gpu: &GpuConfig) -> (BenchmarkBuilder, Vec<usize>) {
+    let rows = rows_of(name);
+    assert!(!rows.is_empty(), "unknown benchmark {name}");
+    let kernel_class = rows
+        .iter()
+        .map(|r| r.kernel_class)
+        .max()
+        .unwrap_or(KernelClass::Short);
+    let mut b = BenchmarkBuilder::new(name)
+        .dataset(rows[0].dataset)
+        .kernel_class(kernel_class)
+        .app_class(app_class);
+    let mut idx = Vec::new();
+    for row in &rows {
+        idx.push(b.add_kernel(row.spec(gpu)));
+    }
+    (b, idx)
+}
+
+/// Lattice-Boltzmann fluid simulation: 100 iterations of one large kernel.
+fn lbm(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("lbm", KernelClass::Long, gpu);
+    let sc = k[0];
+    b.push_cpu(us(2_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 130 * MB);
+    for _ in 0..100 {
+        b.push_launch(sc);
+        b.push_cpu(us(30));
+    }
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 130 * MB);
+    b.push_cpu(us(1_000));
+    b.build()
+}
+
+/// Saturating histogram: 20 iterations of a four-kernel pipeline.
+fn histo(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("histo", KernelClass::Medium, gpu);
+    let (final_k, prescan, intermediates, main) = (k[0], k[1], k[2], k[3]);
+    b.push_cpu(us(3_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 4 * MB);
+    for _ in 0..20 {
+        b.push_cpu(us(500));
+        b.push_launch(prescan);
+        b.push_launch(intermediates);
+        b.push_launch(main);
+        b.push_launch(final_k);
+    }
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 1 * MB);
+    b.push_cpu(us(1_500));
+    b.build()
+}
+
+/// Two-point angular correlation function: one very long kernel.
+fn tpacf(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("tpacf", KernelClass::Medium, gpu);
+    b.push_cpu(us(8_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 4 * MB);
+    b.push_launch(k[0]);
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 1 * MB);
+    b.push_cpu(us(2_000));
+    b.build()
+}
+
+/// Sparse matrix-vector product: 50 short kernels.
+fn spmv(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("spmv", KernelClass::Short, gpu);
+    b.push_cpu(us(300));
+    b.push_copy(crate::CopyDirection::HostToDevice, 2 * MB);
+    for _ in 0..50 {
+        b.push_launch(k[0]);
+        b.push_cpu(us(10));
+    }
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 512 * KB);
+    b.push_cpu(us(200));
+    b.build()
+}
+
+/// MRI Q-matrix computation: one setup kernel, two main kernels.
+fn mri_q(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("mri-q", KernelClass::Short, gpu);
+    let (compute_q, phi_mag) = (k[0], k[1]);
+    b.push_cpu(us(1_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 3 * MB);
+    b.push_launch(phi_mag);
+    b.push_launch(compute_q);
+    b.push_cpu(us(200));
+    b.push_launch(compute_q);
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 2 * MB);
+    b.push_cpu(us(500));
+    b.build()
+}
+
+/// Sum of absolute differences (video encoding): CPU-heavy with three kernels.
+fn sad(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("sad", KernelClass::Long, gpu);
+    let (calc8, calc16, mb_calc) = (k[0], k[1], k[2]);
+    b.push_cpu(us(150_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 1 * MB);
+    b.push_launch(mb_calc);
+    b.push_launch(calc8);
+    b.push_launch(calc16);
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 8 * MB);
+    b.push_cpu(us(30_000));
+    b.build()
+}
+
+/// Dense matrix multiply: a single kernel.
+fn sgemm(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("sgemm", KernelClass::Short, gpu);
+    b.push_cpu(us(400));
+    b.push_copy(crate::CopyDirection::HostToDevice, 10 * MB);
+    b.push_launch(k[0]);
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 5 * MB);
+    b.push_cpu(us(200));
+    b.build()
+}
+
+/// 7-point 3D stencil: 100 iterations of one kernel.
+fn stencil(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("stencil", KernelClass::Long, gpu);
+    b.push_cpu(us(1_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 8 * MB);
+    for _ in 0..100 {
+        b.push_launch(k[0]);
+        b.push_cpu(us(20));
+    }
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 8 * MB);
+    b.push_cpu(us(500));
+    b.build()
+}
+
+/// Cutoff Coulombic potential: 11 medium kernels with CPU work in between.
+fn cutcp(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("cutcp", KernelClass::Medium, gpu);
+    b.push_cpu(us(5_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 512 * KB);
+    for _ in 0..11 {
+        b.push_launch(k[0]);
+        b.push_cpu(us(300));
+    }
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 4 * MB);
+    b.push_cpu(us(3_000));
+    b.build()
+}
+
+/// MRI gridding: binning, a sort pipeline and one very long gridding kernel.
+fn mri_gridding(gpu: &GpuConfig) -> BenchmarkTrace {
+    let (mut b, k) = builder("mri-gridding", KernelClass::Long, gpu);
+    let (binning, scan_inter1, scan_l1, uniform_add, reorder, split_sort, gridding, split_rearrange, scan_inter2) =
+        (k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7], k[8]);
+    b.push_cpu(us(10_000));
+    b.push_copy(crate::CopyDirection::HostToDevice, 30 * MB);
+    b.push_launch(binning);
+    // Seven rounds of the split-sort pipeline.
+    for _ in 0..7 {
+        b.push_launch(split_sort);
+        b.push_launch(scan_l1);
+        b.push_launch(scan_inter1);
+        b.push_launch(scan_inter2);
+        b.push_launch(uniform_add);
+        b.push_launch(split_rearrange);
+        b.push_cpu(us(100));
+    }
+    b.push_launch(reorder);
+    // Final scan round (brings scan_L1/uniformAdd to 8 launches).
+    b.push_launch(scan_l1);
+    b.push_launch(scan_inter1);
+    b.push_launch(scan_inter2);
+    b.push_launch(uniform_add);
+    // Ninth launch of the inter-block scans.
+    b.push_launch(scan_inter1);
+    b.push_launch(scan_inter2);
+    b.push_cpu(us(500));
+    b.push_launch(gridding);
+    b.push_sync();
+    b.push_copy(crate::CopyDirection::DeviceToHost, 25 * MB);
+    b.push_cpu(us(5_000));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    #[test]
+    fn table_has_24_kernels_and_10_benchmarks() {
+        assert_eq!(TABLE1.len(), 24);
+        assert_eq!(suite(&gpu()).len(), 10);
+        for name in BENCHMARK_NAMES {
+            assert!(!rows_of(name).is_empty(), "missing rows for {name}");
+        }
+    }
+
+    #[test]
+    fn reconstructed_blocks_per_sm_matches_table1() {
+        for row in TABLE1 {
+            let got = row.footprint().max_blocks_per_sm(&gpu());
+            assert_eq!(
+                got, row.blocks_per_sm,
+                "{}::{} expected {} blocks/SM, got {got}",
+                row.benchmark, row.kernel, row.blocks_per_sm
+            );
+        }
+    }
+
+    #[test]
+    fn launch_counts_match_table1() {
+        let g = gpu();
+        for name in BENCHMARK_NAMES {
+            let trace = benchmark(name, &g).unwrap();
+            for (i, row) in rows_of(name).iter().enumerate() {
+                assert_eq!(
+                    trace.launches_of(i) as u32,
+                    row.launches,
+                    "{}::{} launch count",
+                    name,
+                    row.kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_validates() {
+        let g = gpu();
+        for trace in suite(&g) {
+            trace.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn kernel_times_are_preserved() {
+        let g = gpu();
+        for row in TABLE1 {
+            let spec = row.spec(&g);
+            let est = spec.isolated_time_on(&g, g.n_sms).as_micros_f64();
+            let rel = (est - row.kernel_time_us).abs() / row.kernel_time_us;
+            assert!(
+                rel < 0.02,
+                "{}::{}: measured {} vs simulated {est}",
+                row.benchmark,
+                row.kernel,
+                row.kernel_time_us
+            );
+        }
+    }
+
+    #[test]
+    fn context_save_times_match_table1() {
+        // Spot-check the "Save Time" column for a few kernels.
+        let g = gpu();
+        let expect = [
+            ("lbm", "StreamCollide", 16.20),
+            ("histo", "final", 14.59),
+            ("sgemm", "mysgemmNT", 16.13),
+            ("spmv", "spmv_jds", 3.71),
+            ("mri-gridding", "gridding_GPU", 10.08),
+            ("stencil", "block2D_reg_tiling", 10.50),
+        ];
+        for (bench, kernel, want) in expect {
+            let row = TABLE1
+                .iter()
+                .find(|r| r.benchmark == bench && r.kernel == kernel)
+                .unwrap();
+            let fp = row.footprint();
+            let save = fp
+                .context_save_time(&g, fp.max_blocks_per_sm(&g))
+                .as_micros_f64();
+            assert!(
+                (save - want).abs() < 0.25,
+                "{bench}::{kernel} save time {save} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn app_classes_match_table1() {
+        let g = gpu();
+        let expect = [
+            ("lbm", KernelClass::Long),
+            ("histo", KernelClass::Medium),
+            ("tpacf", KernelClass::Medium),
+            ("spmv", KernelClass::Short),
+            ("mri-q", KernelClass::Short),
+            ("sad", KernelClass::Long),
+            ("sgemm", KernelClass::Short),
+            ("stencil", KernelClass::Long),
+            ("cutcp", KernelClass::Medium),
+            ("mri-gridding", KernelClass::Long),
+        ];
+        for (name, class) in expect {
+            assert_eq!(benchmark(name, &g).unwrap().app_class(), class, "{name}");
+        }
+    }
+
+    #[test]
+    fn kernel_classes_match_table1() {
+        let g = gpu();
+        let expect = [
+            ("lbm", KernelClass::Medium),
+            ("histo", KernelClass::Short),
+            ("tpacf", KernelClass::Long),
+            ("spmv", KernelClass::Short),
+            ("mri-q", KernelClass::Medium),
+            ("sad", KernelClass::Long),
+            ("sgemm", KernelClass::Medium),
+            ("stencil", KernelClass::Medium),
+            ("cutcp", KernelClass::Medium),
+            ("mri-gridding", KernelClass::Long),
+        ];
+        for (name, class) in expect {
+            assert_eq!(benchmark(name, &g).unwrap().kernel_class(), class, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(benchmark("bfs", &gpu()).is_none());
+    }
+
+    #[test]
+    fn long_apps_are_longer_than_short_apps() {
+        let g = gpu();
+        let time = |name: &str| benchmark(name, &g).unwrap().gpu_kernel_time(&g);
+        assert!(time("lbm") > time("spmv") * 10);
+        assert!(time("mri-gridding") > time("sgemm") * 10);
+    }
+}

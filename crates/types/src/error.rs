@@ -1,0 +1,129 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable reason the configuration is invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// An error raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration was rejected.
+    Config(ConfigError),
+    /// A workload or trace was malformed (e.g. empty, or a kernel that can
+    /// never fit on an SM).
+    InvalidWorkload(String),
+    /// The simulation reached an internal inconsistency. This indicates a
+    /// bug in the simulator rather than bad user input.
+    Internal(String),
+    /// The simulation exceeded the configured event budget without
+    /// completing (a livelock / starvation guard).
+    EventBudgetExceeded {
+        /// The number of events that were processed before giving up.
+        processed: u64,
+    },
+}
+
+impl SimError {
+    /// Creates an [`SimError::InvalidWorkload`] error.
+    pub fn invalid_workload(message: impl Into<String>) -> Self {
+        SimError::InvalidWorkload(message.into())
+    }
+
+    /// Creates an [`SimError::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        SimError::Internal(message.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            SimError::Internal(m) => write!(f, "internal simulator error: {m}"),
+            SimError::EventBudgetExceeded { processed } => write!(
+                f,
+                "simulation did not finish within the event budget ({processed} events processed)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_displays_message() {
+        let e = ConfigError::new("no SMs");
+        assert_eq!(e.to_string(), "invalid configuration: no SMs");
+        assert_eq!(e.message(), "no SMs");
+    }
+
+    #[test]
+    fn sim_error_wraps_config_error() {
+        let e: SimError = ConfigError::new("bad").into();
+        assert!(matches!(e, SimError::Config(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn sim_error_display_variants() {
+        assert!(SimError::invalid_workload("empty")
+            .to_string()
+            .contains("invalid workload"));
+        assert!(SimError::internal("oops").to_string().contains("internal"));
+        assert!(SimError::EventBudgetExceeded { processed: 10 }
+            .to_string()
+            .contains("10 events"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Forward progress next to a persistent kernel.
+//!
+//! The paper's second motivation (§2.4): applications written in the
+//! persistent-threads style occupy the GPU with a single enormous kernel, so
+//! on current (FCFS, non-preemptive) hardware any other process starves
+//! until it finishes. With the preemption mechanisms and the DSS policy the
+//! short process keeps making progress.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example persistent_kernel
+//! ```
+
+use gpreempt::report::TextTable;
+use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
+use gpreempt_trace::{parboil, BenchmarkTrace, KernelSpec, ProcessSpec, Workload};
+use gpreempt_types::{KernelFootprint, SimTime};
+
+/// A persistent-threads style application: one kernel whose thread blocks
+/// keep the whole GPU busy for a very long time.
+fn persistent_app() -> BenchmarkTrace {
+    BenchmarkTrace::builder("persistent")
+        .kernel(KernelSpec::new(
+            "persistent_worker",
+            KernelFootprint::new(8_192, 0, 256),
+            20_800, // 200 waves of the whole GPU
+            SimTime::from_micros(500),
+        ))
+        .launch(0)
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimulatorConfig::default();
+    let sim = Simulator::new(config.clone());
+    let gpu = &config.machine.gpu;
+
+    let victim = parboil::benchmark("spmv", gpu).expect("spmv");
+    let workload = Workload::new(
+        "persistent-vs-spmv",
+        vec![
+            ProcessSpec::new(persistent_app()),
+            ProcessSpec::new(victim),
+        ],
+    )
+    .with_min_completions(1);
+
+    let isolated = sim.isolated_times(&workload)?;
+    let mut table = TextTable::new(vec![
+        "policy".into(),
+        "spmv turnaround (ms)".into(),
+        "spmv slowdown".into(),
+        "fairness".into(),
+    ])
+    .with_title("A short application co-scheduled with a persistent kernel");
+
+    for policy in [PolicyKind::Fcfs, PolicyKind::Dss] {
+        let run = sim.run(&workload, policy)?;
+        let metrics = run.metrics(&isolated)?;
+        let spmv_turnaround = run.mean_turnaround(gpreempt_types::ProcessId::new(1));
+        table.add_row(vec![
+            policy.label().to_string(),
+            format!("{:.2}", spmv_turnaround.as_millis_f64()),
+            format!("{:.1}x", metrics.ntt()[1]),
+            format!("{:.3}", metrics.fairness()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Under FCFS the short application cannot start until the persistent");
+    println!("kernel finishes; DSS preempts part of the GPU and lets it run.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate two applications sharing the GPU and compare the
+//! FCFS baseline with Dynamic Spatial Sharing.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpreempt::report::TextTable;
+use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
+use gpreempt_trace::{parboil, ProcessSpec, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The default configuration is the paper's Table 2 machine: a 13-SM,
+    // GK110-like GPU behind a PCIe 2.0 bus.
+    let config = SimulatorConfig::default();
+    let sim = Simulator::new(config.clone());
+    let gpu = &config.machine.gpu;
+
+    // Co-schedule a short application (spmv) with a longer one (sgemm).
+    let workload = Workload::new(
+        "quickstart",
+        vec![
+            ProcessSpec::new(parboil::benchmark("spmv", gpu).expect("spmv")),
+            ProcessSpec::new(parboil::benchmark("sgemm", gpu).expect("sgemm")),
+        ],
+    )
+    .with_min_completions(3);
+
+    // Isolated execution times are the reference every metric is normalised
+    // to.
+    let isolated = sim.isolated_times(&workload)?;
+    println!("isolated execution times:");
+    for (spec, time) in workload.processes().iter().zip(&isolated) {
+        println!("  {:<12} {:>10.3} ms", spec.benchmark.name(), time.as_millis_f64());
+    }
+    println!();
+
+    let mut table = TextTable::new(vec![
+        "policy".into(),
+        "ANTT".into(),
+        "STP".into(),
+        "fairness".into(),
+        "preemptions".into(),
+    ])
+    .with_title("Two-process workload: FCFS baseline vs Dynamic Spatial Sharing");
+
+    for policy in [PolicyKind::Fcfs, PolicyKind::Dss] {
+        let run = sim.run(&workload, policy)?;
+        let metrics = run.metrics(&isolated)?;
+        table.add_row(vec![
+            policy.label().to_string(),
+            format!("{:.2}", metrics.antt()),
+            format!("{:.2}", metrics.stp()),
+            format!("{:.2}", metrics.fairness()),
+            run.engine_stats().preemptions.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("DSS trades a little throughput (STP) for a better average");
+    println!("turnaround time and fairness, by dynamically partitioning the");
+    println!("13 SMs between the two processes and preempting when needed.");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 1 of the paper: per-kernel statistics of the Parboil
+//! benchmarks, with the derived columns (thread blocks per SM, on-chip
+//! resource use, projected context-save time) recomputed from the GK110
+//! configuration and the context-switch cost model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+
+use gpreempt::experiments::Table1;
+use gpreempt::SimulatorConfig;
+
+fn main() {
+    let table = Table1::generate(&SimulatorConfig::default());
+    println!("{}", table.render().render());
+
+    let mismatches = table.blocks_per_sm_mismatches();
+    if mismatches.is_empty() {
+        println!("every recomputed 'TBs/SM' value matches the published Table 1 column");
+    } else {
+        println!("recomputed 'TBs/SM' differs from the paper for: {mismatches:?}");
+    }
+}

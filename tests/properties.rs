@@ -1,0 +1,312 @@
+//! Property-based tests over the core data structures and the execution
+//! engine's invariants.
+
+use gpreempt_gpu::{
+    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism, SmState,
+};
+use gpreempt_metrics::WorkloadMetrics;
+use gpreempt_sim::{EventQueue, SimRng};
+use gpreempt_trace::KernelSpec;
+use gpreempt_types::{
+    CommandId, GpuConfig, KernelFootprint, KernelLaunchId, PreemptionConfig, Priority, ProcessId,
+    SimTime,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// SimTime
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simtime_subtraction_saturates(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        let diff = ta - tb;
+        prop_assert_eq!(diff.as_nanos(), a.saturating_sub(b));
+        // Subtraction never panics and never goes "negative".
+        prop_assert!(diff <= ta);
+    }
+
+    #[test]
+    fn simtime_add_then_sub_round_trips(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+    }
+
+    #[test]
+    fn simtime_ratio_and_scale_are_consistent(a in 1u64..1_000_000_000u64, f in 0.01f64..100.0) {
+        let t = SimTime::from_nanos(a);
+        let scaled = t.scale(f);
+        let ratio = scaled.ratio(t);
+        // scale followed by ratio recovers the factor (up to rounding).
+        prop_assert!((ratio - f).abs() <= f * 0.01 + 1.0 / a as f64);
+    }
+
+    #[test]
+    fn simtime_ordering_matches_raw(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(SimTime::from_nanos(a).cmp(&SimTime::from_nanos(b)), a.cmp(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_is_fifo_for_equal_times(count in 1usize..200) {
+        let mut q = EventQueue::new();
+        for i in 0..count {
+            q.schedule(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KernelFootprint / occupancy
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn occupancy_never_exceeds_the_sm(
+        regs in 0u32..70_000,
+        smem in 0u32..50_000,
+        threads in 1u32..1_100,
+    ) {
+        let gpu = GpuConfig::default();
+        let fp = KernelFootprint::new(regs, smem, threads);
+        let blocks = fp.max_blocks_per_sm(&gpu);
+        prop_assert!(blocks <= gpu.max_blocks_per_sm);
+        if blocks > 0 {
+            // The resident blocks respect every hardware limit.
+            prop_assert!(blocks * regs <= gpu.registers_per_sm || regs == 0);
+            prop_assert!(blocks * threads <= gpu.max_threads_per_sm);
+            prop_assert!(u64::from(blocks) * u64::from(smem) <= gpu.max_shared_mem.bytes() || smem == 0);
+            // On-chip occupancy at full residency stays within the SM.
+            prop_assert!(fp.on_chip_occupancy(&gpu, blocks) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_resources_per_block_means_fewer_blocks(
+        regs in 1u32..60_000,
+        extra in 1u32..10_000,
+    ) {
+        let gpu = GpuConfig::default();
+        let small = KernelFootprint::new(regs, 0, 128);
+        let big = KernelFootprint::new(regs.saturating_add(extra), 0, 128);
+        prop_assert!(big.max_blocks_per_sm(&gpu) <= small.max_blocks_per_sm(&gpu));
+    }
+
+    #[test]
+    fn save_time_scales_linearly_with_blocks(
+        regs in 1u32..20_000,
+        smem in 0u32..8_000,
+        blocks in 1u32..16,
+    ) {
+        let gpu = GpuConfig::default();
+        let fp = KernelFootprint::new(regs, smem, 64);
+        let one = fp.context_save_time(&gpu, 1).as_nanos() as f64;
+        let many = fp.context_save_time(&gpu, blocks).as_nanos() as f64;
+        prop_assert!((many - one * blocks as f64).abs() <= blocks as f64 * 2.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metrics_invariants_hold(
+        pairs in prop::collection::vec((1u64..1_000_000u64, 1u64..1_000_000u64), 1..9)
+    ) {
+        let isolated: Vec<SimTime> = pairs.iter().map(|(i, _)| SimTime::from_micros(*i)).collect();
+        let multi: Vec<SimTime> = pairs
+            .iter()
+            .map(|(i, extra)| SimTime::from_micros(i + extra))
+            .collect();
+        let m = WorkloadMetrics::from_times(&isolated, &multi).unwrap();
+        // Multiprogrammed runs are never faster than isolated ones here.
+        prop_assert!(m.antt() >= 1.0 - 1e-12);
+        prop_assert!(m.stp() <= pairs.len() as f64 + 1e-9);
+        prop_assert!(m.stp() > 0.0);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&m.fairness()));
+        prop_assert_eq!(m.ntt().len(), pairs.len());
+    }
+
+    #[test]
+    fn metrics_are_permutation_invariant(
+        pairs in prop::collection::vec((1u64..100_000u64, 1u64..100_000u64), 2..8)
+    ) {
+        let isolated: Vec<SimTime> = pairs.iter().map(|(i, _)| SimTime::from_micros(*i)).collect();
+        let multi: Vec<SimTime> = pairs.iter().map(|(_, m)| SimTime::from_micros(*m)).collect();
+        let forward = WorkloadMetrics::from_times(&isolated, &multi).unwrap();
+        let rev_iso: Vec<SimTime> = isolated.iter().rev().copied().collect();
+        let rev_multi: Vec<SimTime> = multi.iter().rev().copied().collect();
+        let reversed = WorkloadMetrics::from_times(&rev_iso, &rev_multi).unwrap();
+        prop_assert!((forward.antt() - reversed.antt()).abs() < 1e-9);
+        prop_assert!((forward.stp() - reversed.stp()).abs() < 1e-9);
+        prop_assert!((forward.fairness() - reversed.fairness()).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine: every block executes exactly once, whatever the policy
+// does with assignments and preemptions.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandomKernel {
+    blocks: u32,
+    block_us: u64,
+    regs: u32,
+    process: u32,
+}
+
+fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
+    (1u32..120, 1u64..40, 512u32..20_000, 0u32..4).prop_map(|(blocks, block_us, regs, process)| {
+        RandomKernel {
+            blocks,
+            block_us,
+            regs,
+            process,
+        }
+    })
+}
+
+/// Drives the engine with a deliberately chaotic "policy": idle SMs are
+/// handed to a pseudo-random active kernel and every few block completions a
+/// random running SM is preempted in favour of a random kernel. Whatever the
+/// schedule, every submitted block must execute exactly once and the engine
+/// must end up empty.
+///
+/// The number of preemptions is capped: an adversary that preempts on almost
+/// every event can thrash forever (each context-switch restore adds latency
+/// faster than blocks accumulate progress), which is a property of
+/// preemption itself, not an engine bug. The cap keeps the run terminating
+/// while still exercising hundreds of preemptions.
+fn run_chaos(kernels: &[RandomKernel], mechanism: PreemptionMechanism, seed: u64) -> (u64, u64) {
+    let mut params = EngineParams::default();
+    params.block_time_jitter = 0.1;
+    let mut engine = ExecutionEngine::new(
+        GpuConfig::default(),
+        PreemptionConfig::default(),
+        mechanism,
+        params,
+        SimRng::new(seed),
+    );
+    let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    let mut chaos = SimRng::new(seed ^ 0xDEAD_BEEF);
+    let total_blocks: u64 = kernels.iter().map(|k| k.blocks as u64).sum();
+
+    for (i, k) in kernels.iter().enumerate() {
+        let launch = KernelLaunch::new(
+            KernelLaunchId::new(i as u64),
+            CommandId::new(i as u64),
+            ProcessId::new(k.process),
+            Priority::NORMAL,
+            KernelSpec::new(
+                format!("k{i}"),
+                KernelFootprint::new(k.regs, 0, 128),
+                k.blocks,
+                SimTime::from_micros(k.block_us),
+            ),
+        );
+        engine.submit(launch, SimTime::ZERO);
+    }
+
+    let mut steps: u64 = 0;
+    loop {
+        // Simple chaotic policy: give idle SMs to random needy kernels.
+        let now = queue.now();
+        engine.check_invariants().expect("invariants");
+        let needy: Vec<_> = engine
+            .active_kernels()
+            .into_iter()
+            .filter(|&k| engine.kernel(k).map(|s| s.has_blocks_to_issue()).unwrap_or(false))
+            .collect();
+        if !needy.is_empty() {
+            for sm in engine.idle_sms() {
+                let target = needy[chaos.next_index(needy.len())];
+                engine.assign_sm(now, sm, target);
+            }
+            // Occasionally preempt a running SM for a random kernel (capped
+            // so the run always makes forward progress).
+            if engine.stats().preemptions < 150 && chaos.chance(0.25) {
+                let running: Vec<_> = engine
+                    .sm_ids()
+                    .filter(|&sm| engine.sm(sm).state() == SmState::Running)
+                    .collect();
+                if !running.is_empty() {
+                    let victim = running[chaos.next_index(running.len())];
+                    let target = needy[chaos.next_index(needy.len())];
+                    engine.preempt_sm(now, victim, target);
+                }
+            }
+        }
+        for (t, ev) in engine.take_scheduled() {
+            queue.schedule(t, ev);
+        }
+        let _ = engine.take_hooks();
+        let _ = engine.take_completions();
+
+        let Some((t, ev)) = queue.pop() else { break };
+        engine.handle(t, ev);
+        steps += 1;
+        assert!(steps < 200_000, "chaos run did not terminate");
+    }
+    engine.check_invariants().expect("final invariants");
+    assert!(engine.is_empty(), "engine should be drained");
+    (engine.stats().blocks_completed, total_blocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaos_scheduling_never_loses_or_duplicates_blocks_context_switch(
+        kernels in prop::collection::vec(random_kernel_strategy(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let (completed, expected) = run_chaos(&kernels, PreemptionMechanism::ContextSwitch, seed);
+        prop_assert_eq!(completed, expected);
+    }
+
+    #[test]
+    fn chaos_scheduling_never_loses_or_duplicates_blocks_draining(
+        kernels in prop::collection::vec(random_kernel_strategy(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let (completed, expected) = run_chaos(&kernels, PreemptionMechanism::Draining, seed);
+        prop_assert_eq!(completed, expected);
+    }
+}

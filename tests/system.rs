@@ -1,0 +1,202 @@
+//! End-to-end integration tests: full host + PCIe + execution engine +
+//! policy simulations of Parboil workloads.
+//!
+//! Debug-mode friendly: the workloads below avoid the largest traces
+//! (lbm, sad, mri-gridding) so the whole file runs in seconds.
+
+use gpreempt::{PolicyKind, SimulationRun, Simulator, SimulatorConfig};
+use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_trace::{parboil, ProcessSpec, Workload};
+use gpreempt_types::{GpuConfig, Priority, ProcessId, SimTime};
+
+fn workload(names: &[&str], min_completions: u32) -> Workload {
+    let gpu = GpuConfig::default();
+    let processes = names
+        .iter()
+        .map(|n| ProcessSpec::new(parboil::benchmark(n, &gpu).unwrap()))
+        .collect();
+    Workload::new(format!("{names:?}"), processes).with_min_completions(min_completions)
+}
+
+fn prioritized_workload(names: &[&str], high: usize, min_completions: u32) -> Workload {
+    let gpu = GpuConfig::default();
+    let processes = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let spec = ProcessSpec::new(parboil::benchmark(n, &gpu).unwrap());
+            if i == high {
+                spec.with_priority(Priority::HIGH)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    Workload::new(format!("{names:?}+hp{high}"), processes).with_min_completions(min_completions)
+}
+
+fn run(workload: &Workload, policy: PolicyKind, mechanism: PreemptionMechanism) -> SimulationRun {
+    let sim = Simulator::new(SimulatorConfig::default().with_mechanism(mechanism));
+    sim.run(workload, policy).expect("simulation completes")
+}
+
+#[test]
+fn every_policy_completes_a_four_process_workload() {
+    let w = workload(&["spmv", "sgemm", "mri-q", "histo"], 1);
+    for policy in PolicyKind::all() {
+        for mechanism in PreemptionMechanism::all() {
+            let result = run(&w, policy, mechanism);
+            assert_eq!(result.iterations().len(), 4, "{policy} {mechanism}");
+            for (p, iters) in result.iterations().iter().enumerate() {
+                assert!(
+                    !iters.is_empty(),
+                    "{policy} {mechanism}: process {p} never completed"
+                );
+                for it in iters {
+                    assert!(it.finished > it.started, "turnaround must be positive");
+                }
+            }
+            assert!(result.end_time() > SimTime::ZERO);
+            // Non-preemptive policies must never preempt.
+            if !policy.is_preemptive() {
+                assert_eq!(result.engine_stats().preemptions, 0, "{policy} preempted");
+            }
+        }
+    }
+}
+
+#[test]
+fn isolated_times_reflect_application_length() {
+    let sim = Simulator::new(SimulatorConfig::default());
+    let gpu = GpuConfig::default();
+    let time = |name: &str| {
+        sim.isolated_time(&parboil::benchmark(name, &gpu).unwrap())
+            .unwrap()
+    };
+    let spmv = time("spmv");
+    let sgemm = time("sgemm");
+    let mri_q = time("mri-q");
+    let histo = time("histo");
+    let cutcp = time("cutcp");
+    let tpacf = time("tpacf");
+    let stencil = time("stencil");
+    // SHORT-class applications are the fastest...
+    assert!(spmv < histo && sgemm < histo && mri_q < histo);
+    // ... MEDIUM-class applications sit in the middle ...
+    assert!(histo < stencil && cutcp < stencil && tpacf < stencil);
+    // ... and a LONG-class application dominates everything here.
+    assert!(stencil > tpacf * 5);
+    // Sanity: stencil's GPU-kernel content alone is ~222ms.
+    assert!(stencil > SimTime::from_millis(200));
+}
+
+#[test]
+fn fcfs_serialises_processes_but_dss_overlaps_them() {
+    let w = workload(&["sgemm", "sgemm"], 1);
+    let fcfs = run(&w, PolicyKind::Fcfs, PreemptionMechanism::ContextSwitch);
+    let dss = run(&w, PolicyKind::Dss, PreemptionMechanism::ContextSwitch);
+
+    // Under FCFS the two identical kernels execute one after the other, so
+    // one process's turnaround is clearly longer than the other's.
+    let fcfs_t0 = fcfs.mean_turnaround(ProcessId::new(0));
+    let fcfs_t1 = fcfs.mean_turnaround(ProcessId::new(1));
+    let slower = fcfs_t0.max(fcfs_t1);
+    let faster = fcfs_t0.min(fcfs_t1);
+    assert!(
+        slower.as_micros_f64() > faster.as_micros_f64() * 1.3,
+        "FCFS should serialise the GPU phases: {faster} vs {slower}"
+    );
+
+    // DSS splits the SMs, so the two processes finish much closer together.
+    let dss_t0 = dss.mean_turnaround(ProcessId::new(0));
+    let dss_t1 = dss.mean_turnaround(ProcessId::new(1));
+    let ratio = dss_t0.max(dss_t1).ratio(dss_t0.min(dss_t1));
+    assert!(ratio < 1.3, "DSS should balance the processes, ratio {ratio}");
+}
+
+#[test]
+fn ppq_prioritisation_helps_the_high_priority_process() {
+    let names = ["histo", "tpacf", "cutcp", "sgemm"];
+    // sgemm (index 3) is the latency-sensitive process.
+    let w = prioritized_workload(&names, 3, 2);
+    let sim = Simulator::new(SimulatorConfig::default());
+    let isolated = sim.isolated_times(&w).unwrap();
+
+    let fcfs = run(&w, PolicyKind::Fcfs, PreemptionMechanism::ContextSwitch);
+    let npq = run(&w, PolicyKind::Npq, PreemptionMechanism::ContextSwitch);
+    let ppq = run(&w, PolicyKind::PpqExclusive, PreemptionMechanism::ContextSwitch);
+
+    let ntt = |r: &SimulationRun| r.metrics(&isolated).unwrap().ntt()[3];
+    let (ntt_fcfs, ntt_npq, ntt_ppq) = (ntt(&fcfs), ntt(&npq), ntt(&ppq));
+    // Prioritisation monotonically improves the prioritised process.
+    assert!(
+        ntt_ppq <= ntt_npq * 1.05,
+        "PPQ ({ntt_ppq:.2}) should not be worse than NPQ ({ntt_npq:.2})"
+    );
+    assert!(
+        ntt_ppq < ntt_fcfs,
+        "PPQ ({ntt_ppq:.2}) should beat FCFS ({ntt_fcfs:.2})"
+    );
+    assert!(ppq.engine_stats().preemptions > 0, "PPQ should have preempted");
+}
+
+#[test]
+fn draining_never_saves_context_and_context_switch_does() {
+    let w = workload(&["sgemm", "mri-q", "spmv", "histo"], 1);
+    let cs = run(&w, PolicyKind::Dss, PreemptionMechanism::ContextSwitch);
+    let drain = run(&w, PolicyKind::Dss, PreemptionMechanism::Draining);
+    assert_eq!(drain.engine_stats().blocks_saved, 0);
+    assert_eq!(drain.engine_stats().save_time, SimTime::ZERO);
+    if cs.engine_stats().preemptions > 0 {
+        assert!(cs.engine_stats().blocks_saved > 0);
+        assert!(cs.engine_stats().save_time > SimTime::ZERO);
+    }
+}
+
+#[test]
+fn kernel_completions_match_trace_launch_counts() {
+    let w = workload(&["mri-q", "spmv"], 1);
+    let result = run(&w, PolicyKind::Dss, PreemptionMechanism::ContextSwitch);
+    // Every completed iteration of a process must have executed all of the
+    // trace's kernel launches; in-flight extra iterations may add more.
+    let min_expected: usize = w
+        .processes()
+        .iter()
+        .zip(result.iterations())
+        .map(|(spec, iters)| spec.benchmark.launch_count() * iters.len())
+        .sum();
+    assert!(result.kernel_completions().len() >= min_expected);
+    for completion in result.kernel_completions() {
+        assert!(completion.started_at <= completion.finished_at);
+    }
+}
+
+#[test]
+fn stp_never_exceeds_process_count_and_antt_never_below_one() {
+    let w = workload(&["spmv", "sgemm", "cutcp"], 1);
+    let sim = Simulator::new(SimulatorConfig::default());
+    let isolated = sim.isolated_times(&w).unwrap();
+    for policy in [PolicyKind::Fcfs, PolicyKind::Npq, PolicyKind::Dss] {
+        let result = run(&w, policy, PreemptionMechanism::ContextSwitch);
+        let m = result.metrics(&isolated).unwrap();
+        assert!(m.stp() <= 3.0 + 1e-6, "{policy}: STP {}", m.stp());
+        assert!(m.antt() >= 0.99, "{policy}: ANTT {}", m.antt());
+        assert!((0.0..=1.0 + 1e-9).contains(&m.fairness()));
+    }
+}
+
+#[test]
+fn seeds_change_jitter_but_not_feasibility() {
+    let w = workload(&["spmv", "mri-q"], 1);
+    let a = Simulator::new(SimulatorConfig::default().with_seed(1))
+        .run(&w, PolicyKind::Dss)
+        .unwrap();
+    let b = Simulator::new(SimulatorConfig::default().with_seed(2))
+        .run(&w, PolicyKind::Dss)
+        .unwrap();
+    // Different seeds jitter block times, so end times differ slightly, but
+    // both runs complete all work.
+    assert!(a.end_time() > SimTime::ZERO && b.end_time() > SimTime::ZERO);
+    let rel = a.end_time().ratio(b.end_time());
+    assert!((0.8..1.25).contains(&rel), "seed changed results too much: {rel}");
+}
