@@ -48,7 +48,9 @@ fn ablate_pipeline_drain(c: &mut Criterion) {
 
 fn ablate_block_jitter(c: &mut Criterion) {
     let mut table = TextTable::new(vec!["jitter".into(), "ANTT".into(), "preemptions".into()])
-        .with_title("Ablation: per-thread-block execution-time jitter (DSS, representative workload)");
+        .with_title(
+            "Ablation: per-thread-block execution-time jitter (DSS, representative workload)",
+        );
     for jitter in [0.0f64, 0.05, 0.1, 0.2, 0.4] {
         let mut config = SimulatorConfig::default();
         config.engine.block_time_jitter = jitter;
@@ -63,7 +65,9 @@ fn ablate_block_jitter(c: &mut Criterion) {
 
     let mut config = SimulatorConfig::default();
     config.engine.block_time_jitter = 0.2;
-    c.bench_function("ablation/jitter_0_2", |b| b.iter(|| run_with(black_box(&config))));
+    c.bench_function("ablation/jitter_0_2", |b| {
+        b.iter(|| run_with(black_box(&config)))
+    });
 }
 
 fn ablate_sm_setup_time(c: &mut Criterion) {
@@ -87,8 +91,15 @@ fn ablate_sm_setup_time(c: &mut Criterion) {
 
     let mut config = SimulatorConfig::default();
     config.engine.sm_setup_time = SimTime::from_micros(5);
-    c.bench_function("ablation/setup_5us", |b| b.iter(|| run_with(black_box(&config))));
+    c.bench_function("ablation/setup_5us", |b| {
+        b.iter(|| run_with(black_box(&config)))
+    });
 }
 
-criterion_group!(benches, ablate_pipeline_drain, ablate_block_jitter, ablate_sm_setup_time);
+criterion_group!(
+    benches,
+    ablate_pipeline_drain,
+    ablate_block_jitter,
+    ablate_sm_setup_time
+);
 criterion_main!(benches);

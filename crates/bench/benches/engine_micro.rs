@@ -2,9 +2,7 @@
 //! throughput, preemption operations and the scheduling-framework state.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gpreempt_gpu::{
-    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism,
-};
+use gpreempt_gpu::{EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism};
 use gpreempt_sim::{EventQueue, SimRng};
 use gpreempt_trace::KernelSpec;
 use gpreempt_types::{
@@ -138,7 +136,12 @@ fn bench_framework_queries(c: &mut Criterion) {
             let needy = engine
                 .active_kernels()
                 .into_iter()
-                .filter(|&k| engine.kernel(k).map(|s| s.has_blocks_to_issue()).unwrap_or(false))
+                .filter(|&k| {
+                    engine
+                        .kernel(k)
+                        .map(|s| s.has_blocks_to_issue())
+                        .unwrap_or(false)
+                })
                 .count();
             black_box((idle, needy))
         })

@@ -62,7 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if names.is_empty() {
-        names = vec!["spmv".into(), "sgemm".into(), "histo".into(), "mri-q".into()];
+        names = vec![
+            "spmv".into(),
+            "sgemm".into(),
+            "histo".into(),
+            "mri-q".into(),
+        ];
     }
 
     let config = SimulatorConfig::default()
@@ -75,29 +80,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let benchmark = parboil::benchmark(name, gpu)
-                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let benchmark = parboil::benchmark(name, gpu).ok_or_else(|| {
+                format!(
+                    "unknown benchmark {name}; valid names: {}",
+                    parboil::BENCHMARK_NAMES.join(", ")
+                )
+            })?;
             let spec = ProcessSpec::new(benchmark);
-            if Some(i) == high_priority {
+            Ok(if Some(i) == high_priority {
                 spec.with_priority(Priority::HIGH)
             } else {
                 spec
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, String>>()?;
     let workload = Workload::new(names.join("+"), processes).with_min_completions(completions);
 
-    println!("workload: {}  policy: {}  mechanism: {}", workload.name(), policy, mechanism);
+    println!(
+        "workload: {}  policy: {}  mechanism: {}",
+        workload.name(),
+        policy,
+        mechanism
+    );
     let wall = Instant::now();
     let isolated = sim.isolated_times(&workload)?;
     let run = sim.run(&workload, policy)?;
     let metrics = run.metrics(&isolated)?;
     let wall = wall.elapsed();
 
-    println!("simulated time: {}   events: {}   wall clock: {:.2?}",
-        run.end_time(), run.events_processed(), wall);
-    println!("ANTT {:.3}   STP {:.3}   fairness {:.3}   preemptions {}",
-        metrics.antt(), metrics.stp(), metrics.fairness(), run.engine_stats().preemptions);
+    println!(
+        "simulated time: {}   events: {}   wall clock: {:.2?}",
+        run.end_time(),
+        run.events_processed(),
+        wall
+    );
+    println!(
+        "ANTT {:.3}   STP {:.3}   fairness {:.3}   preemptions {}",
+        metrics.antt(),
+        metrics.stp(),
+        metrics.fairness(),
+        run.engine_stats().preemptions
+    );
     for (i, spec) in workload.processes().iter().enumerate() {
         let p = ProcessId::from(i);
         println!(

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn transfer_policy_matches_paper() {
         assert_eq!(PolicyKind::Npq.transfer_policy(), TransferPolicy::Priority);
-        assert_eq!(PolicyKind::PpqExclusive.transfer_policy(), TransferPolicy::Priority);
+        assert_eq!(
+            PolicyKind::PpqExclusive.transfer_policy(),
+            TransferPolicy::Priority
+        );
         assert_eq!(PolicyKind::Fcfs.transfer_policy(), TransferPolicy::Fcfs);
         assert_eq!(PolicyKind::Dss.transfer_policy(), TransferPolicy::Fcfs);
     }

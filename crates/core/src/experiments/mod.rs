@@ -115,7 +115,8 @@ mod tests {
                 assert!(outcome.antt >= 1.0 - 1e-9);
             }
         }
-        let short = results.fig7a_improvement(Some(KernelClass::Short), 2, SpatialConfig::DssContextSwitch);
+        let short =
+            results.fig7a_improvement(Some(KernelClass::Short), 2, SpatialConfig::DssContextSwitch);
         assert!(short > 0.0);
         assert!(results.fig7b_fairness(2, SpatialConfig::DssContextSwitch) > 0.0);
         assert!(results.fig7c_stp_degradation(2, SpatialConfig::DssContextSwitch) > 0.0);

@@ -8,7 +8,9 @@
 //! preemption mechanisms and both access modes.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+use crate::experiments::common::{
+    mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes,
+};
 use crate::report::{times, TextTable};
 use gpreempt_gpu::PreemptionMechanism;
 use gpreempt_types::{KernelClass, SimError};
@@ -283,9 +285,7 @@ impl PriorityResults {
             "PPQ Context Switch".into(),
             "PPQ Draining".into(),
         ])
-        .with_title(format!(
-            "Figure {which}: STP degradation over NPQ (times)"
-        ));
+        .with_title(format!("Figure {which}: STP degradation over NPQ (times)"));
         for &size in &self.sizes {
             table.add_row(vec![
                 size.to_string(),

@@ -7,7 +7,9 @@
 //! ANTT across workloads.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+use crate::experiments::common::{
+    mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes,
+};
 use crate::report::{times, TextTable};
 use gpreempt_gpu::PreemptionMechanism;
 use gpreempt_types::{KernelClass, SimError};

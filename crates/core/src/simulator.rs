@@ -1,13 +1,11 @@
 //! The whole-system simulator: host + PCIe + execution engine + policy.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use gpreempt_gpu::{
-    EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch,
-};
+use gpreempt_gpu::{EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch};
 use gpreempt_host::{HostEvent, HostSystem, IterationRecord, LaunchRequest};
 use gpreempt_metrics::{ProcessPerformance, WorkloadMetrics};
-use gpreempt_sim::EventQueue;
 use gpreempt_sched::SchedulingPolicy;
+use gpreempt_sim::EventQueue;
 use gpreempt_trace::{BenchmarkTrace, ProcessSpec, Workload};
 use gpreempt_types::{KernelLaunchId, ProcessId, SimError, SimTime};
 
@@ -270,7 +268,8 @@ impl Simulator {
     ///
     /// Propagates any error from [`Simulator::isolated_time`].
     pub fn isolated_times(&self, workload: &Workload) -> Result<Vec<SimTime>, SimError> {
-        let mut cache: std::collections::HashMap<String, SimTime> = std::collections::HashMap::new();
+        let mut cache: std::collections::HashMap<String, SimTime> =
+            std::collections::HashMap::new();
         let mut times = Vec::with_capacity(workload.len());
         for spec in workload.processes() {
             let name = spec.benchmark.name().to_string();
@@ -293,7 +292,7 @@ impl Simulator {
     fn latest_needed_completion(iterations: &[Vec<IterationRecord>], target: u32) -> SimTime {
         iterations
             .iter()
-            .filter_map(|records| records.get(target.saturating_sub(1).max(0) as usize))
+            .filter_map(|records| records.get(target.saturating_sub(1) as usize))
             .map(|r| r.finished)
             .max()
             .unwrap_or(SimTime::ZERO)

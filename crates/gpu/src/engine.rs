@@ -11,9 +11,7 @@ use crate::framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmS
 use crate::launch::{KernelCompletion, KernelLaunch};
 use crate::preempt::{ContextSwitchCost, PreemptionMechanism};
 use gpreempt_sim::SimRng;
-use gpreempt_types::{
-    GpuConfig, KernelLaunchId, PreemptionConfig, SimTime, SmId, ThreadBlockId,
-};
+use gpreempt_types::{GpuConfig, KernelLaunchId, PreemptionConfig, SimTime, SmId, ThreadBlockId};
 use std::collections::VecDeque;
 
 /// Tunable parameters of the engine model that are not part of the paper's
@@ -404,7 +402,9 @@ impl ExecutionEngine {
     pub fn handle(&mut self, now: SimTime, event: EngineEvent) {
         match event {
             EngineEvent::SetupDone { sm, epoch } => self.on_setup_done(now, sm, epoch),
-            EngineEvent::BlockDone { sm, epoch, block } => self.on_block_done(now, sm, epoch, block),
+            EngineEvent::BlockDone { sm, epoch, block } => {
+                self.on_block_done(now, sm, epoch, block)
+            }
             EngineEvent::SaveDone { sm, epoch } => self.on_save_done(now, sm, epoch),
         }
     }
@@ -430,7 +430,9 @@ impl ExecutionEngine {
         self.stats.blocks_completed += 1;
         self.stats.busy_time += finished.duration;
         let kernel_finished = {
-            let k = self.ksrt[ksr.index()].as_mut().expect("current kernel exists");
+            let k = self.ksrt[ksr.index()]
+                .as_mut()
+                .expect("current kernel exists");
             k.note_block_completed();
             k.is_finished()
         };
@@ -474,7 +476,9 @@ impl ExecutionEngine {
             return;
         }
         let (footprint, blocks_per_sm, mean_block_time) = {
-            let k = self.ksrt[ksr.index()].as_ref().expect("current kernel exists");
+            let k = self.ksrt[ksr.index()]
+                .as_ref()
+                .expect("current kernel exists");
             (
                 k.launch().spec.footprint(),
                 k.blocks_per_sm(),
@@ -483,7 +487,8 @@ impl ExecutionEngine {
         };
         let restore = match self.mechanism {
             PreemptionMechanism::ContextSwitch => {
-                ContextSwitchCost::new(&self.gpu, &self.preemption_cfg).restore_time_per_block(&footprint)
+                ContextSwitchCost::new(&self.gpu, &self.preemption_cfg)
+                    .restore_time_per_block(&footprint)
             }
             PreemptionMechanism::Draining => SimTime::ZERO,
         };
@@ -500,7 +505,9 @@ impl ExecutionEngine {
             };
             let duration = match restored_remaining {
                 Some(remaining) => remaining + restore,
-                None => self.rng.jittered(mean_block_time, self.params.block_time_jitter),
+                None => self
+                    .rng
+                    .jittered(mean_block_time, self.params.block_time_jitter),
             };
             let status = &mut self.sms[sm.index()];
             status.resident.push(ResidentBlock {
@@ -566,8 +573,13 @@ impl ExecutionEngine {
     /// assigned or reserved for it, notifies the host side, and admits a
     /// waiting kernel into the freed slot.
     fn finish_kernel(&mut self, now: SimTime, ksr: KsrIndex) {
-        let state = self.ksrt[ksr.index()].take().expect("finishing an active kernel");
-        debug_assert!(state.is_finished(), "kernel finished with unexecuted blocks");
+        let state = self.ksrt[ksr.index()]
+            .take()
+            .expect("finishing an active kernel");
+        debug_assert!(
+            state.is_finished(),
+            "kernel finished with unexecuted blocks"
+        );
         self.stats.kernels_completed += 1;
         let launch = state.launch();
         self.completions.push(KernelCompletion {

@@ -164,7 +164,10 @@ impl KernelState {
     }
 
     pub(crate) fn note_unassigned(&mut self) {
-        debug_assert!(self.assigned_sms > 0, "unassigning an SM that was never assigned");
+        debug_assert!(
+            self.assigned_sms > 0,
+            "unassigning an SM that was never assigned"
+        );
         self.assigned_sms = self.assigned_sms.saturating_sub(1);
     }
 

@@ -28,7 +28,10 @@ impl PreemptionMechanism {
 
     /// Both mechanisms, in the order the paper presents them.
     pub const fn all() -> [PreemptionMechanism; 2] {
-        [PreemptionMechanism::ContextSwitch, PreemptionMechanism::Draining]
+        [
+            PreemptionMechanism::ContextSwitch,
+            PreemptionMechanism::Draining,
+        ]
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn labels_and_all() {
-        assert_eq!(PreemptionMechanism::ContextSwitch.to_string(), "context-switch");
+        assert_eq!(
+            PreemptionMechanism::ContextSwitch.to_string(),
+            "context-switch"
+        );
         assert_eq!(PreemptionMechanism::Draining.label(), "draining");
         assert_eq!(PreemptionMechanism::all().len(), 2);
     }
@@ -100,7 +106,10 @@ mod tests {
         let cfg = PreemptionConfig::default();
         let cost = ContextSwitchCost::new(&gpu, &cfg);
         let fp = KernelFootprint::new(4_320, 0, 120);
-        assert_eq!(cost.save_time(&fp, 0), cfg.pipeline_drain + cfg.trap_overhead);
+        assert_eq!(
+            cost.save_time(&fp, 0),
+            cfg.pipeline_drain + cfg.trap_overhead
+        );
     }
 
     #[test]

@@ -23,8 +23,10 @@ struct Harness {
 
 impl Harness {
     fn new(mechanism: PreemptionMechanism) -> Self {
-        let mut params = EngineParams::default();
-        params.block_time_jitter = 0.0; // deterministic timing for assertions
+        let params = EngineParams {
+            block_time_jitter: 0.0, // deterministic timing for assertions
+            ..Default::default()
+        };
         Harness {
             engine: ExecutionEngine::new(
                 GpuConfig::default(),
@@ -196,7 +198,10 @@ fn draining_preemption_waits_for_resident_blocks() {
     let sm0 = h.engine.sm(SmId::new(0));
     let owned_by_k2 = sm0.current_kernel() == Some(ksr2);
     let k2_done = h.engine.kernel(ksr2).is_none();
-    assert!(owned_by_k2 || k2_done, "SM0 was not handed over after draining");
+    assert!(
+        owned_by_k2 || k2_done,
+        "SM0 was not handed over after draining"
+    );
     // Draining never touches the PTBQ.
     if let Some(k) = h.engine.kernel(ksr1) {
         assert_eq!(k.preempted_blocks(), 0);
@@ -232,7 +237,11 @@ fn context_switch_preemption_is_fast_and_preserves_work() {
     // far less than the 400us it would take to drain 500us blocks.
     h.run_until(preempt_at + SimTime::from_micros(30));
     let sm0 = h.engine.sm(SmId::new(0));
-    assert_eq!(sm0.current_kernel(), Some(ksr2), "SM0 should switch quickly");
+    assert_eq!(
+        sm0.current_kernel(),
+        Some(ksr2),
+        "SM0 should switch quickly"
+    );
 
     h.run_to_idle();
     // Every block still executes exactly once overall.
@@ -424,7 +433,12 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
             .engine
             .active_kernels()
             .into_iter()
-            .filter(|k| h.engine.kernel(*k).map(|s| s.has_blocks_to_issue()).unwrap_or(false))
+            .filter(|k| {
+                h.engine
+                    .kernel(*k)
+                    .map(|s| s.has_blocks_to_issue())
+                    .unwrap_or(false)
+            })
             .collect();
         if pending.is_empty() {
             break;

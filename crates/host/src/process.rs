@@ -168,7 +168,10 @@ impl ProcessModel {
         self.iteration_start = now;
         self.pc = 0;
         self.state = ProcessState::Ready;
-        debug_assert!(self.outstanding.is_empty(), "iteration completed with outstanding commands");
+        debug_assert!(
+            self.outstanding.is_empty(),
+            "iteration completed with outstanding commands"
+        );
         record
     }
 }

@@ -241,7 +241,8 @@ impl HostSystem {
                 CommandKind::Copy { bytes, .. } => {
                     let priority = self.processes[cmd.process.index()].priority();
                     if let Some(started) =
-                        self.transfer.submit(cmd.id, cmd.process, priority, bytes, now)
+                        self.transfer
+                            .submit(cmd.id, cmd.process, priority, bytes, now)
                     {
                         self.scheduled.push((
                             started.finishes_at,
@@ -291,11 +292,8 @@ mod tests {
     }
 
     fn workload(traces: Vec<BenchmarkTrace>) -> Workload {
-        Workload::new(
-            "test",
-            traces.into_iter().map(ProcessSpec::new).collect(),
-        )
-        .with_min_completions(1)
+        Workload::new("test", traces.into_iter().map(ProcessSpec::new).collect())
+            .with_min_completions(1)
     }
 
     /// Drives the host alone, acknowledging kernel launches after a fixed
@@ -355,7 +353,12 @@ mod tests {
         host.start(SimTime::ZERO);
         let sched = host.take_scheduled();
         assert_eq!(sched.len(), 1); // the CPU phase
-        host.handle(SimTime::from_micros(10), HostEvent::CpuPhaseDone { process: ProcessId::new(0) });
+        host.handle(
+            SimTime::from_micros(10),
+            HostEvent::CpuPhaseDone {
+                process: ProcessId::new(0),
+            },
+        );
         let launches = host.take_launches();
         assert_eq!(launches.len(), 1, "only the first kernel may be issued");
         host.kernel_completed(SimTime::from_micros(60), launches[0].command);

@@ -179,7 +179,13 @@ mod tests {
     fn idle_engine_starts_immediately() {
         let mut e = engine(TransferPolicy::Fcfs);
         let started = e
-            .submit(CommandId::new(1), ProcessId::new(0), Priority::NORMAL, 1 << 20, SimTime::ZERO)
+            .submit(
+                CommandId::new(1),
+                ProcessId::new(0),
+                Priority::NORMAL,
+                1 << 20,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(started.finishes_at > SimTime::ZERO);
         assert!(e.is_busy());
@@ -190,10 +196,22 @@ mod tests {
     fn busy_engine_queues_and_chains() {
         let mut e = engine(TransferPolicy::Fcfs);
         let first = e
-            .submit(CommandId::new(1), ProcessId::new(0), Priority::NORMAL, 4096, SimTime::ZERO)
+            .submit(
+                CommandId::new(1),
+                ProcessId::new(0),
+                Priority::NORMAL,
+                4096,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(e
-            .submit(CommandId::new(2), ProcessId::new(1), Priority::NORMAL, 4096, SimTime::ZERO)
+            .submit(
+                CommandId::new(2),
+                ProcessId::new(1),
+                Priority::NORMAL,
+                4096,
+                SimTime::ZERO
+            )
             .is_none());
         assert_eq!(e.queued(), 1);
         let (done, next) = e.finish_current(first.finishes_at);
@@ -213,10 +231,28 @@ mod tests {
     fn priority_policy_reorders_queue() {
         let mut e = engine(TransferPolicy::Priority);
         let first = e
-            .submit(CommandId::new(1), ProcessId::new(0), Priority::NORMAL, 4096, SimTime::ZERO)
+            .submit(
+                CommandId::new(1),
+                ProcessId::new(0),
+                Priority::NORMAL,
+                4096,
+                SimTime::ZERO,
+            )
             .unwrap();
-        e.submit(CommandId::new(2), ProcessId::new(1), Priority::NORMAL, 4096, SimTime::ZERO);
-        e.submit(CommandId::new(3), ProcessId::new(2), Priority::HIGH, 4096, SimTime::ZERO);
+        e.submit(
+            CommandId::new(2),
+            ProcessId::new(1),
+            Priority::NORMAL,
+            4096,
+            SimTime::ZERO,
+        );
+        e.submit(
+            CommandId::new(3),
+            ProcessId::new(2),
+            Priority::HIGH,
+            4096,
+            SimTime::ZERO,
+        );
         // The running transfer is never preempted, but the high-priority one
         // jumps the queue.
         let (_, next) = e.finish_current(first.finishes_at);
@@ -227,10 +263,28 @@ mod tests {
     fn fcfs_keeps_arrival_order() {
         let mut e = engine(TransferPolicy::Fcfs);
         let first = e
-            .submit(CommandId::new(1), ProcessId::new(0), Priority::NORMAL, 4096, SimTime::ZERO)
+            .submit(
+                CommandId::new(1),
+                ProcessId::new(0),
+                Priority::NORMAL,
+                4096,
+                SimTime::ZERO,
+            )
             .unwrap();
-        e.submit(CommandId::new(2), ProcessId::new(1), Priority::NORMAL, 4096, SimTime::ZERO);
-        e.submit(CommandId::new(3), ProcessId::new(2), Priority::HIGH, 4096, SimTime::ZERO);
+        e.submit(
+            CommandId::new(2),
+            ProcessId::new(1),
+            Priority::NORMAL,
+            4096,
+            SimTime::ZERO,
+        );
+        e.submit(
+            CommandId::new(3),
+            ProcessId::new(2),
+            Priority::HIGH,
+            4096,
+            SimTime::ZERO,
+        );
         let (_, next) = e.finish_current(first.finishes_at);
         assert_eq!(next.unwrap().command, CommandId::new(2));
     }

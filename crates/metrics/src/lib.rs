@@ -256,11 +256,8 @@ mod tests {
 
     #[test]
     fn stp_bounded_by_process_count() {
-        let m = WorkloadMetrics::from_times(
-            &[ms(10), ms(10), ms(10)],
-            &[ms(15), ms(30), ms(12)],
-        )
-        .unwrap();
+        let m = WorkloadMetrics::from_times(&[ms(10), ms(10), ms(10)], &[ms(15), ms(30), ms(12)])
+            .unwrap();
         assert!(m.stp() <= 3.0);
         assert!(m.stp() > 0.0);
     }

@@ -58,7 +58,10 @@ impl DssPolicy {
 
     /// The token budget of a process.
     pub fn budget(&self, process: ProcessId) -> i32 {
-        self.budgets.get(&process).copied().unwrap_or(self.default_budget)
+        self.budgets
+            .get(&process)
+            .copied()
+            .unwrap_or(self.default_budget)
     }
 
     /// The *current* token count of a kernel: its process budget minus the
@@ -237,21 +240,30 @@ mod tests {
                 )
             })
             .collect();
-        let p0 = counts.iter().find(|(p, _)| *p == ProcessId::new(0)).unwrap().1;
-        let p1 = counts.iter().find(|(p, _)| *p == ProcessId::new(1)).unwrap().1;
+        let p0 = counts
+            .iter()
+            .find(|(p, _)| *p == ProcessId::new(0))
+            .unwrap()
+            .1;
+        let p1 = counts
+            .iter()
+            .find(|(p, _)| *p == ProcessId::new(1))
+            .unwrap()
+            .1;
         assert_eq!(p0 + p1, 13, "all SMs stay in use");
         assert!(p0.abs_diff(p1) <= 1, "split should be 7/6: got {p0}/{p1}");
-        assert!(h.engine().stats().preemptions >= 6, "preemptions carve the share");
+        assert!(
+            h.engine().stats().preemptions >= 6,
+            "preemptions carve the share"
+        );
         h.run_to_idle();
         assert_eq!(h.completions().len(), 2);
     }
 
     #[test]
     fn dss_prevents_monopolisation_with_draining_too() {
-        let mut h = PolicyHarness::new(
-            DssPolicy::equal_share(13, 2),
-            PreemptionMechanism::Draining,
-        );
+        let mut h =
+            PolicyHarness::new(DssPolicy::equal_share(13, 2), PreemptionMechanism::Draining);
         h.submit(toy_launch(0, 0, 2_000, 50));
         h.run_for(SimTime::from_micros(20));
         h.submit(toy_launch(1, 1, 2_000, 50));
@@ -262,11 +274,118 @@ mod tests {
             .iter()
             .map(|&k| crate::policy::owned_sms(h.engine(), k))
             .collect();
-        assert!(owned.iter().all(|&c| c >= 6), "roughly equal split: {owned:?}");
+        assert!(
+            owned.iter().all(|&c| c >= 6),
+            "roughly equal split: {owned:?}"
+        );
         h.run_to_idle();
         assert_eq!(h.completions().len(), 2);
         // Draining never saves contexts.
         assert_eq!(h.engine().stats().blocks_saved, 0);
+    }
+
+    #[test]
+    fn single_process_share_holds_every_token() {
+        // Degenerate partition: one process, so its budget is the whole
+        // machine and no preemption is ever needed to keep the partition at
+        // its target.
+        let dss = DssPolicy::equal_share(13, 1);
+        assert_eq!(dss.budget(ProcessId::new(0)), 13);
+
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 1),
+            PreemptionMechanism::ContextSwitch,
+        );
+        h.submit(toy_launch(0, 0, 1_000, 40));
+        h.run_for(SimTime::from_micros(10));
+        let ksr = h.engine().active_kernels()[0];
+        assert_eq!(crate::policy::owned_sms(h.engine(), ksr), 13);
+        // Exactly on budget: zero tokens left, zero debt, so the rebalancer
+        // has nothing to preempt.
+        assert_eq!(h.engine().stats().preemptions, 0);
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 1);
+    }
+
+    #[test]
+    fn zero_token_budget_waits_but_never_starves() {
+        // Explicit budgets: process 0 owns the machine, process 1 has zero
+        // tokens. The zero-token kernel must not steal SMs while the funded
+        // kernel needs them — but work conservation must still run it (in
+        // debt) once the funded kernel stops issuing, so it finishes.
+        let mut budgets = HashMap::new();
+        budgets.insert(ProcessId::new(0), 13);
+        budgets.insert(ProcessId::new(1), 0);
+        let mut h = PolicyHarness::new(
+            DssPolicy::new(budgets, 0),
+            PreemptionMechanism::ContextSwitch,
+        );
+        h.submit(toy_launch(0, 0, 520, 50));
+        h.run_for(SimTime::from_micros(10));
+        h.submit(toy_launch(1, 1, 130, 50));
+        // No SM has gone idle yet (the first blocks finish at ~50us), so the
+        // only way the pauper could own an SM this early is preemption —
+        // which its zero budget must never trigger.
+        h.run_for(SimTime::from_micros(10));
+        let owned_by = |h: &PolicyHarness, process: u32| {
+            h.engine()
+                .active_kernels()
+                .iter()
+                .find(|&&k| {
+                    h.engine().kernel(k).unwrap().launch().process == ProcessId::new(process)
+                })
+                .map(|&k| crate::policy::owned_sms(h.engine(), k))
+        };
+        assert_eq!(owned_by(&h, 0), Some(13));
+        assert_eq!(owned_by(&h, 1), Some(0));
+        // Once the funded kernel's demand drains, work conservation hands
+        // freed SMs to the zero-token kernel (running it in debt) — it must
+        // finish without a single preemption ever being spent on it.
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 2, "zero-token kernel starved");
+        assert_eq!(h.engine().stats().preemptions, 0);
+    }
+
+    #[test]
+    fn departure_mid_epoch_returns_tokens_to_survivors() {
+        // Two funded processes split the machine 7/6; when the short one
+        // departs mid-run its SMs must flow back to the survivor, which ends
+        // up in debt (13 owned vs a budget of 7) rather than idling SMs.
+        let mut h = PolicyHarness::new(
+            DssPolicy::equal_share(13, 2),
+            PreemptionMechanism::ContextSwitch,
+        );
+        h.submit(toy_launch(0, 0, 6_000, 60)); // long-lived survivor
+        h.submit(toy_launch(1, 1, 120, 60)); // departs early
+
+        // The 7/6 carve-up must spend preemptions while both are resident.
+        h.run_for(SimTime::from_micros(100));
+        assert!(
+            h.engine().stats().preemptions > 0,
+            "the second kernel's share is carved out by preemption"
+        );
+
+        // Run until the short kernel departs, then let the rebalance settle
+        // (freed SMs go idle, on_sm_idle hands them to the survivor). The
+        // step must exceed one 60us block wave: run_for's deadline is
+        // relative to the last processed event, so a smaller step would
+        // never reach the next wave.
+        let mut steps = 0;
+        while h.completions().is_empty() {
+            h.run_for(SimTime::from_micros(100));
+            steps += 1;
+            assert!(steps < 100, "short kernel never departed");
+        }
+        h.run_for(SimTime::from_micros(400));
+        let kernels = h.engine().active_kernels();
+        assert_eq!(kernels.len(), 1, "short kernel should have departed");
+        assert_eq!(
+            crate::policy::owned_sms(h.engine(), kernels[0]),
+            13,
+            "survivor must absorb the departed process's share"
+        );
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 2);
     }
 
     #[test]
@@ -288,6 +407,9 @@ mod tests {
         assert_eq!(owned.iter().sum::<u32>(), 13);
         let max = *owned.iter().max().unwrap();
         let min = *owned.iter().min().unwrap();
-        assert!(max - min <= 1, "token imbalance must stay within one: {owned:?}");
+        assert!(
+            max - min <= 1,
+            "token imbalance must stay within one: {owned:?}"
+        );
     }
 }

@@ -39,13 +39,16 @@ impl FcfsPolicy {
 
     fn schedule(&mut self, now: SimTime, engine: &mut ExecutionEngine) {
         // Drop finished entries whose slots were already reused.
-        self.order
-            .retain(|&(ksr, launch)| matches!(engine.kernel(ksr), Some(k) if k.launch().id == launch));
+        self.order.retain(
+            |&(ksr, launch)| matches!(engine.kernel(ksr), Some(k) if k.launch().id == launch),
+        );
 
         let occupant = self.started_process(engine);
         for i in 0..self.order.len() {
             let (ksr, _) = self.order[i];
-            let Some(kernel) = engine.kernel(ksr) else { continue };
+            let Some(kernel) = engine.kernel(ksr) else {
+                continue;
+            };
             if kernel.is_finished() {
                 continue;
             }
@@ -82,7 +85,11 @@ impl SchedulingPolicy for FcfsPolicy {
     }
 
     fn on_kernel_admitted(&mut self, now: SimTime, ksr: KsrIndex, engine: &mut ExecutionEngine) {
-        let launch = engine.kernel(ksr).expect("admitted kernel exists").launch().id;
+        let launch = engine
+            .kernel(ksr)
+            .expect("admitted kernel exists")
+            .launch()
+            .id;
         self.order.push_back((ksr, launch));
         self.schedule(now, engine);
     }

@@ -56,8 +56,7 @@ pub fn assign_idle_sms(
     limit: Option<u32>,
 ) -> u32 {
     let mut assigned = 0u32;
-    loop {
-        let Some(kernel) = engine.kernel(ksr) else { break };
+    while let Some(kernel) = engine.kernel(ksr) {
         if !kernel.has_blocks_to_issue() {
             break;
         }
@@ -74,7 +73,9 @@ pub fn assign_idle_sms(
                 break;
             }
         }
-        let Some(&sm) = engine.idle_sms().first() else { break };
+        let Some(&sm) = engine.idle_sms().first() else {
+            break;
+        };
         if !engine.assign_sm(now, sm, ksr) {
             break;
         }
@@ -164,6 +165,9 @@ mod tests {
     #[test]
     fn assign_idle_sms_on_missing_kernel_is_zero() {
         let mut e = engine();
-        assert_eq!(assign_idle_sms(SimTime::ZERO, &mut e, KsrIndex::new(5), None), 0);
+        assert_eq!(
+            assign_idle_sms(SimTime::ZERO, &mut e, KsrIndex::new(5), None),
+            0
+        );
     }
 }

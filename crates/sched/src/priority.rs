@@ -137,7 +137,9 @@ impl PpqPolicy {
             None => return,
         };
         for &ksr in &ordered {
-            let Some(kernel) = engine.kernel(ksr) else { continue };
+            let Some(kernel) = engine.kernel(ksr) else {
+                continue;
+            };
             let priority = kernel.launch().priority;
             if !kernel.has_blocks_to_issue() {
                 continue;
@@ -151,13 +153,14 @@ impl PpqPolicy {
             assign_idle_sms(now, engine, ksr, None);
             // Then, if this kernel outranks running kernels and still needs
             // SMs, preempt the lowest-priority victims.
-            loop {
-                let Some(kernel) = engine.kernel(ksr) else { break };
+            while let Some(kernel) = engine.kernel(ksr) {
                 let needed = kernel.sms_needed().saturating_sub(owned_sms(engine, ksr));
                 if needed == 0 {
                     break;
                 }
-                let Some(victim) = self.pick_victim(engine, priority) else { break };
+                let Some(victim) = self.pick_victim(engine, priority) else {
+                    break;
+                };
                 if !engine.preempt_sm(now, victim, ksr) {
                     break;
                 }
@@ -174,8 +177,12 @@ impl PpqPolicy {
             if status.state() != SmState::Running {
                 continue;
             }
-            let Some(current) = status.current_kernel() else { continue };
-            let Some(kernel) = engine.kernel(current) else { continue };
+            let Some(current) = status.current_kernel() else {
+                continue;
+            };
+            let Some(kernel) = engine.kernel(current) else {
+                continue;
+            };
             let victim_priority = kernel.launch().priority;
             if victim_priority >= priority {
                 continue;
@@ -316,7 +323,12 @@ mod tests {
         };
         // With shared access the low-priority kernel runs on the 11 idle SMs
         // and finishes long before the 200us high-priority blocks do.
-        assert!(t(1) < t(0), "low-priority kernel should backfill: {} vs {}", t(1), t(0));
+        assert!(
+            t(1) < t(0),
+            "low-priority kernel should backfill: {} vs {}",
+            t(1),
+            t(0)
+        );
         assert!(t(1) < SimTime::from_micros(60));
     }
 
@@ -340,7 +352,10 @@ mod tests {
         };
         let cs = finish_hp(PreemptionMechanism::ContextSwitch);
         let drain = finish_hp(PreemptionMechanism::Draining);
-        assert!(cs < drain, "context switch should be faster: cs={cs} drain={drain}");
+        assert!(
+            cs < drain,
+            "context switch should be faster: cs={cs} drain={drain}"
+        );
         // Draining still beats waiting for the whole 400us block tail plus
         // the remaining waves of the low-priority kernel.
         assert!(drain < SimTime::from_micros(600), "drain={drain}");

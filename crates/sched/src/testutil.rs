@@ -5,8 +5,7 @@
 
 use crate::policy::SchedulingPolicy;
 use gpreempt_gpu::{
-    EngineEvent, EngineParams, ExecutionEngine, KernelCompletion, KernelLaunch,
-    PreemptionMechanism,
+    EngineEvent, EngineParams, ExecutionEngine, KernelCompletion, KernelLaunch, PreemptionMechanism,
 };
 use gpreempt_sim::{EventQueue, SimRng};
 use gpreempt_trace::KernelSpec;
@@ -57,8 +56,10 @@ impl PolicyHarness {
     }
 
     pub fn new_boxed(policy: Box<dyn SchedulingPolicy>, mechanism: PreemptionMechanism) -> Self {
-        let mut params = EngineParams::default();
-        params.block_time_jitter = 0.0;
+        let params = EngineParams {
+            block_time_jitter: 0.0,
+            ..Default::default()
+        };
         PolicyHarness {
             engine: ExecutionEngine::new(
                 GpuConfig::default(),

@@ -103,7 +103,9 @@ impl BenchmarkTrace {
         self.ops
             .iter()
             .map(|op| match op {
-                TraceOp::Launch { kernel, .. } => self.kernels[*kernel].isolated_time_on(gpu, gpu.n_sms),
+                TraceOp::Launch { kernel, .. } => {
+                    self.kernels[*kernel].isolated_time_on(gpu, gpu.n_sms)
+                }
                 _ => SimTime::ZERO,
             })
             .sum()
@@ -412,7 +414,10 @@ mod tests {
         assert!(t.validate(&gpu).is_err());
 
         // Launch of a missing kernel.
-        let t = BenchmarkTrace::builder("bad").kernel(toy_kernel("a")).launch(7).build();
+        let t = BenchmarkTrace::builder("bad")
+            .kernel(toy_kernel("a"))
+            .launch(7)
+            .build();
         assert!(t.validate(&gpu).is_err());
 
         // Kernel that does not fit.
@@ -422,11 +427,17 @@ mod tests {
             8,
             SimTime::from_micros(1),
         );
-        let t = BenchmarkTrace::builder("bad").kernel(huge).launch(0).build();
+        let t = BenchmarkTrace::builder("bad")
+            .kernel(huge)
+            .launch(0)
+            .build();
         assert!(t.validate(&gpu).is_err());
 
         // A good trace validates.
-        let t = BenchmarkTrace::builder("ok").kernel(toy_kernel("a")).launch(0).build();
+        let t = BenchmarkTrace::builder("ok")
+            .kernel(toy_kernel("a"))
+            .launch(0)
+            .build();
         assert!(t.validate(&gpu).is_ok());
     }
 

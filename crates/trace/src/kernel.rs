@@ -198,7 +198,12 @@ mod tests {
 
     #[test]
     fn zero_block_kernel_is_degenerate() {
-        let spec = KernelSpec::new("empty", KernelFootprint::default(), 0, SimTime::from_micros(5));
+        let spec = KernelSpec::new(
+            "empty",
+            KernelFootprint::default(),
+            0,
+            SimTime::from_micros(5),
+        );
         assert_eq!(spec.mean_block_time(), SimTime::ZERO);
         assert_eq!(spec.total_block_work(), SimTime::ZERO);
         assert_eq!(spec.isolated_time_on(&gpu(), 13), SimTime::ZERO);

@@ -48,7 +48,11 @@ pub struct KernelRow {
 impl KernelRow {
     /// The per-block resource footprint of this kernel.
     pub fn footprint(&self) -> KernelFootprint {
-        KernelFootprint::new(self.regs_per_block, self.smem_per_block, self.threads_per_block)
+        KernelFootprint::new(
+            self.regs_per_block,
+            self.smem_per_block,
+            self.threads_per_block,
+        )
     }
 
     /// Builds the [`KernelSpec`] for this row, deriving the per-block time
@@ -69,30 +73,318 @@ use KernelClass::{Long, Medium, Short};
 
 /// Every kernel row of Table 1, in the paper's order.
 pub const TABLE1: &[KernelRow] = &[
-    KernelRow { benchmark: "lbm", dataset: "short", kernel: "StreamCollide", launches: 100, kernel_time_us: 2905.81, n_blocks: 18000, smem_per_block: 0, regs_per_block: 4320, threads_per_block: 120, blocks_per_sm: 15, kernel_class: Medium },
-    KernelRow { benchmark: "histo", dataset: "default", kernel: "final", launches: 20, kernel_time_us: 70.24, n_blocks: 42, smem_per_block: 0, regs_per_block: 19456, threads_per_block: 512, blocks_per_sm: 3, kernel_class: Short },
-    KernelRow { benchmark: "histo", dataset: "default", kernel: "prescan", launches: 20, kernel_time_us: 20.87, n_blocks: 64, smem_per_block: 4096, regs_per_block: 9216, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Short },
-    KernelRow { benchmark: "histo", dataset: "default", kernel: "intermediates", launches: 20, kernel_time_us: 77.88, n_blocks: 65, smem_per_block: 0, regs_per_block: 8964, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Short },
-    KernelRow { benchmark: "histo", dataset: "default", kernel: "main", launches: 20, kernel_time_us: 372.58, n_blocks: 84, smem_per_block: 24576, regs_per_block: 16896, threads_per_block: 768, blocks_per_sm: 1, kernel_class: Short },
-    KernelRow { benchmark: "tpacf", dataset: "small", kernel: "gen_hists", launches: 1, kernel_time_us: 14615.33, n_blocks: 201, smem_per_block: 13312, regs_per_block: 7680, threads_per_block: 256, blocks_per_sm: 1, kernel_class: Long },
-    KernelRow { benchmark: "spmv", dataset: "medium", kernel: "spmv_jds", launches: 50, kernel_time_us: 42.38, n_blocks: 374, smem_per_block: 0, regs_per_block: 928, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Short },
-    KernelRow { benchmark: "mri-q", dataset: "large", kernel: "ComputeQ", launches: 2, kernel_time_us: 3389.71, n_blocks: 1024, smem_per_block: 0, regs_per_block: 5376, threads_per_block: 256, blocks_per_sm: 8, kernel_class: Medium },
-    KernelRow { benchmark: "mri-q", dataset: "large", kernel: "ComputePhiMag", launches: 1, kernel_time_us: 4.70, n_blocks: 4, smem_per_block: 0, regs_per_block: 6144, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Medium },
-    KernelRow { benchmark: "sad", dataset: "large", kernel: "larger_sad_calc_8", launches: 1, kernel_time_us: 8174.21, n_blocks: 8040, smem_per_block: 0, regs_per_block: 3328, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
-    KernelRow { benchmark: "sad", dataset: "large", kernel: "larger_sad_calc_16", launches: 1, kernel_time_us: 1529.38, n_blocks: 8040, smem_per_block: 0, regs_per_block: 832, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
-    KernelRow { benchmark: "sad", dataset: "large", kernel: "mb_sad_calc", launches: 1, kernel_time_us: 15446.02, n_blocks: 128640, smem_per_block: 2224, regs_per_block: 2135, threads_per_block: 256, blocks_per_sm: 7, kernel_class: Long },
-    KernelRow { benchmark: "sgemm", dataset: "medium", kernel: "mysgemmNT", launches: 1, kernel_time_us: 3717.18, n_blocks: 528, smem_per_block: 512, regs_per_block: 4480, threads_per_block: 128, blocks_per_sm: 14, kernel_class: Medium },
-    KernelRow { benchmark: "stencil", dataset: "default", kernel: "block2D_reg_tiling", launches: 100, kernel_time_us: 2227.30, n_blocks: 256, smem_per_block: 0, regs_per_block: 41984, threads_per_block: 512, blocks_per_sm: 1, kernel_class: Medium },
-    KernelRow { benchmark: "cutcp", dataset: "small", kernel: "lattice6overlap", launches: 11, kernel_time_us: 1520.11, n_blocks: 121, smem_per_block: 4116, regs_per_block: 3328, threads_per_block: 128, blocks_per_sm: 3, kernel_class: Medium },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "binning", launches: 1, kernel_time_us: 2021.41, n_blocks: 5188, smem_per_block: 0, regs_per_block: 4096, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_inter1", launches: 9, kernel_time_us: 7.59, n_blocks: 29, smem_per_block: 665, regs_per_block: 1173, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_L1", launches: 8, kernel_time_us: 826.12, n_blocks: 2084, smem_per_block: 4368, regs_per_block: 9216, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "uniformAdd", launches: 8, kernel_time_us: 127.30, n_blocks: 2084, smem_per_block: 16, regs_per_block: 4096, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "reorder", launches: 1, kernel_time_us: 2535.30, n_blocks: 5188, smem_per_block: 0, regs_per_block: 8192, threads_per_block: 512, blocks_per_sm: 4, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "splitSort", launches: 7, kernel_time_us: 3838.84, n_blocks: 2594, smem_per_block: 4484, regs_per_block: 10240, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "gridding_GPU", launches: 1, kernel_time_us: 208398.47, n_blocks: 65536, smem_per_block: 1536, regs_per_block: 3648, threads_per_block: 128, blocks_per_sm: 10, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "splitRearrange", launches: 7, kernel_time_us: 1622.93, n_blocks: 2594, smem_per_block: 4160, regs_per_block: 5888, threads_per_block: 256, blocks_per_sm: 3, kernel_class: Long },
-    KernelRow { benchmark: "mri-gridding", dataset: "small", kernel: "scan_inter2", launches: 9, kernel_time_us: 8.81, n_blocks: 29, smem_per_block: 665, regs_per_block: 1173, threads_per_block: 128, blocks_per_sm: 16, kernel_class: Long },
+    KernelRow {
+        benchmark: "lbm",
+        dataset: "short",
+        kernel: "StreamCollide",
+        launches: 100,
+        kernel_time_us: 2905.81,
+        n_blocks: 18000,
+        smem_per_block: 0,
+        regs_per_block: 4320,
+        threads_per_block: 120,
+        blocks_per_sm: 15,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "histo",
+        dataset: "default",
+        kernel: "final",
+        launches: 20,
+        kernel_time_us: 70.24,
+        n_blocks: 42,
+        smem_per_block: 0,
+        regs_per_block: 19456,
+        threads_per_block: 512,
+        blocks_per_sm: 3,
+        kernel_class: Short,
+    },
+    KernelRow {
+        benchmark: "histo",
+        dataset: "default",
+        kernel: "prescan",
+        launches: 20,
+        kernel_time_us: 20.87,
+        n_blocks: 64,
+        smem_per_block: 4096,
+        regs_per_block: 9216,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Short,
+    },
+    KernelRow {
+        benchmark: "histo",
+        dataset: "default",
+        kernel: "intermediates",
+        launches: 20,
+        kernel_time_us: 77.88,
+        n_blocks: 65,
+        smem_per_block: 0,
+        regs_per_block: 8964,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Short,
+    },
+    KernelRow {
+        benchmark: "histo",
+        dataset: "default",
+        kernel: "main",
+        launches: 20,
+        kernel_time_us: 372.58,
+        n_blocks: 84,
+        smem_per_block: 24576,
+        regs_per_block: 16896,
+        threads_per_block: 768,
+        blocks_per_sm: 1,
+        kernel_class: Short,
+    },
+    KernelRow {
+        benchmark: "tpacf",
+        dataset: "small",
+        kernel: "gen_hists",
+        launches: 1,
+        kernel_time_us: 14615.33,
+        n_blocks: 201,
+        smem_per_block: 13312,
+        regs_per_block: 7680,
+        threads_per_block: 256,
+        blocks_per_sm: 1,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "spmv",
+        dataset: "medium",
+        kernel: "spmv_jds",
+        launches: 50,
+        kernel_time_us: 42.38,
+        n_blocks: 374,
+        smem_per_block: 0,
+        regs_per_block: 928,
+        threads_per_block: 128,
+        blocks_per_sm: 16,
+        kernel_class: Short,
+    },
+    KernelRow {
+        benchmark: "mri-q",
+        dataset: "large",
+        kernel: "ComputeQ",
+        launches: 2,
+        kernel_time_us: 3389.71,
+        n_blocks: 1024,
+        smem_per_block: 0,
+        regs_per_block: 5376,
+        threads_per_block: 256,
+        blocks_per_sm: 8,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "mri-q",
+        dataset: "large",
+        kernel: "ComputePhiMag",
+        launches: 1,
+        kernel_time_us: 4.70,
+        n_blocks: 4,
+        smem_per_block: 0,
+        regs_per_block: 6144,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "sad",
+        dataset: "large",
+        kernel: "larger_sad_calc_8",
+        launches: 1,
+        kernel_time_us: 8174.21,
+        n_blocks: 8040,
+        smem_per_block: 0,
+        regs_per_block: 3328,
+        threads_per_block: 128,
+        blocks_per_sm: 16,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "sad",
+        dataset: "large",
+        kernel: "larger_sad_calc_16",
+        launches: 1,
+        kernel_time_us: 1529.38,
+        n_blocks: 8040,
+        smem_per_block: 0,
+        regs_per_block: 832,
+        threads_per_block: 128,
+        blocks_per_sm: 16,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "sad",
+        dataset: "large",
+        kernel: "mb_sad_calc",
+        launches: 1,
+        kernel_time_us: 15446.02,
+        n_blocks: 128640,
+        smem_per_block: 2224,
+        regs_per_block: 2135,
+        threads_per_block: 256,
+        blocks_per_sm: 7,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "sgemm",
+        dataset: "medium",
+        kernel: "mysgemmNT",
+        launches: 1,
+        kernel_time_us: 3717.18,
+        n_blocks: 528,
+        smem_per_block: 512,
+        regs_per_block: 4480,
+        threads_per_block: 128,
+        blocks_per_sm: 14,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "stencil",
+        dataset: "default",
+        kernel: "block2D_reg_tiling",
+        launches: 100,
+        kernel_time_us: 2227.30,
+        n_blocks: 256,
+        smem_per_block: 0,
+        regs_per_block: 41984,
+        threads_per_block: 512,
+        blocks_per_sm: 1,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "cutcp",
+        dataset: "small",
+        kernel: "lattice6overlap",
+        launches: 11,
+        kernel_time_us: 1520.11,
+        n_blocks: 121,
+        smem_per_block: 4116,
+        regs_per_block: 3328,
+        threads_per_block: 128,
+        blocks_per_sm: 3,
+        kernel_class: Medium,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "binning",
+        launches: 1,
+        kernel_time_us: 2021.41,
+        n_blocks: 5188,
+        smem_per_block: 0,
+        regs_per_block: 4096,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "scan_inter1",
+        launches: 9,
+        kernel_time_us: 7.59,
+        n_blocks: 29,
+        smem_per_block: 665,
+        regs_per_block: 1173,
+        threads_per_block: 128,
+        blocks_per_sm: 16,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "scan_L1",
+        launches: 8,
+        kernel_time_us: 826.12,
+        n_blocks: 2084,
+        smem_per_block: 4368,
+        regs_per_block: 9216,
+        threads_per_block: 256,
+        blocks_per_sm: 3,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "uniformAdd",
+        launches: 8,
+        kernel_time_us: 127.30,
+        n_blocks: 2084,
+        smem_per_block: 16,
+        regs_per_block: 4096,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "reorder",
+        launches: 1,
+        kernel_time_us: 2535.30,
+        n_blocks: 5188,
+        smem_per_block: 0,
+        regs_per_block: 8192,
+        threads_per_block: 512,
+        blocks_per_sm: 4,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "splitSort",
+        launches: 7,
+        kernel_time_us: 3838.84,
+        n_blocks: 2594,
+        smem_per_block: 4484,
+        regs_per_block: 10240,
+        threads_per_block: 256,
+        blocks_per_sm: 3,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "gridding_GPU",
+        launches: 1,
+        kernel_time_us: 208398.47,
+        n_blocks: 65536,
+        smem_per_block: 1536,
+        regs_per_block: 3648,
+        threads_per_block: 128,
+        blocks_per_sm: 10,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "splitRearrange",
+        launches: 7,
+        kernel_time_us: 1622.93,
+        n_blocks: 2594,
+        smem_per_block: 4160,
+        regs_per_block: 5888,
+        threads_per_block: 256,
+        blocks_per_sm: 3,
+        kernel_class: Long,
+    },
+    KernelRow {
+        benchmark: "mri-gridding",
+        dataset: "small",
+        kernel: "scan_inter2",
+        launches: 9,
+        kernel_time_us: 8.81,
+        n_blocks: 29,
+        smem_per_block: 665,
+        regs_per_block: 1173,
+        threads_per_block: 128,
+        blocks_per_sm: 16,
+        kernel_class: Long,
+    },
 ];
 
 /// Names of the ten benchmarks, in Table 1 order.
@@ -210,7 +502,7 @@ fn histo(gpu: &GpuConfig) -> BenchmarkTrace {
         b.push_launch(final_k);
     }
     b.push_sync();
-    b.push_copy(crate::CopyDirection::DeviceToHost, 1 * MB);
+    b.push_copy(crate::CopyDirection::DeviceToHost, MB);
     b.push_cpu(us(1_500));
     b.build()
 }
@@ -222,7 +514,7 @@ fn tpacf(gpu: &GpuConfig) -> BenchmarkTrace {
     b.push_copy(crate::CopyDirection::HostToDevice, 4 * MB);
     b.push_launch(k[0]);
     b.push_sync();
-    b.push_copy(crate::CopyDirection::DeviceToHost, 1 * MB);
+    b.push_copy(crate::CopyDirection::DeviceToHost, MB);
     b.push_cpu(us(2_000));
     b.build()
 }
@@ -263,7 +555,7 @@ fn sad(gpu: &GpuConfig) -> BenchmarkTrace {
     let (mut b, k) = builder("sad", KernelClass::Long, gpu);
     let (calc8, calc16, mb_calc) = (k[0], k[1], k[2]);
     b.push_cpu(us(150_000));
-    b.push_copy(crate::CopyDirection::HostToDevice, 1 * MB);
+    b.push_copy(crate::CopyDirection::HostToDevice, MB);
     b.push_launch(mb_calc);
     b.push_launch(calc8);
     b.push_launch(calc16);
@@ -318,8 +610,17 @@ fn cutcp(gpu: &GpuConfig) -> BenchmarkTrace {
 /// MRI gridding: binning, a sort pipeline and one very long gridding kernel.
 fn mri_gridding(gpu: &GpuConfig) -> BenchmarkTrace {
     let (mut b, k) = builder("mri-gridding", KernelClass::Long, gpu);
-    let (binning, scan_inter1, scan_l1, uniform_add, reorder, split_sort, gridding, split_rearrange, scan_inter2) =
-        (k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7], k[8]);
+    let (
+        binning,
+        scan_inter1,
+        scan_l1,
+        uniform_add,
+        reorder,
+        split_sort,
+        gridding,
+        split_rearrange,
+        scan_inter2,
+    ) = (k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7], k[8]);
     b.push_cpu(us(10_000));
     b.push_copy(crate::CopyDirection::HostToDevice, 30 * MB);
     b.push_launch(binning);

@@ -108,7 +108,9 @@ impl Workload {
             .enumerate()
             .filter(|(_, p)| p.priority == max);
         let first = holders.next()?;
-        if holders.next().is_some() || self.processes.iter().all(|p| p.priority == max) && self.len() > 1 {
+        if holders.next().is_some()
+            || self.processes.iter().all(|p| p.priority == max) && self.len() > 1
+        {
             // Either several processes share the top priority, or everyone does.
             if self.processes.iter().filter(|p| p.priority == max).count() == 1 {
                 return Some(ProcessId::from(first.0));
@@ -190,11 +192,14 @@ impl WorkloadGenerator {
     /// are chosen at random.
     pub fn prioritized_workload(&mut self, n_processes: usize, high_priority: usize) -> Workload {
         assert!(!self.suite.is_empty(), "empty benchmark suite");
-        assert!(high_priority < self.suite.len(), "benchmark index out of range");
+        assert!(
+            high_priority < self.suite.len(),
+            "benchmark index out of range"
+        );
         assert!(n_processes >= 1, "need at least one process");
         self.counter += 1;
-        let mut processes = vec![ProcessSpec::new(self.suite[high_priority].clone())
-            .with_priority(Priority::HIGH)];
+        let mut processes =
+            vec![ProcessSpec::new(self.suite[high_priority].clone()).with_priority(Priority::HIGH)];
         for _ in 1..n_processes {
             let idx = self.rng.next_index(self.suite.len());
             processes.push(ProcessSpec::new(self.suite[idx].clone()));
@@ -226,7 +231,9 @@ impl WorkloadGenerator {
     /// Generates the Figure 7/8 workload population for one workload size:
     /// `count` random equal-priority workloads.
     pub fn random_population(&mut self, n_processes: usize, count: usize) -> Vec<Workload> {
-        (0..count).map(|_| self.random_workload(n_processes)).collect()
+        (0..count)
+            .map(|_| self.random_workload(n_processes))
+            .collect()
     }
 }
 

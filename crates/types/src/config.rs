@@ -14,9 +14,10 @@ use crate::time::SimTime;
 /// shared memory and L1. The paper uses 16 KB by default and bumps the
 /// configuration to the first size that satisfies the kernel's per-block
 /// shared-memory requirement (Table 2, footnote).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SharedMemConfig {
     /// 16 KB of shared memory per SM (default).
+    #[default]
     Kb16,
     /// 32 KB of shared memory per SM.
     Kb32,
@@ -44,12 +45,6 @@ impl SharedMemConfig {
         ]
         .into_iter()
         .find(|c| c.bytes() >= required_bytes)
-    }
-}
-
-impl Default for SharedMemConfig {
-    fn default() -> Self {
-        SharedMemConfig::Kb16
     }
 }
 
@@ -122,7 +117,9 @@ impl GpuConfig {
             return Err(ConfigError::new("register file must be non-empty"));
         }
         if self.max_blocks_per_sm == 0 {
-            return Err(ConfigError::new("max thread blocks per SM must be non-zero"));
+            return Err(ConfigError::new(
+                "max thread blocks per SM must be non-zero",
+            ));
         }
         if self.max_threads_per_sm == 0 {
             return Err(ConfigError::new("max threads per SM must be non-zero"));
@@ -183,7 +180,9 @@ impl CpuConfig {
     /// Returns a [`ConfigError`] if the core count or clock is zero.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 || self.threads_per_core == 0 {
-            return Err(ConfigError::new("CPU must have at least one hardware thread"));
+            return Err(ConfigError::new(
+                "CPU must have at least one hardware thread",
+            ));
         }
         if self.clock_mhz == 0 {
             return Err(ConfigError::new("CPU clock must be non-zero"));
@@ -395,7 +394,9 @@ mod tests {
         assert!(big > small);
         // 4 MB at 12.8 GB/s is ~327 us plus latency.
         let expected_us = (4.0 * 1024.0 * 1024.0) / pcie.bandwidth_bytes_per_sec() * 1e6;
-        assert!((big.as_micros_f64() - pcie.transfer_latency.as_micros_f64() - expected_us).abs() < 5.0);
+        assert!(
+            (big.as_micros_f64() - pcie.transfer_latency.as_micros_f64() - expected_us).abs() < 5.0
+        );
     }
 
     #[test]
@@ -406,25 +407,35 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut gpu = GpuConfig::default();
-        gpu.n_sms = 0;
+        let gpu = GpuConfig {
+            n_sms: 0,
+            ..Default::default()
+        };
         assert!(gpu.validate().is_err());
 
-        let mut gpu = GpuConfig::default();
-        gpu.mem_bandwidth_gbps = -1.0;
+        let gpu = GpuConfig {
+            mem_bandwidth_gbps: -1.0,
+            ..Default::default()
+        };
         assert!(gpu.validate().is_err());
 
-        let mut gpu = GpuConfig::default();
-        gpu.shared_mem = SharedMemConfig::Kb48;
-        gpu.max_shared_mem = SharedMemConfig::Kb16;
+        let gpu = GpuConfig {
+            shared_mem: SharedMemConfig::Kb48,
+            max_shared_mem: SharedMemConfig::Kb16,
+            ..Default::default()
+        };
         assert!(gpu.validate().is_err());
 
-        let mut cpu = CpuConfig::default();
-        cpu.cores = 0;
+        let cpu = CpuConfig {
+            cores: 0,
+            ..Default::default()
+        };
         assert!(cpu.validate().is_err());
 
-        let mut pcie = PcieConfig::default();
-        pcie.lanes = 0;
+        let pcie = PcieConfig {
+            lanes: 0,
+            ..Default::default()
+        };
         assert!(pcie.validate().is_err());
     }
 

@@ -74,14 +74,14 @@ impl KernelFootprint {
             Err(_) => return 0,
         };
         let mut limit = gpu.max_blocks_per_sm;
-        if self.regs_per_block > 0 {
-            limit = limit.min(gpu.registers_per_sm / self.regs_per_block);
+        if let Some(by_regs) = gpu.registers_per_sm.checked_div(self.regs_per_block) {
+            limit = limit.min(by_regs);
         }
         if self.smem_per_block > 0 {
             limit = limit.min((smem_cfg.bytes() / self.smem_per_block as u64) as u32);
         }
-        if self.threads_per_block > 0 {
-            limit = limit.min(gpu.max_threads_per_sm / self.threads_per_block);
+        if let Some(by_threads) = gpu.max_threads_per_sm.checked_div(self.threads_per_block) {
+            limit = limit.min(by_threads);
         }
         limit
     }
@@ -185,7 +185,10 @@ mod tests {
     fn histo_main_needs_bigger_smem_config() {
         // histo main: 24576 B smem/TB (> 16KB) -> SM reconfigured to 32KB, 1 TB/SM.
         let fp = KernelFootprint::new(16_896, 24_576, 512);
-        assert_eq!(fp.required_smem_config(&gpu()).unwrap(), SharedMemConfig::Kb32);
+        assert_eq!(
+            fp.required_smem_config(&gpu()).unwrap(),
+            SharedMemConfig::Kb32
+        );
         assert_eq!(fp.max_blocks_per_sm(&gpu()), 1);
     }
 

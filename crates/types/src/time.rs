@@ -227,11 +227,7 @@ impl Div<u64> for SimTime {
     /// Integer division of a duration. Division by zero yields [`SimTime::MAX`].
     #[inline]
     fn div(self, rhs: u64) -> SimTime {
-        if rhs == 0 {
-            SimTime::MAX
-        } else {
-            SimTime(self.0 / rhs)
-        }
+        self.0.checked_div(rhs).map_or(SimTime::MAX, SimTime)
     }
 }
 

@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let victim = parboil::benchmark("spmv", gpu).expect("spmv");
     let workload = Workload::new(
         "persistent-vs-spmv",
-        vec![
-            ProcessSpec::new(persistent_app()),
-            ProcessSpec::new(victim),
-        ],
+        vec![ProcessSpec::new(persistent_app()), ProcessSpec::new(victim)],
     )
     .with_min_completions(1);
 

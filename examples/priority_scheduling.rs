@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // full evaluation.
     let scale = ExperimentScale::quick();
 
-    println!("running {} prioritised workloads ...", scale.workload_sizes.len());
+    println!(
+        "running {} prioritised workloads ...",
+        scale.workload_sizes.len()
+    );
     let results = PriorityResults::run(&config, &scale)?;
 
     println!("{}", results.render_fig5().render());

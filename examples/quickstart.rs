@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let isolated = sim.isolated_times(&workload)?;
     println!("isolated execution times:");
     for (spec, time) in workload.processes().iter().zip(&isolated) {
-        println!("  {:<12} {:>10.3} ms", spec.benchmark.name(), time.as_millis_f64());
+        println!(
+            "  {:<12} {:>10.3} ms",
+            spec.benchmark.name(),
+            time.as_millis_f64()
+        );
     }
     println!();
 

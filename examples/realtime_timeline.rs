@@ -14,16 +14,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let results = Fig2Results::run(&SimulatorConfig::default())?;
     println!("{}", results.render().render());
 
-    let fcfs = results.timeline(gpreempt::PolicyKind::Fcfs).expect("fcfs timeline");
-    let npq = results.timeline(gpreempt::PolicyKind::Npq).expect("npq timeline");
+    let fcfs = results
+        .timeline(gpreempt::PolicyKind::Fcfs)
+        .expect("fcfs timeline");
+    let npq = results
+        .timeline(gpreempt::PolicyKind::Npq)
+        .expect("npq timeline");
     let ppq = results
         .timeline(gpreempt::PolicyKind::PpqExclusive)
         .expect("ppq timeline");
 
     println!("latency of the soft real-time kernel K3:");
-    println!("  (a) FCFS (current GPUs)          {:>10.1} us", fcfs.k3_finish.as_micros_f64());
-    println!("  (b) non-preemptive priority      {:>10.1} us", npq.k3_finish.as_micros_f64());
-    println!("  (c) preemptive priority          {:>10.1} us", ppq.k3_finish.as_micros_f64());
+    println!(
+        "  (a) FCFS (current GPUs)          {:>10.1} us",
+        fcfs.k3_finish.as_micros_f64()
+    );
+    println!(
+        "  (b) non-preemptive priority      {:>10.1} us",
+        npq.k3_finish.as_micros_f64()
+    );
+    println!(
+        "  (c) preemptive priority          {:>10.1} us",
+        ppq.k3_finish.as_micros_f64()
+    );
     println!();
     println!(
         "preemption cuts K3's latency by {:.1}x compared to FCFS and {:.1}x compared to NPQ",

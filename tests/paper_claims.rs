@@ -33,7 +33,10 @@ fn preemption_improves_high_priority_turnaround() {
     let ppq_drain = results.fig5_improvement(None, largest, PriorityConfig::PpqDraining);
 
     // The high-priority process benefits from prioritisation at all...
-    assert!(ppq_cs > 1.0, "PPQ-CS improvement {ppq_cs:.2} should exceed 1");
+    assert!(
+        ppq_cs > 1.0,
+        "PPQ-CS improvement {ppq_cs:.2} should exceed 1"
+    );
     // ... and preemption beats waiting for kernels to finish.
     assert!(
         ppq_cs >= npq,
@@ -86,7 +89,11 @@ fn dss_helps_short_applications_and_fairness() {
     let results = SpatialResults::run(&SimulatorConfig::default(), &scale()).unwrap();
     let &size = results.sizes().last().unwrap();
 
-    let short = results.fig7a_improvement(Some(KernelClass::Short), size, SpatialConfig::DssContextSwitch);
+    let short = results.fig7a_improvement(
+        Some(KernelClass::Short),
+        size,
+        SpatialConfig::DssContextSwitch,
+    );
     let average = results.fig7a_improvement(None, size, SpatialConfig::DssContextSwitch);
     assert!(
         short >= 1.0,

@@ -215,8 +215,10 @@ fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
 /// preemption itself, not an engine bug. The cap keeps the run terminating
 /// while still exercising hundreds of preemptions.
 fn run_chaos(kernels: &[RandomKernel], mechanism: PreemptionMechanism, seed: u64) -> (u64, u64) {
-    let mut params = EngineParams::default();
-    params.block_time_jitter = 0.1;
+    let params = EngineParams {
+        block_time_jitter: 0.1,
+        ..Default::default()
+    };
     let mut engine = ExecutionEngine::new(
         GpuConfig::default(),
         PreemptionConfig::default(),
@@ -252,7 +254,12 @@ fn run_chaos(kernels: &[RandomKernel], mechanism: PreemptionMechanism, seed: u64
         let needy: Vec<_> = engine
             .active_kernels()
             .into_iter()
-            .filter(|&k| engine.kernel(k).map(|s| s.has_blocks_to_issue()).unwrap_or(false))
+            .filter(|&k| {
+                engine
+                    .kernel(k)
+                    .map(|s| s.has_blocks_to_issue())
+                    .unwrap_or(false)
+            })
             .collect();
         if !needy.is_empty() {
             for sm in engine.idle_sms() {

@@ -111,7 +111,10 @@ fn fcfs_serialises_processes_but_dss_overlaps_them() {
     let dss_t0 = dss.mean_turnaround(ProcessId::new(0));
     let dss_t1 = dss.mean_turnaround(ProcessId::new(1));
     let ratio = dss_t0.max(dss_t1).ratio(dss_t0.min(dss_t1));
-    assert!(ratio < 1.3, "DSS should balance the processes, ratio {ratio}");
+    assert!(
+        ratio < 1.3,
+        "DSS should balance the processes, ratio {ratio}"
+    );
 }
 
 #[test]
@@ -124,7 +127,11 @@ fn ppq_prioritisation_helps_the_high_priority_process() {
 
     let fcfs = run(&w, PolicyKind::Fcfs, PreemptionMechanism::ContextSwitch);
     let npq = run(&w, PolicyKind::Npq, PreemptionMechanism::ContextSwitch);
-    let ppq = run(&w, PolicyKind::PpqExclusive, PreemptionMechanism::ContextSwitch);
+    let ppq = run(
+        &w,
+        PolicyKind::PpqExclusive,
+        PreemptionMechanism::ContextSwitch,
+    );
 
     let ntt = |r: &SimulationRun| r.metrics(&isolated).unwrap().ntt()[3];
     let (ntt_fcfs, ntt_npq, ntt_ppq) = (ntt(&fcfs), ntt(&npq), ntt(&ppq));
@@ -137,7 +144,10 @@ fn ppq_prioritisation_helps_the_high_priority_process() {
         ntt_ppq < ntt_fcfs,
         "PPQ ({ntt_ppq:.2}) should beat FCFS ({ntt_fcfs:.2})"
     );
-    assert!(ppq.engine_stats().preemptions > 0, "PPQ should have preempted");
+    assert!(
+        ppq.engine_stats().preemptions > 0,
+        "PPQ should have preempted"
+    );
 }
 
 #[test]
@@ -185,6 +195,52 @@ fn stp_never_exceeds_process_count_and_antt_never_below_one() {
     }
 }
 
+/// Determinism regression: the whole pipeline — trace synthesis, workload
+/// replay, block-time jitter, policy decisions — flows through the seeded
+/// RNG in `gpreempt_sim::rng`, so two runs with the same seed must agree
+/// bit-for-bit on every observable of the simulation.
+#[test]
+fn same_seed_reproduces_identical_runs() {
+    let w = workload(&["spmv", "sgemm", "mri-q"], 2);
+    for policy in [PolicyKind::Fcfs, PolicyKind::PpqExclusive, PolicyKind::Dss] {
+        let sim_a = Simulator::new(SimulatorConfig::default().with_seed(0xD5));
+        let sim_b = Simulator::new(SimulatorConfig::default().with_seed(0xD5));
+        let a = sim_a.run(&w, policy).unwrap();
+        let b = sim_b.run(&w, policy).unwrap();
+
+        assert_eq!(a.end_time(), b.end_time(), "{policy}: end time diverged");
+        assert_eq!(
+            a.events_processed(),
+            b.events_processed(),
+            "{policy}: event count diverged"
+        );
+        assert_eq!(
+            a.engine_stats(),
+            b.engine_stats(),
+            "{policy}: engine stats diverged"
+        );
+        assert_eq!(
+            a.iterations(),
+            b.iterations(),
+            "{policy}: iteration records diverged"
+        );
+        assert_eq!(
+            a.kernel_completions(),
+            b.kernel_completions(),
+            "{policy}: kernel completions diverged"
+        );
+
+        let isolated_a = sim_a.isolated_times(&w).unwrap();
+        let isolated_b = sim_b.isolated_times(&w).unwrap();
+        assert_eq!(isolated_a, isolated_b, "{policy}: isolated times diverged");
+        assert_eq!(
+            a.metrics(&isolated_a).unwrap(),
+            b.metrics(&isolated_b).unwrap(),
+            "{policy}: metrics diverged"
+        );
+    }
+}
+
 #[test]
 fn seeds_change_jitter_but_not_feasibility() {
     let w = workload(&["spmv", "mri-q"], 1);
@@ -198,5 +254,8 @@ fn seeds_change_jitter_but_not_feasibility() {
     // both runs complete all work.
     assert!(a.end_time() > SimTime::ZERO && b.end_time() > SimTime::ZERO);
     let rel = a.end_time().ratio(b.end_time());
-    assert!((0.8..1.25).contains(&rel), "seed changed results too much: {rel}");
+    assert!(
+        (0.8..1.25).contains(&rel),
+        "seed changed results too much: {rel}"
+    );
 }

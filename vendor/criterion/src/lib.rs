@@ -1,0 +1,227 @@
+//! Vendored stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by the
+//! gpreempt bench targets.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a compatible micro-harness: each registered benchmark is warmed up once
+//! and then timed over a small fixed number of iterations, reporting the
+//! mean wall-clock time per iteration (with throughput when configured).
+//! There is no statistical analysis, plotting or HTML output; the point is
+//! that every bench target compiles (`cargo bench --no-run`) and produces a
+//! quick, readable timing when actually run.
+//!
+//! The iteration count can be tuned with the `CRITERION_STUB_ITERS`
+//! environment variable (default 3).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. Accepted for API compatibility;
+/// the stub always runs setup once per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+            timed_iters: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.timed_iters += u64::from(self.iters);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        (self.timed_iters > 0).then(|| self.total / self.timed_iters.max(1) as u32)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(3);
+        Criterion { iters }
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some(mean) = bencher.mean() else {
+        println!("{id:<60} (no iterations)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<60} {mean:>12.3?}/iter{rate}");
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.iters);
+        f(&mut bencher);
+        report(&id, &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs and reports one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.criterion.iters);
+        f(&mut bencher);
+        report(&id, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut calls = 0u32;
+        Criterion { iters: 2 }.bench_function("counts", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3); // 1 warm-up + 2 timed
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion { iters: 1 };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("x", |b| {
+            b.iter_batched(|| 1u64, |v| v + 1, BatchSize::SmallInput);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,166 @@
+//! Vendored stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API used by the gpreempt
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the pieces the test suites rely on:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map), implemented for half-open
+//!   ranges and tuples of strategies,
+//! * [`collection::vec`] for random-length vectors,
+//! * [`arbitrary::any`] for primitives,
+//! * the [`proptest!`] macro plus [`prop_assert!`] / [`prop_assert_eq!`] /
+//!   [`prop_assert_ne!`],
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with `with_cases`.
+//!
+//! Differences from the real crate: generation is driven by a fixed seed
+//! (override with the `PROPTEST_SEED` environment variable) so failures are
+//! reproducible without persistence files, and there is **no shrinking** — a
+//! failing case reports the generated inputs verbatim.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Accepts an optional inner `#![proptest_config(...)]` attribute followed by
+/// any number of test functions whose arguments are written `name in
+/// strategy`. Each function body is run once per configured case with fresh
+/// random inputs; `prop_assert*` failures abort the case with the inputs
+/// printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::case_rng(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            __err,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case unless the condition holds.
+///
+/// Must be used inside a [`proptest!`] body (it early-returns a
+/// `Result::Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
+
+/// Fails the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l != *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}

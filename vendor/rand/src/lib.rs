@@ -1,0 +1,196 @@
+//! Vendored stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API that the gpreempt workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! compatible, dependency-free implementation backed by the public-domain
+//! xoshiro256** generator (seeded through SplitMix64, the reference seeding
+//! scheme). Everything is fully deterministic: the same seed always yields
+//! the same stream on every platform, which is exactly what the simulator's
+//! reproducibility guarantees need.
+//!
+//! Provided surface:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over integer and float [`Range`](std::ops::Range)s,
+//!   [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::choose`] and [`seq::SliceRandom::shuffle`].
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::Range;
+
+/// A source of random 64-bit words. Object-safe core of every generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, mirroring `rand`'s behaviour.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        T::sample_range(self, &range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples a value in `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased integer in `[0, span)` via Lemire's multiply-shift reduction
+/// with rejection of the biased zone.
+pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold below which a (hi, lo) product would be biased.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        let lo = wide as u64;
+        if lo >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                let span = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        let unit = unit_f64(rng.next_u64());
+        let v = range.start + unit * (range.end - range.start);
+        // Guard the open upper bound against floating-point round-up.
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        let v = f64::sample_range(rng, &(f64::from(range.start)..f64::from(range.end))) as f32;
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-50i64..-10);
+            assert!((-50..-10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_all_elements() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items = [1, 2, 3];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+}

@@ -1,0 +1,44 @@
+//! Random operations on slices.
+
+use crate::{uniform_below, RngCore};
+
+/// Extension trait giving slices random selection and shuffling.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Picks one element uniformly at random, or `None` on an empty slice.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: RngCore + ?Sized;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: RngCore + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: RngCore + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_below(rng, self.len() as u64) as usize)
+        }
+    }
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: RngCore + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
