@@ -31,8 +31,10 @@ fn launch(blocks: u32) -> KernelLaunch {
 fn run_single_kernel(mechanism: PreemptionMechanism, blocks: u32) -> u64 {
     let mut engine = ExecutionEngine::new(
         GpuConfig::default(),
-        PreemptionConfig::default(),
-        mechanism,
+        PreemptionConfig {
+            selection: mechanism.into(),
+            ..Default::default()
+        },
         EngineParams::default(),
         SimRng::new(7),
     );
@@ -74,8 +76,10 @@ fn bench_preemption_operation(c: &mut Criterion) {
                     // A running engine with a second kernel waiting.
                     let mut engine = ExecutionEngine::new(
                         GpuConfig::default(),
-                        PreemptionConfig::default(),
-                        mechanism,
+                        PreemptionConfig {
+                            selection: mechanism.into(),
+                            ..Default::default()
+                        },
                         EngineParams::default(),
                         SimRng::new(3),
                     );
@@ -114,8 +118,10 @@ fn bench_preemption_operation(c: &mut Criterion) {
 fn bench_framework_queries(c: &mut Criterion) {
     let mut engine = ExecutionEngine::new(
         GpuConfig::default(),
-        PreemptionConfig::default(),
-        PreemptionMechanism::ContextSwitch,
+        PreemptionConfig {
+            selection: PreemptionMechanism::ContextSwitch.into(),
+            ..Default::default()
+        },
         EngineParams::default(),
         SimRng::new(3),
     );

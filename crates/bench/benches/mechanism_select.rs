@@ -1,0 +1,74 @@
+//! Microbenchmark of the adaptive mechanism-selection hot path: building a
+//! [`PreemptionEstimate`] from the online remaining-time estimator and
+//! picking a mechanism. This code runs inside every `preempt_sm` under
+//! `MechanismSelection::Adaptive`, so it must stay cheap relative to the
+//! rest of the engine's event handling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpreempt_gpu::{ContextSwitchCost, PreemptionEstimate, RemainingTimeEstimator};
+use gpreempt_types::{GpuConfig, KernelFootprint, PreemptionConfig, SimTime};
+use std::hint::black_box;
+
+/// A warmed-up estimator: each KSRT slot seeded and fed observations, as it
+/// would be mid-run.
+fn warmed_estimator(slots: usize) -> RemainingTimeEstimator {
+    let mut est = RemainingTimeEstimator::new(slots);
+    for slot in 0..slots {
+        est.reset_slot(slot, SimTime::from_micros(100));
+        for i in 0..64u64 {
+            est.observe(slot, SimTime::from_micros(80 + (i * 7) % 40));
+        }
+    }
+    est
+}
+
+fn bench_estimate_and_select(c: &mut Criterion) {
+    let gpu = GpuConfig::default();
+    let cfg = PreemptionConfig::default();
+    let cost = ContextSwitchCost::new(&gpu, &cfg);
+    let footprint = KernelFootprint::new(8_192, 0, 256);
+    let estimator = warmed_estimator(13);
+    // A full SM: 16 resident blocks at varying progress.
+    let elapsed: Vec<SimTime> = (0..16u64).map(|i| SimTime::from_micros(i * 6)).collect();
+
+    let mut group = c.benchmark_group("engine/mechanism_select");
+    group.bench_function("estimate_16_blocks", |b| {
+        b.iter(|| {
+            PreemptionEstimate::for_resident_blocks(
+                black_box(&estimator),
+                black_box(3),
+                black_box(&elapsed),
+                &cost,
+                &footprint,
+            )
+        })
+    });
+    group.bench_function("estimate_and_select", |b| {
+        b.iter(|| {
+            let estimate = PreemptionEstimate::for_resident_blocks(
+                black_box(&estimator),
+                black_box(3),
+                black_box(&elapsed),
+                &cost,
+                &footprint,
+            );
+            (
+                estimate.select(None),
+                estimate.select(Some(SimTime::from_micros(50))),
+            )
+        })
+    });
+    group.bench_function("observe_update", |b| {
+        let mut est = warmed_estimator(13);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            est.observe((i % 13) as usize, SimTime::from_micros(60 + i % 50));
+            black_box(est.expected_duration((i % 13) as usize))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_and_select);
+criterion_main!(benches);

@@ -9,20 +9,50 @@
 //! Arguments are benchmark names (repeatable); options:
 //!
 //! * `--policy fcfs|npq|ppq|ppq-shared|dss` (default `dss`)
-//! * `--mechanism context-switch|draining` (default `context-switch`)
+//! * `--mechanism context-switch|draining|adaptive[:latency_target_us]`
+//!   (default `context-switch`); `adaptive` lets the engine pick the
+//!   cheaper mechanism at each preemption, optionally subject to a
+//!   preemption-latency target in microseconds (e.g. `adaptive:50`)
 //! * `--high-priority <index>` mark the i-th process as high priority
 //! * `--completions <n>` replay target (default 3)
 //! * `--seed <n>` RNG seed
 
 use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
-use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_gpu::MechanismSelection;
 use gpreempt_trace::{parboil, ProcessSpec, Workload};
-use gpreempt_types::{Priority, ProcessId};
+use gpreempt_types::{Priority, ProcessId, SimTime};
 use std::time::Instant;
+
+/// Parses a `--mechanism` value: a fixed mechanism name, `adaptive`, or
+/// `adaptive:<latency target in microseconds>`.
+fn parse_mechanism(value: &str) -> Result<MechanismSelection, String> {
+    use gpreempt_gpu::PreemptionMechanism;
+    match value {
+        "context-switch" => Ok(MechanismSelection::Fixed(
+            PreemptionMechanism::ContextSwitch,
+        )),
+        "draining" => Ok(MechanismSelection::Fixed(PreemptionMechanism::Draining)),
+        "adaptive" => Ok(MechanismSelection::adaptive()),
+        other => match other.strip_prefix("adaptive:") {
+            Some(target) => {
+                let us: f64 = target
+                    .parse()
+                    .map_err(|e| format!("bad latency target {target:?}: {e}"))?;
+                if !us.is_finite() || us <= 0.0 {
+                    return Err(format!("latency target must be positive, got {target:?}"));
+                }
+                Ok(MechanismSelection::adaptive_with_target(
+                    SimTime::from_micros_f64(us),
+                ))
+            }
+            None => Err(format!("unknown mechanism {other:?}")),
+        },
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut policy = PolicyKind::Dss;
-    let mut mechanism = PreemptionMechanism::ContextSwitch;
+    let mut mechanism = MechanismSelection::default();
     let mut high_priority: Option<usize> = None;
     let mut completions = 3u32;
     let mut seed = 0x5EEDu64;
@@ -42,11 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--mechanism" => {
-                mechanism = match args.next().as_deref() {
-                    Some("context-switch") => PreemptionMechanism::ContextSwitch,
-                    Some("draining") => PreemptionMechanism::Draining,
-                    other => return Err(format!("unknown mechanism {other:?}").into()),
-                }
+                let value = args.next().ok_or("missing mechanism")?;
+                mechanism = parse_mechanism(&value)?;
             }
             "--high-priority" => {
                 high_priority = Some(args.next().ok_or("missing index")?.parse()?);
@@ -71,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = SimulatorConfig::default()
-        .with_mechanism(mechanism)
+        .with_selection(mechanism)
         .with_seed(seed);
     let sim = Simulator::new(config.clone());
     let gpu = &config.machine.gpu;
@@ -114,13 +141,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.events_processed(),
         wall
     );
+    let stats = run.engine_stats();
     println!(
-        "ANTT {:.3}   STP {:.3}   fairness {:.3}   preemptions {}",
+        "ANTT {:.3}   STP {:.3}   fairness {:.3}   preemptions {}   mean preempt latency {}",
         metrics.antt(),
         metrics.stp(),
         metrics.fairness(),
-        run.engine_stats().preemptions
+        stats.preemptions,
+        stats.mean_preemption_latency(),
     );
+    if mechanism.is_adaptive() {
+        println!(
+            "adaptive picks: {} drain / {} context-switch   mean estimate error {}",
+            stats.adaptive_drain_picks,
+            stats.adaptive_cs_picks,
+            stats.mean_estimate_error(),
+        );
+    }
     for (i, spec) in workload.processes().iter().enumerate() {
         let p = ProcessId::from(i);
         println!(

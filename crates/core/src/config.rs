@@ -1,6 +1,6 @@
 //! Simulator configuration and policy selection.
 
-use gpreempt_gpu::{EngineParams, PreemptionMechanism};
+use gpreempt_gpu::{EngineParams, MechanismSelection, PreemptionMechanism};
 use gpreempt_host::TransferPolicy;
 use gpreempt_sched::{DssPolicy, FcfsPolicy, NpqPolicy, PpqPolicy, SchedulingPolicy};
 use gpreempt_trace::Workload;
@@ -85,15 +85,15 @@ impl std::fmt::Display for PolicyKind {
 }
 
 /// Everything needed to run a simulation: the machine description, engine
-/// parameters, preemption mechanism, RNG seed and safety limits.
+/// parameters, preemption-mechanism selection, RNG seed and safety limits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulatorConfig {
-    /// Machine parameters (CPU, PCIe, GPU — Table 2).
+    /// Machine parameters (CPU, PCIe, GPU — Table 2). The preemption
+    /// sub-configuration carries the [`MechanismSelection`] the execution
+    /// engine consults at each `preempt_sm`.
     pub machine: SimConfig,
     /// Engine model parameters (setup latency, block-time jitter).
     pub engine: EngineParams,
-    /// Preemption mechanism used whenever a policy preempts an SM.
-    pub mechanism: PreemptionMechanism,
     /// Transfer-engine queue policy; `None` derives it from the execution
     /// policy the way the paper does.
     pub transfer_policy: Option<TransferPolicy>,
@@ -105,17 +105,31 @@ pub struct SimulatorConfig {
 }
 
 impl SimulatorConfig {
-    /// Creates the default configuration (Table 2 machine, context-switch
-    /// preemption).
+    /// Creates the default configuration (Table 2 machine, fixed
+    /// context-switch preemption).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sets the preemption mechanism.
+    /// Pins one preemption mechanism for every preemption of the run
+    /// (shorthand for `with_selection(MechanismSelection::Fixed(..))`).
     #[must_use]
     pub fn with_mechanism(mut self, mechanism: PreemptionMechanism) -> Self {
-        self.mechanism = mechanism;
+        self.machine.preemption.selection = MechanismSelection::Fixed(mechanism);
         self
+    }
+
+    /// Sets how the engine picks the preemption mechanism (fixed or
+    /// adaptive per preemption).
+    #[must_use]
+    pub fn with_selection(mut self, selection: MechanismSelection) -> Self {
+        self.machine.preemption.selection = selection;
+        self
+    }
+
+    /// The configured mechanism selection.
+    pub fn selection(&self) -> MechanismSelection {
+        self.machine.preemption.selection
     }
 
     /// Sets the RNG seed.
@@ -138,7 +152,6 @@ impl Default for SimulatorConfig {
         SimulatorConfig {
             machine: SimConfig::default(),
             engine: EngineParams::default(),
-            mechanism: PreemptionMechanism::ContextSwitch,
             transfer_policy: None,
             seed: 0x5EED,
             max_events: 500_000_000,
@@ -193,9 +206,19 @@ mod tests {
             .with_mechanism(PreemptionMechanism::Draining)
             .with_seed(7)
             .with_transfer_policy(TransferPolicy::Priority);
-        assert_eq!(c.mechanism, PreemptionMechanism::Draining);
+        assert_eq!(
+            c.selection(),
+            MechanismSelection::Fixed(PreemptionMechanism::Draining)
+        );
         assert_eq!(c.seed, 7);
         assert_eq!(c.transfer_policy, Some(TransferPolicy::Priority));
         assert_eq!(c.machine.gpu.n_sms, 13);
+
+        let adaptive = SimulatorConfig::new().with_selection(MechanismSelection::adaptive());
+        assert!(adaptive.selection().is_adaptive());
+        assert_eq!(
+            SimulatorConfig::default().selection(),
+            MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch)
+        );
     }
 }

@@ -1,0 +1,276 @@
+//! Mechanism-selection ablation: fixed context switch vs. fixed draining
+//! vs. adaptive per-preemption selection.
+//!
+//! The paper evaluates DSS once per pinned mechanism; this harness adds the
+//! adaptive engine mode (the mechanism is chosen at each `preempt_sm` from
+//! the estimated drain latency and the context-save cost model) and reports,
+//! per workload, the Eyerman & Eeckhout metrics **plus** the mean preemption
+//! latency, the adaptive pick split and the remaining-time estimator's mean
+//! prediction error.
+
+use crate::config::{PolicyKind, SimulatorConfig};
+use crate::experiments::common::{ExperimentScale, IsolatedTimes};
+use crate::report::TextTable;
+use crate::simulator::Simulator;
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
+use gpreempt_types::{SimError, SimTime};
+use std::collections::HashMap;
+
+/// One engine configuration evaluated by the mechanism ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismConfig {
+    /// Every preemption context-switches (the paper's default).
+    FixedContextSwitch,
+    /// Every preemption drains.
+    FixedDraining,
+    /// The engine picks the cheaper mechanism per preemption.
+    Adaptive,
+}
+
+impl MechanismConfig {
+    /// Every configuration, in evaluation order.
+    pub const fn all() -> [MechanismConfig; 3] {
+        [
+            MechanismConfig::FixedContextSwitch,
+            MechanismConfig::FixedDraining,
+            MechanismConfig::Adaptive,
+        ]
+    }
+
+    /// Label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MechanismConfig::FixedContextSwitch => "Fixed(CS)",
+            MechanismConfig::FixedDraining => "Fixed(Drain)",
+            MechanismConfig::Adaptive => "Adaptive",
+        }
+    }
+
+    /// The engine-level selection mode this configuration maps onto.
+    pub const fn selection(self) -> MechanismSelection {
+        match self {
+            MechanismConfig::FixedContextSwitch => {
+                MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch)
+            }
+            MechanismConfig::FixedDraining => {
+                MechanismSelection::Fixed(PreemptionMechanism::Draining)
+            }
+            MechanismConfig::Adaptive => MechanismSelection::adaptive(),
+        }
+    }
+}
+
+impl std::fmt::Display for MechanismConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one workload under one mechanism configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismOutcome {
+    /// Average normalized turnaround time.
+    pub antt: f64,
+    /// System throughput.
+    pub stp: f64,
+    /// Fairness.
+    pub fairness: f64,
+    /// Preemptions requested by the policy.
+    pub preemptions: u64,
+    /// Preemptions that ran to completion.
+    pub preemptions_completed: u64,
+    /// Mean request-to-hand-over preemption latency.
+    pub mean_preemption_latency: SimTime,
+    /// Adaptive picks that chose draining (0 under fixed selection).
+    pub drain_picks: u64,
+    /// Adaptive picks that chose context switching (0 under fixed
+    /// selection).
+    pub cs_picks: u64,
+    /// Mean absolute error of the adaptive latency estimates (zero under
+    /// fixed selection).
+    pub mean_estimate_error: SimTime,
+}
+
+/// The results of one workload across every mechanism configuration.
+#[derive(Debug, Clone)]
+pub struct MechanismRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Number of processes.
+    pub size: usize,
+    /// Outcome under each configuration.
+    pub outcomes: HashMap<MechanismConfig, MechanismOutcome>,
+}
+
+impl MechanismRecord {
+    /// Whether every configuration actually preempted on this workload, so
+    /// latency comparisons are meaningful.
+    pub fn all_preempted(&self) -> bool {
+        MechanismConfig::all()
+            .iter()
+            .all(|c| self.outcomes[c].preemptions_completed > 0)
+    }
+
+    /// The smaller of the two fixed configurations' mean preemption
+    /// latencies.
+    pub fn best_fixed_latency(&self) -> SimTime {
+        self.outcomes[&MechanismConfig::FixedContextSwitch]
+            .mean_preemption_latency
+            .min(self.outcomes[&MechanismConfig::FixedDraining].mean_preemption_latency)
+    }
+
+    /// Whether the adaptive engine achieved a mean preemption latency no
+    /// worse than the better fixed mechanism, within the estimator's own
+    /// reported mean error (the acceptance bound of the ablation).
+    pub fn adaptive_within_bound(&self) -> bool {
+        let adaptive = &self.outcomes[&MechanismConfig::Adaptive];
+        let bound = self.best_fixed_latency() + adaptive.mean_estimate_error;
+        adaptive.mean_preemption_latency <= bound
+    }
+}
+
+/// The full mechanism-selection ablation.
+#[derive(Debug, Clone)]
+pub struct MechanismResults {
+    records: Vec<MechanismRecord>,
+    sizes: Vec<usize>,
+}
+
+impl MechanismResults {
+    /// Runs the ablation at the given scale: every random workload of every
+    /// size is simulated under DSS (the preemption-heavy policy) with each
+    /// of the three mechanism configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
+        let mut generator = scale.generator(config);
+        let mut isolated = IsolatedTimes::new();
+        let reference_sim = Simulator::new(
+            config
+                .clone()
+                .with_mechanism(PreemptionMechanism::ContextSwitch),
+        );
+        let mut records = Vec::new();
+
+        for &size in &scale.workload_sizes {
+            let population = generator.random_population(size, scale.random_workloads);
+            for workload in population {
+                let workload = scale.finalize(workload);
+                let iso = isolated.for_workload(&reference_sim, &workload)?;
+                let mut outcomes = HashMap::new();
+                for cfg in MechanismConfig::all() {
+                    let sim = Simulator::new(config.clone().with_selection(cfg.selection()));
+                    let run = sim.run(&workload, PolicyKind::Dss)?;
+                    let metrics = run.metrics(&iso)?;
+                    let stats = run.engine_stats();
+                    outcomes.insert(
+                        cfg,
+                        MechanismOutcome {
+                            antt: metrics.antt(),
+                            stp: metrics.stp(),
+                            fairness: metrics.fairness(),
+                            preemptions: stats.preemptions,
+                            preemptions_completed: stats.preemptions_completed,
+                            mean_preemption_latency: stats.mean_preemption_latency(),
+                            drain_picks: stats.adaptive_drain_picks,
+                            cs_picks: stats.adaptive_cs_picks,
+                            mean_estimate_error: stats.mean_estimate_error(),
+                        },
+                    );
+                }
+                records.push(MechanismRecord {
+                    workload: workload.name().to_string(),
+                    size,
+                    outcomes,
+                });
+            }
+        }
+
+        Ok(MechanismResults {
+            records,
+            sizes: scale.workload_sizes.clone(),
+        })
+    }
+
+    /// The per-workload records.
+    pub fn records(&self) -> &[MechanismRecord] {
+        &self.records
+    }
+
+    /// The workload sizes evaluated.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Whether at least one workload mix with preemptions under every
+    /// configuration met the adaptive latency bound (mean adaptive latency
+    /// ≤ best fixed mean latency + the estimator's reported error).
+    pub fn adaptive_meets_latency_bound(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.all_preempted() && r.adaptive_within_bound())
+    }
+
+    /// Mean of a per-outcome value across the records of one size.
+    fn mean_over(
+        &self,
+        size: usize,
+        config: MechanismConfig,
+        f: impl Fn(&MechanismOutcome) -> f64,
+    ) -> f64 {
+        crate::experiments::common::mean_of(
+            self.records
+                .iter()
+                .filter(|r| r.size == size)
+                .map(|r| f(&r.outcomes[&config])),
+        )
+    }
+
+    /// Renders the ablation as one table: per size and configuration, the
+    /// mean ANTT / STP / fairness, the mean preemption latency and the
+    /// adaptive decision split.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "procs".into(),
+            "selection".into(),
+            "ANTT".into(),
+            "STP".into(),
+            "fairness".into(),
+            "mean preempt lat (us)".into(),
+            "drain/cs picks".into(),
+            "est err (us)".into(),
+        ])
+        .with_title("Mechanism ablation: fixed context switch / fixed draining / adaptive (DSS)");
+        for &size in &self.sizes {
+            for cfg in MechanismConfig::all() {
+                let lat = self.mean_over(size, cfg, |o| o.mean_preemption_latency.as_micros_f64());
+                let err = self.mean_over(size, cfg, |o| o.mean_estimate_error.as_micros_f64());
+                let drain: u64 = self
+                    .records
+                    .iter()
+                    .filter(|r| r.size == size)
+                    .map(|r| r.outcomes[&cfg].drain_picks)
+                    .sum();
+                let cs: u64 = self
+                    .records
+                    .iter()
+                    .filter(|r| r.size == size)
+                    .map(|r| r.outcomes[&cfg].cs_picks)
+                    .sum();
+                table.add_row(vec![
+                    size.to_string(),
+                    cfg.label().to_string(),
+                    format!("{:.2}", self.mean_over(size, cfg, |o| o.antt)),
+                    format!("{:.2}", self.mean_over(size, cfg, |o| o.stp)),
+                    format!("{:.2}", self.mean_over(size, cfg, |o| o.fairness)),
+                    format!("{lat:.2}"),
+                    format!("{drain}/{cs}"),
+                    format!("{err:.2}"),
+                ]);
+            }
+        }
+        table
+    }
+}

@@ -8,6 +8,7 @@
 //! | Figure 6a/6b | [`PriorityResults::render_fig6`] | STP degradation of PPQ over NPQ |
 //! | Figure 7a-c | [`SpatialResults`] | DSS turnaround / fairness / throughput vs FCFS |
 //! | Figure 8 | [`SpatialResults::render_fig8`] | ANTT distribution across workloads |
+//! | (extension) | [`MechanismResults`] | fixed vs adaptive mechanism selection under DSS |
 //!
 //! All harnesses take an [`ExperimentScale`]: `quick()` for smoke runs,
 //! `bench()` for the default `cargo bench` harness and `paper()` for the
@@ -15,12 +16,14 @@
 
 pub mod common;
 pub mod fig2;
+pub mod mechanism;
 pub mod priority;
 pub mod spatial;
 pub mod table1;
 
 pub use common::{simulator_with_mechanism, ExperimentScale, IsolatedTimes};
 pub use fig2::{Fig2Results, Fig2Timeline};
+pub use mechanism::{MechanismConfig, MechanismOutcome, MechanismRecord, MechanismResults};
 pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResults};
 pub use spatial::{SpatialConfig, SpatialOutcome, SpatialRecord, SpatialResults};
 pub use table1::{Table1, Table1Row};
@@ -125,6 +128,50 @@ mod tests {
         assert!(!results.render_fig7b().is_empty());
         assert!(!results.render_fig7c().is_empty());
         assert!(!results.render_fig8().is_empty());
+    }
+
+    #[test]
+    fn mechanism_ablation_covers_all_selections_and_meets_latency_bound() {
+        let config = SimulatorConfig::default();
+        let scale = tiny_scale();
+        let results = MechanismResults::run(&config, &scale).unwrap();
+        assert_eq!(results.records().len(), 2);
+        for record in results.records() {
+            assert_eq!(record.outcomes.len(), MechanismConfig::all().len());
+            for outcome in record.outcomes.values() {
+                assert!(outcome.antt >= 1.0 - 1e-9);
+                assert!(outcome.stp > 0.0 && outcome.stp <= record.size as f64 + 1e-9);
+                assert!(outcome.fairness > 0.0 && outcome.fairness <= 1.0 + 1e-9);
+            }
+            // Fixed selections never exercise the adaptive selector.
+            for fixed in [
+                MechanismConfig::FixedContextSwitch,
+                MechanismConfig::FixedDraining,
+            ] {
+                assert_eq!(record.outcomes[&fixed].drain_picks, 0);
+                assert_eq!(record.outcomes[&fixed].cs_picks, 0);
+            }
+            // Every adaptive preemption was decided by the selector.
+            let adaptive = &record.outcomes[&MechanismConfig::Adaptive];
+            assert!(
+                adaptive.drain_picks + adaptive.cs_picks <= adaptive.preemptions,
+                "picks cannot exceed preemption requests"
+            );
+        }
+        // At least one mix preempts under every configuration, and on at
+        // least one such mix the adaptive engine's mean preemption latency
+        // is within the estimator's reported error of the better fixed
+        // mechanism (the headline acceptance criterion).
+        assert!(
+            results.records().iter().any(MechanismRecord::all_preempted),
+            "no workload mix exercised preemption in all three modes"
+        );
+        assert!(
+            results.adaptive_meets_latency_bound(),
+            "adaptive latency bound violated on every mix: {}",
+            results.render().render()
+        );
+        assert!(!results.render().is_empty());
     }
 
     #[test]

@@ -72,6 +72,8 @@ impl SimulationRun {
     }
 
     /// Average turnaround time of the completed executions of one process.
+    /// Zero when the process completed no executions (starvation), which
+    /// [`metrics`](Self::metrics) reports as NTT = ∞ / progress = 0.
     pub fn mean_turnaround(&self, process: ProcessId) -> SimTime {
         let records = &self.iterations[process.index()];
         if records.is_empty() {
@@ -89,12 +91,14 @@ impl SimulationRun {
     }
 
     /// Computes the Eyerman & Eeckhout metrics of this run given each
-    /// process's isolated execution time.
+    /// process's isolated execution time. Processes with zero completed
+    /// executions are reported as starved (NTT = ∞, normalized progress 0,
+    /// fairness → 0) instead of producing an error.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidWorkload`] if the lengths differ or any
-    /// time is zero.
+    /// isolated time is zero.
     pub fn metrics(&self, isolated: &[SimTime]) -> Result<WorkloadMetrics, SimError> {
         if isolated.len() != self.iterations.len() {
             return Err(SimError::invalid_workload(
@@ -159,6 +163,36 @@ impl Simulator {
     /// or if the event budget is exhausted before the replay target is met
     /// (which indicates starvation or a livelock).
     pub fn run(&self, workload: &Workload, policy: PolicyKind) -> Result<SimulationRun, SimError> {
+        self.run_inner(workload, policy, None)
+    }
+
+    /// Simulates `workload` under `policy` until every process met the
+    /// replay target **or** simulated time reaches `deadline`, whichever
+    /// comes first. Unlike [`run`](Self::run), the returned
+    /// [`SimulationRun`] may contain processes with zero completed
+    /// executions (starvation); their mean turnaround is zero and
+    /// [`SimulationRun::metrics`] reports them as starved (NTT = ∞,
+    /// fairness → 0) rather than erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload is invalid for the configured GPU
+    /// or the event budget is exhausted before the deadline.
+    pub fn run_until(
+        &self,
+        workload: &Workload,
+        policy: PolicyKind,
+        deadline: SimTime,
+    ) -> Result<SimulationRun, SimError> {
+        self.run_inner(workload, policy, Some(deadline))
+    }
+
+    fn run_inner(
+        &self,
+        workload: &Workload,
+        policy: PolicyKind,
+        deadline: Option<SimTime>,
+    ) -> Result<SimulationRun, SimError> {
         self.config.machine.validate()?;
         workload.validate(&self.config.machine.gpu)?;
 
@@ -170,7 +204,6 @@ impl Simulator {
         let mut engine = ExecutionEngine::new(
             self.config.machine.gpu.clone(),
             self.config.machine.preemption,
-            self.config.mechanism,
             self.config.engine,
             gpreempt_sim::SimRng::new(self.config.seed),
         );
@@ -201,6 +234,13 @@ impl Simulator {
             if host.all_completed_at_least(target) {
                 end_time = Self::latest_needed_completion(&iterations, target);
                 break;
+            }
+            if let Some(d) = deadline {
+                // Stop at the deadline: no further event at or before it.
+                if queue.peek_time().is_none_or(|t| t > d) {
+                    end_time = d;
+                    break;
+                }
             }
             if queue.processed() >= self.config.max_events {
                 return Err(SimError::EventBudgetExceeded {

@@ -7,9 +7,10 @@
 //! asked to have scheduled, and dispatches the [`PolicyHook`]s the engine
 //! raises to whatever scheduling policy is plugged in.
 
+use crate::estimator::{PreemptionEstimate, RemainingTimeEstimator};
 use crate::framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmState, SmStatus};
 use crate::launch::{KernelCompletion, KernelLaunch};
-use crate::preempt::{ContextSwitchCost, PreemptionMechanism};
+use crate::preempt::{ContextSwitchCost, MechanismSelection, PreemptionMechanism};
 use gpreempt_sim::SimRng;
 use gpreempt_types::{GpuConfig, KernelLaunchId, PreemptionConfig, SimTime, SmId, ThreadBlockId};
 use std::collections::VecDeque;
@@ -93,12 +94,57 @@ pub struct EngineStats {
     pub busy_time: SimTime,
     /// Number of SM preemptions requested.
     pub preemptions: u64,
+    /// Number of preemptions that ran to completion (the SM was handed
+    /// over); the denominator of [`mean_preemption_latency`](Self::mean_preemption_latency).
+    pub preemptions_completed: u64,
+    /// Total latency (request to hand-over) of completed preemptions.
+    pub preemption_latency_total: SimTime,
     /// Thread blocks whose context was saved by the context-switch mechanism.
     pub blocks_saved: u64,
     /// Total time SMs spent saving contexts.
     pub save_time: SimTime,
     /// Kernels that finished.
     pub kernels_completed: u64,
+    /// Preemptions for which the adaptive selector chose draining.
+    pub adaptive_drain_picks: u64,
+    /// Preemptions for which the adaptive selector chose context switching.
+    pub adaptive_cs_picks: u64,
+    /// Sum of the adaptive selector's latency estimates at decision time.
+    pub adaptive_estimated_latency: SimTime,
+    /// Adaptive preemptions that ran to completion; the denominator of
+    /// [`mean_estimate_error`](Self::mean_estimate_error).
+    pub adaptive_completed: u64,
+    /// Sum of `|estimated − actual|` preemption latency over completed
+    /// adaptive preemptions: the estimator's accumulated prediction error.
+    pub adaptive_latency_error: SimTime,
+}
+
+impl EngineStats {
+    /// Mean request-to-hand-over latency over completed preemptions
+    /// (zero when none completed).
+    pub fn mean_preemption_latency(&self) -> SimTime {
+        if self.preemptions_completed == 0 {
+            SimTime::ZERO
+        } else {
+            self.preemption_latency_total / self.preemptions_completed
+        }
+    }
+
+    /// Number of preemptions decided by the adaptive selector.
+    pub fn adaptive_picks(&self) -> u64 {
+        self.adaptive_drain_picks + self.adaptive_cs_picks
+    }
+
+    /// Mean absolute error of the adaptive selector's latency estimates,
+    /// over the adaptive preemptions that ran to completion (zero when none
+    /// completed).
+    pub fn mean_estimate_error(&self) -> SimTime {
+        if self.adaptive_completed == 0 {
+            SimTime::ZERO
+        } else {
+            self.adaptive_latency_error / self.adaptive_completed
+        }
+    }
 }
 
 /// The GPU execution engine model.
@@ -106,11 +152,11 @@ pub struct EngineStats {
 pub struct ExecutionEngine {
     gpu: GpuConfig,
     preemption_cfg: PreemptionConfig,
-    mechanism: PreemptionMechanism,
     params: EngineParams,
     rng: SimRng,
     sms: Vec<SmStatus>,
     ksrt: Vec<Option<KernelState>>,
+    estimator: RemainingTimeEstimator,
     waiting_admission: VecDeque<KernelLaunch>,
     scheduled: Vec<(SimTime, EngineEvent)>,
     completions: Vec<KernelCompletion>,
@@ -119,12 +165,13 @@ pub struct ExecutionEngine {
 }
 
 impl ExecutionEngine {
-    /// Creates an execution engine for the given GPU, using `mechanism`
-    /// whenever a policy preempts an SM.
+    /// Creates an execution engine for the given GPU. The preemption
+    /// mechanism used when a policy preempts an SM is governed by
+    /// `preemption_cfg.selection`: either pinned for the whole run or chosen
+    /// per preemption from online cost estimates.
     pub fn new(
         gpu: GpuConfig,
         preemption_cfg: PreemptionConfig,
-        mechanism: PreemptionMechanism,
         params: EngineParams,
         rng: SimRng,
     ) -> Self {
@@ -132,11 +179,11 @@ impl ExecutionEngine {
         ExecutionEngine {
             gpu,
             preemption_cfg,
-            mechanism,
             params,
             rng,
             sms: vec![SmStatus::new(); n],
             ksrt: vec![None; n],
+            estimator: RemainingTimeEstimator::new(n),
             waiting_admission: VecDeque::new(),
             scheduled: Vec::new(),
             completions: Vec::new(),
@@ -150,9 +197,14 @@ impl ExecutionEngine {
         &self.gpu
     }
 
-    /// The preemption mechanism in use.
-    pub fn mechanism(&self) -> PreemptionMechanism {
-        self.mechanism
+    /// How the engine picks the preemption mechanism.
+    pub fn selection(&self) -> MechanismSelection {
+        self.preemption_cfg.selection
+    }
+
+    /// The online remaining-time estimator feeding adaptive decisions.
+    pub fn estimator(&self) -> &RemainingTimeEstimator {
+        &self.estimator
     }
 
     /// Number of SMs.
@@ -250,6 +302,9 @@ impl ExecutionEngine {
         let slot = self.ksrt.iter().position(Option::is_none);
         match slot {
             Some(i) => {
+                // Seed the remaining-time estimator with the kernel's
+                // declared mean block time; observations refine it online.
+                self.estimator.reset_slot(i, launch.spec.mean_block_time());
                 self.ksrt[i] = Some(KernelState::new(launch, &self.gpu, now));
                 let ksr = KsrIndex(i as u32);
                 self.hooks.push(PolicyHook::KernelAdmitted(ksr));
@@ -301,10 +356,11 @@ impl ExecutionEngine {
         true
     }
 
-    /// Preempts a running SM on behalf of `next` using the engine's
-    /// preemption mechanism. The SM is marked reserved; once the preemption
-    /// completes the SM is set up for `next` (unless the reservation is
-    /// retargeted in the meantime).
+    /// Preempts a running SM on behalf of `next`. The mechanism is chosen
+    /// according to the configured [`MechanismSelection`]: pinned, or picked
+    /// per preemption from the estimated drain and context-save costs. The
+    /// SM is marked reserved; once the preemption completes the SM is set up
+    /// for `next` (unless the reservation is retargeted in the meantime).
     ///
     /// Returns `false` (and does nothing) if the SM is not in the running
     /// state.
@@ -326,6 +382,9 @@ impl ExecutionEngine {
                 }
             }
             self.stats.preemptions += 1;
+            // The hand-over is instantaneous: a completed zero-latency
+            // preemption that no mechanism had to act on.
+            self.stats.preemptions_completed += 1;
             let assigned = self.assign_sm(now, sm, next);
             if !assigned {
                 self.hooks.push(PolicyHook::SmIdle(sm));
@@ -333,11 +392,26 @@ impl ExecutionEngine {
             return true;
         }
         self.stats.preemptions += 1;
-        let mechanism = self.mechanism;
+        let mechanism = match self.preemption_cfg.selection {
+            MechanismSelection::Fixed(m) => m,
+            MechanismSelection::Adaptive { latency_target } => {
+                let estimate = self.estimate_preemption(now, sm);
+                let chosen = estimate.select(latency_target);
+                match chosen {
+                    PreemptionMechanism::Draining => self.stats.adaptive_drain_picks += 1,
+                    PreemptionMechanism::ContextSwitch => self.stats.adaptive_cs_picks += 1,
+                }
+                let est_latency = estimate.latency_of(chosen);
+                self.stats.adaptive_estimated_latency += est_latency;
+                self.sms[sm.index()].estimated_latency = Some(est_latency);
+                chosen
+            }
+        };
         let status = &mut self.sms[sm.index()];
         status.state = SmState::Reserved;
         status.next = Some(next);
         status.mechanism = Some(mechanism);
+        status.preempted_at = Some(now);
         match mechanism {
             PreemptionMechanism::Draining => {
                 if status.resident.is_empty() {
@@ -380,6 +454,38 @@ impl ExecutionEngine {
             }
         }
         true
+    }
+
+    /// The adaptive selector's cost estimate for preempting `sm` right now:
+    /// drain latency/work predicted by the online remaining-time estimator,
+    /// context-save latency and deferred restore cost from the footprint
+    /// model. Exposed so policies and experiments can inspect the decision
+    /// the engine would make. Returns [`PreemptionEstimate::ZERO`] for an SM
+    /// with no current kernel.
+    pub fn estimate_preemption(&self, now: SimTime, sm: SmId) -> PreemptionEstimate {
+        let status = &self.sms[sm.index()];
+        let Some(ksr) = status.current else {
+            return PreemptionEstimate::ZERO;
+        };
+        let footprint = self.ksrt[ksr.index()]
+            .as_ref()
+            .expect("current kernel exists")
+            .launch()
+            .spec
+            .footprint();
+        let elapsed: Vec<SimTime> = status
+            .resident
+            .iter()
+            .map(|rb| now - rb.issued_at)
+            .collect();
+        let cost = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg);
+        PreemptionEstimate::for_resident_blocks(
+            &self.estimator,
+            ksr.index(),
+            &elapsed,
+            &cost,
+            &footprint,
+        )
     }
 
     /// Changes the kernel a reserved SM will be handed to once its
@@ -429,6 +535,12 @@ impl ExecutionEngine {
         let Some(ksr) = status.current else { return };
         self.stats.blocks_completed += 1;
         self.stats.busy_time += finished.duration;
+        // Feed the online estimator with the observed block duration.
+        // Restored residencies are partial executions (remaining + restore),
+        // not full block durations, and would bias the estimate downward.
+        if !finished.restored {
+            self.estimator.observe(ksr.index(), finished.duration);
+        }
         let kernel_finished = {
             let k = self.ksrt[ksr.index()]
                 .as_mut()
@@ -485,13 +597,11 @@ impl ExecutionEngine {
                 k.launch().spec.mean_block_time(),
             )
         };
-        let restore = match self.mechanism {
-            PreemptionMechanism::ContextSwitch => {
-                ContextSwitchCost::new(&self.gpu, &self.preemption_cfg)
-                    .restore_time_per_block(&footprint)
-            }
-            PreemptionMechanism::Draining => SimTime::ZERO,
-        };
+        // Blocks arriving from the PTBQ were saved by a context switch, so
+        // they pay the restore penalty on re-issue regardless of how future
+        // preemptions will be performed (draining never queues blocks).
+        let restore = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg)
+            .restore_time_per_block(&footprint);
         loop {
             if self.sms[sm.index()].resident.len() as u32 >= blocks_per_sm {
                 return;
@@ -503,6 +613,7 @@ impl ExecutionEngine {
             let Some((block, restored_remaining)) = taken else {
                 break;
             };
+            let restored = restored_remaining.is_some();
             let duration = match restored_remaining {
                 Some(remaining) => remaining + restore,
                 None => self
@@ -514,6 +625,7 @@ impl ExecutionEngine {
                 block,
                 issued_at: now,
                 duration,
+                restored,
             });
             let epoch = status.epoch;
             self.scheduled
@@ -527,9 +639,32 @@ impl ExecutionEngine {
         }
     }
 
+    /// Closes the latency accounting of a finishing preemption on one SM:
+    /// records the request-to-hand-over latency and, when the adaptive
+    /// selector made the decision, the estimate error.
+    fn note_preemption_complete(&mut self, now: SimTime, sm_index: usize) {
+        let status = &mut self.sms[sm_index];
+        let Some(started) = status.preempted_at.take() else {
+            return;
+        };
+        let actual = now - started;
+        self.stats.preemptions_completed += 1;
+        self.stats.preemption_latency_total += actual;
+        if let Some(estimated) = status.estimated_latency.take() {
+            let error = if estimated >= actual {
+                estimated - actual
+            } else {
+                actual - estimated
+            };
+            self.stats.adaptive_completed += 1;
+            self.stats.adaptive_latency_error += error;
+        }
+    }
+
     /// Finishes a preemption on `sm`: unassigns the old kernel and hands the
     /// SM to the reserved kernel (or back to the idle pool).
     fn complete_preemption(&mut self, now: SimTime, sm: SmId) {
+        self.note_preemption_complete(now, sm.index());
         let next = {
             let status = &mut self.sms[sm.index()];
             status.mechanism = None;
@@ -562,6 +697,8 @@ impl ExecutionEngine {
         status.mechanism = None;
         status.setting_up = false;
         status.saving = false;
+        status.preempted_at = None;
+        status.estimated_latency = None;
         if let Some(old_ksr) = old {
             if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
                 k.note_unassigned();
@@ -616,6 +753,7 @@ impl ExecutionEngine {
                         // The kernel being preempted finished on its own; the
                         // reservation resolves immediately.
                         debug_assert!(self.sms[i].resident.is_empty());
+                        self.note_preemption_complete(now, i);
                         self.sms[i].epoch += 1;
                         self.sms[i].current = None;
                         self.sms[i].saving = false;
@@ -666,6 +804,14 @@ impl ExecutionEngine {
             }
             if s.is_idle() && s.current.is_some() {
                 return Err(format!("SM{i} is idle but owns a kernel"));
+            }
+            // Per-preemption mechanism bookkeeping: exactly the reserved SMs
+            // carry an in-flight mechanism and a preemption start time.
+            if s.state == SmState::Reserved && (s.mechanism.is_none() || s.preempted_at.is_none()) {
+                return Err(format!("SM{i} is reserved without preemption bookkeeping"));
+            }
+            if s.state != SmState::Reserved && s.mechanism.is_some() {
+                return Err(format!("SM{i} carries a mechanism but is not reserved"));
             }
         }
         for (i, k) in self.ksrt.iter().enumerate() {

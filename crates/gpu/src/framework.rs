@@ -231,6 +231,10 @@ pub struct ResidentBlock {
     pub issued_at: SimTime,
     /// Its total execution time for this residency.
     pub duration: SimTime,
+    /// Whether this residency resumes a context-switched block: its
+    /// `duration` is then remaining time plus restore penalty, not a full
+    /// block execution, and must not feed the runtime estimator.
+    pub restored: bool,
 }
 
 /// One entry of the SM Status Table.
@@ -244,6 +248,11 @@ pub struct SmStatus {
     pub(crate) epoch: u64,
     pub(crate) setting_up: bool,
     pub(crate) saving: bool,
+    /// When the in-flight preemption was requested (latency accounting).
+    pub(crate) preempted_at: Option<SimTime>,
+    /// The engine's latency estimate for the in-flight preemption, recorded
+    /// only when the adaptive selector made the decision.
+    pub(crate) estimated_latency: Option<SimTime>,
 }
 
 impl SmStatus {
@@ -257,6 +266,8 @@ impl SmStatus {
             epoch: 0,
             setting_up: false,
             saving: false,
+            preempted_at: None,
+            estimated_latency: None,
         }
     }
 
@@ -288,6 +299,17 @@ impl SmStatus {
     /// Whether a preemption (of either mechanism) is in progress.
     pub fn is_preempting(&self) -> bool {
         self.state == SmState::Reserved
+    }
+
+    /// The mechanism of the in-flight preemption, if one is in progress.
+    /// Under adaptive selection this can differ from SM to SM.
+    pub fn preempting_with(&self) -> Option<PreemptionMechanism> {
+        self.mechanism
+    }
+
+    /// When the in-flight preemption was requested, if one is in progress.
+    pub fn preempted_at(&self) -> Option<SimTime> {
+        self.preempted_at
     }
 
     /// Whether the SM is being set up for a kernel (context transfer from
@@ -400,6 +422,8 @@ mod tests {
         assert_eq!(sm.current_kernel(), None);
         assert_eq!(sm.next_kernel(), None);
         assert_eq!(sm.state(), SmState::Idle);
+        assert_eq!(sm.preempting_with(), None);
+        assert_eq!(sm.preempted_at(), None);
     }
 
     #[test]

@@ -18,11 +18,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod estimator;
 pub mod framework;
 pub mod launch;
 pub mod preempt;
 
 pub use engine::{EngineEvent, EngineParams, EngineStats, ExecutionEngine, PolicyHook};
+pub use estimator::{PreemptionEstimate, RemainingTimeEstimator};
 pub use framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmState, SmStatus};
 pub use launch::{KernelCompletion, KernelLaunch};
-pub use preempt::{ContextSwitchCost, PreemptionMechanism};
+pub use preempt::{ContextSwitchCost, MechanismSelection, PreemptionMechanism};

@@ -1,45 +1,13 @@
 //! Preemption mechanisms and their cost model.
+//!
+//! [`PreemptionMechanism`] and the per-preemption [`MechanismSelection`]
+//! mode live in `gpreempt-types` (so configuration types can reference them
+//! without depending on this crate) and are re-exported here for
+//! convenience.
 
 use gpreempt_types::{GpuConfig, KernelFootprint, PreemptionConfig, SimTime};
 
-/// The preemption mechanism the execution engine uses to take an SM away
-/// from a running kernel (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PreemptionMechanism {
-    /// Stop the SM, save the architectural state of every resident thread
-    /// block to off-chip memory, and re-issue those blocks later (restoring
-    /// their state first). Latency is predictable and proportional to the
-    /// register-file + shared-memory footprint of the resident blocks.
-    ContextSwitch,
-    /// Stop issuing new thread blocks to the SM and wait for the resident
-    /// blocks to finish. Nothing is saved or restored; latency depends on
-    /// the remaining execution time of the resident blocks.
-    Draining,
-}
-
-impl PreemptionMechanism {
-    /// Human-readable label used in reports.
-    pub const fn label(self) -> &'static str {
-        match self {
-            PreemptionMechanism::ContextSwitch => "context-switch",
-            PreemptionMechanism::Draining => "draining",
-        }
-    }
-
-    /// Both mechanisms, in the order the paper presents them.
-    pub const fn all() -> [PreemptionMechanism; 2] {
-        [
-            PreemptionMechanism::ContextSwitch,
-            PreemptionMechanism::Draining,
-        ]
-    }
-}
-
-impl std::fmt::Display for PreemptionMechanism {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use gpreempt_types::{MechanismSelection, PreemptionMechanism};
 
 /// Cost model of the context-switch mechanism.
 #[derive(Debug, Clone, Copy)]
@@ -76,16 +44,6 @@ impl<'a> ContextSwitchCost<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn labels_and_all() {
-        assert_eq!(
-            PreemptionMechanism::ContextSwitch.to_string(),
-            "context-switch"
-        );
-        assert_eq!(PreemptionMechanism::Draining.label(), "draining");
-        assert_eq!(PreemptionMechanism::all().len(), 2);
-    }
 
     #[test]
     fn save_time_matches_table1_plus_fixed_overheads() {

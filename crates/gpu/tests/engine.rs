@@ -2,8 +2,8 @@
 //! preemption mechanisms, admission control and invariants.
 
 use gpreempt_gpu::{
-    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, KsrIndex, PolicyHook,
-    PreemptionMechanism, SmState,
+    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, KsrIndex, MechanismSelection,
+    PolicyHook, PreemptionMechanism, SmState,
 };
 use gpreempt_sim::{EventQueue, SimRng};
 use gpreempt_trace::KernelSpec;
@@ -23,6 +23,10 @@ struct Harness {
 
 impl Harness {
     fn new(mechanism: PreemptionMechanism) -> Self {
+        Self::with_selection(mechanism.into())
+    }
+
+    fn with_selection(selection: MechanismSelection) -> Self {
         let params = EngineParams {
             block_time_jitter: 0.0, // deterministic timing for assertions
             ..Default::default()
@@ -30,8 +34,10 @@ impl Harness {
         Harness {
             engine: ExecutionEngine::new(
                 GpuConfig::default(),
-                PreemptionConfig::default(),
-                mechanism,
+                PreemptionConfig {
+                    selection,
+                    ..Default::default()
+                },
                 params,
                 SimRng::new(1),
             ),
@@ -458,4 +464,218 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
     assert_eq!(h.engine.stats().blocks_completed, 800);
     assert_eq!(h.engine.take_completions().len(), 2);
     assert!(h.engine.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive per-preemption mechanism selection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn adaptive_picks_context_switch_for_fresh_long_blocks() {
+    let mut h = Harness::with_selection(MechanismSelection::adaptive());
+    // 100us blocks; the 8-block context save costs ~16.7us, far below the
+    // estimated drain latency of a freshly issued wave.
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    // Just past setup: blocks have ~99us left, estimate seeded at 100us.
+    h.run_until(SimTime::from_micros(2));
+
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h.preempt(0, ksr2));
+
+    let sm0 = h.engine.sm(SmId::new(0));
+    assert_eq!(sm0.state(), SmState::Reserved);
+    assert_eq!(
+        sm0.preempting_with(),
+        Some(PreemptionMechanism::ContextSwitch)
+    );
+    let stats = h.engine.stats();
+    assert_eq!(stats.adaptive_cs_picks, 1);
+    assert_eq!(stats.adaptive_drain_picks, 0);
+    h.run_to_idle();
+    assert!(h.engine.stats().blocks_saved > 0);
+    assert!(h.engine.is_empty());
+}
+
+#[test]
+fn adaptive_picks_draining_when_blocks_are_nearly_done() {
+    let mut h = Harness::with_selection(MechanismSelection::adaptive());
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    // Preempt at t = 96us: the wave issued at ~1us has ~5us left
+    // (estimate 100us - 95us elapsed), well under the ~16.7us context-save
+    // cost.
+    h.run_until(SimTime::from_micros(96));
+
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h
+        .engine
+        .preempt_sm(SimTime::from_micros(96), SmId::new(0), ksr2));
+    h.pump();
+
+    let sm0 = h.engine.sm(SmId::new(0));
+    assert_eq!(sm0.state(), SmState::Reserved);
+    assert_eq!(sm0.preempting_with(), Some(PreemptionMechanism::Draining));
+    let stats = h.engine.stats();
+    assert_eq!(stats.adaptive_drain_picks, 1);
+    assert_eq!(stats.adaptive_cs_picks, 0);
+    h.run_to_idle();
+    assert!(h.engine.is_empty());
+}
+
+#[test]
+fn adaptive_latency_target_prefers_draining_within_target() {
+    // A generous 500us target: draining always fits, so the selector never
+    // spends save/restore work even though the context switch is faster.
+    let mut h = Harness::with_selection(MechanismSelection::adaptive_with_target(
+        SimTime::from_micros(500),
+    ));
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    h.run_until(SimTime::from_micros(2));
+
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h.preempt(0, ksr2));
+    assert_eq!(
+        h.engine.sm(SmId::new(0)).preempting_with(),
+        Some(PreemptionMechanism::Draining)
+    );
+    assert_eq!(h.engine.stats().adaptive_drain_picks, 1);
+    h.run_to_idle();
+    assert_eq!(h.engine.stats().blocks_saved, 0, "no contexts saved");
+}
+
+#[test]
+fn adaptive_latency_target_falls_back_to_context_switch() {
+    // A 10us target that fresh 100us blocks cannot meet by draining; the
+    // predictable ~16.7us save is the closest the engine can get.
+    let mut h = Harness::with_selection(MechanismSelection::adaptive_with_target(
+        SimTime::from_micros(10),
+    ));
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    h.run_until(SimTime::from_micros(2));
+
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h.preempt(0, ksr2));
+    assert_eq!(
+        h.engine.sm(SmId::new(0)).preempting_with(),
+        Some(PreemptionMechanism::ContextSwitch)
+    );
+    h.run_to_idle();
+    assert!(h.engine.is_empty());
+}
+
+#[test]
+fn preemption_latency_accounting_matches_the_mechanism() {
+    // Context switch: the completed preemption's latency equals save_time.
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    h.run_until(SimTime::from_micros(2));
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h.preempt(0, ksr2));
+    h.run_to_idle();
+
+    let stats = h.engine.stats();
+    assert!(stats.preemptions_completed >= 1);
+    let gpu = GpuConfig::default();
+    let cfg = PreemptionConfig::default();
+    let cost = gpreempt_gpu::ContextSwitchCost::new(&gpu, &cfg);
+    let fp = KernelFootprint::new(8_192, 0, 256);
+    let expected = cost.save_time(&fp, 8);
+    assert_eq!(stats.mean_preemption_latency(), expected);
+}
+
+#[test]
+fn adaptive_estimate_error_is_zero_for_context_switch_picks() {
+    // The context-save latency is exactly predictable, so an adaptive run
+    // whose picks were all context switches reports zero estimate error.
+    let mut h = Harness::with_selection(MechanismSelection::adaptive());
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    h.run_until(SimTime::from_micros(2));
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h.preempt(0, ksr2));
+    h.run_to_idle();
+
+    let stats = h.engine.stats();
+    assert_eq!(stats.adaptive_cs_picks, 1);
+    assert_eq!(stats.mean_estimate_error(), SimTime::ZERO);
+    assert!(stats.adaptive_estimated_latency > SimTime::ZERO);
+}
+
+#[test]
+fn estimator_learns_observed_block_durations() {
+    let mut h = Harness::new(PreemptionMechanism::Draining);
+    let k = h.kernel(104, 40, 0);
+    h.submit(k);
+    let ksr = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr);
+    // The estimator is seeded with the declared 40us mean.
+    assert_eq!(
+        h.engine.estimator().expected_duration(ksr.index()),
+        SimTime::from_micros(40)
+    );
+    h.run_to_idle();
+    // With zero jitter every observation is exactly 40us.
+    assert_eq!(h.engine.estimator().samples(ksr.index()), 104);
+    assert_eq!(
+        h.engine.estimator().expected_duration(ksr.index()),
+        SimTime::from_micros(40)
+    );
+}
+
+#[test]
+fn estimator_ignores_restored_partial_executions() {
+    // Context-switch a wave that is 95% done: the saved blocks re-issue
+    // with ~5us remaining (plus restore). Those partial residencies must
+    // not feed the estimator, or one preemption would drag the expected
+    // block duration far below the true 100us.
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    let k1 = h.kernel(2_000, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels()[0];
+    h.assign_all_idle(ksr1);
+    h.run_until(SimTime::from_micros(96));
+
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    assert!(h
+        .engine
+        .preempt_sm(SimTime::from_micros(96), SmId::new(0), ksr2));
+    h.pump();
+    h.run_to_idle();
+    assert!(h.engine.stats().blocks_saved > 0, "contexts were saved");
+    // With zero jitter every *fresh* execution is exactly 100us; if any
+    // restored residency had been observed the EWMA would sit below that.
+    assert_eq!(
+        h.engine.estimator().expected_duration(ksr1.index()),
+        SimTime::from_micros(100)
+    );
 }

@@ -33,11 +33,17 @@ use gpreempt_types::{SimError, SimTime};
 
 /// The measured performance of one process: its isolated execution time and
 /// its (average) turnaround time inside the multiprogrammed workload.
+///
+/// A **zero multiprogrammed time means the process starved**: it completed
+/// no executions inside the workload. A starved process has an infinite
+/// normalized turnaround time and zero normalized progress, so ANTT and
+/// fairness degrade gracefully instead of erroring out.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessPerformance {
     /// Average execution time of the application when run alone.
     pub isolated: SimTime,
-    /// Average turnaround time of its completed executions in the workload.
+    /// Average turnaround time of its completed executions in the workload;
+    /// zero when the process never completed an execution (starvation).
     pub multiprogrammed: SimTime,
 }
 
@@ -50,15 +56,28 @@ impl ProcessPerformance {
         }
     }
 
+    /// Whether the process completed no executions inside the workload.
+    pub fn is_starved(&self) -> bool {
+        self.multiprogrammed.is_zero()
+    }
+
     /// Normalized turnaround time: slowdown relative to isolated execution
-    /// (1.0 = no slowdown; larger is worse).
+    /// (1.0 = no slowdown; larger is worse). A starved process has an
+    /// infinite NTT.
     pub fn ntt(&self) -> f64 {
+        if self.is_starved() {
+            return f64::INFINITY;
+        }
         self.multiprogrammed.ratio(self.isolated)
     }
 
     /// Normalized progress: fraction of its isolated speed the application
-    /// achieved (1.0 = full speed; smaller is worse). The reciprocal of NTT.
+    /// achieved (1.0 = full speed; smaller is worse). The reciprocal of NTT;
+    /// zero for a starved process.
     pub fn normalized_progress(&self) -> f64 {
+        if self.is_starved() {
+            return 0.0;
+        }
         self.isolated.ratio(self.multiprogrammed)
     }
 }
@@ -75,10 +94,15 @@ pub struct WorkloadMetrics {
 impl WorkloadMetrics {
     /// Computes the metrics from per-process performance records.
     ///
+    /// A process with a zero multiprogrammed time is treated as starved
+    /// (NTT = ∞, normalized progress = 0), which drives ANTT to infinity
+    /// and fairness to 0.0 rather than producing an error.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidWorkload`] if the slice is empty or any
-    /// time is zero (metrics would be undefined).
+    /// isolated time is zero (the normalisation baseline would be
+    /// undefined).
     pub fn new(processes: &[ProcessPerformance]) -> Result<Self, SimError> {
         if processes.is_empty() {
             return Err(SimError::invalid_workload(
@@ -86,9 +110,9 @@ impl WorkloadMetrics {
             ));
         }
         for (i, p) in processes.iter().enumerate() {
-            if p.isolated.is_zero() || p.multiprogrammed.is_zero() {
+            if p.isolated.is_zero() {
                 return Err(SimError::invalid_workload(format!(
-                    "process {i} has a zero execution time"
+                    "process {i} has a zero isolated execution time"
                 )));
             }
         }
@@ -111,12 +135,13 @@ impl WorkloadMetrics {
     }
 
     /// Convenience constructor from parallel slices of isolated and
-    /// multiprogrammed execution times.
+    /// multiprogrammed execution times. A zero multiprogrammed time marks a
+    /// starved process.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidWorkload`] if the slices differ in length,
-    /// are empty, or contain zero times.
+    /// are empty, or contain zero isolated times.
     pub fn from_times(isolated: &[SimTime], multiprogrammed: &[SimTime]) -> Result<Self, SimError> {
         if isolated.len() != multiprogrammed.len() {
             return Err(SimError::invalid_workload(
@@ -236,7 +261,33 @@ mod tests {
         assert!(WorkloadMetrics::new(&[]).is_err());
         assert!(WorkloadMetrics::from_times(&[ms(1)], &[]).is_err());
         assert!(WorkloadMetrics::from_times(&[SimTime::ZERO], &[ms(1)]).is_err());
-        assert!(WorkloadMetrics::from_times(&[ms(1)], &[SimTime::ZERO]).is_err());
+    }
+
+    #[test]
+    fn starved_process_degrades_metrics_instead_of_erroring() {
+        // Process 1 never completed an execution (zero multiprogrammed
+        // time): the run must yield metrics, not an InvalidWorkload error.
+        let m = WorkloadMetrics::from_times(&[ms(10), ms(10)], &[ms(15), SimTime::ZERO]).unwrap();
+        assert_eq!(m.ntt()[1], f64::INFINITY);
+        assert_eq!(m.antt(), f64::INFINITY);
+        // STP only counts the progress the survivors made.
+        assert!((m.stp() - 10.0 / 15.0).abs() < 1e-12);
+        // Total starvation of one process is maximal unfairness.
+        assert_eq!(m.fairness(), 0.0);
+
+        let p = ProcessPerformance::new(ms(10), SimTime::ZERO);
+        assert!(p.is_starved());
+        assert_eq!(p.ntt(), f64::INFINITY);
+        assert_eq!(p.normalized_progress(), 0.0);
+    }
+
+    #[test]
+    fn everyone_starved_is_still_well_formed() {
+        let m = WorkloadMetrics::from_times(&[ms(10), ms(10)], &[SimTime::ZERO, SimTime::ZERO])
+            .unwrap();
+        assert_eq!(m.fairness(), 0.0);
+        assert_eq!(m.stp(), 0.0);
+        assert_eq!(m.antt(), f64::INFINITY);
     }
 
     #[test]

@@ -116,6 +116,18 @@ impl DssPolicy {
 
     /// Algorithm 1: repartition the SMs among the active kernels.
     fn rebalance(&mut self, now: SimTime, engine: &mut ExecutionEngine) {
+        self.rebalance_with(now, engine, |engine, now, sm, ksr| {
+            engine.assign_sm(now, sm, ksr)
+        });
+    }
+
+    /// [`rebalance`](Self::rebalance) with the idle-SM admission step
+    /// injectable, so tests can construct the failing-admission case (which
+    /// the real engine only produces in rare interleavings).
+    fn rebalance_with<F>(&mut self, now: SimTime, engine: &mut ExecutionEngine, mut assign: F)
+    where
+        F: FnMut(&mut ExecutionEngine, SimTime, SmId, KsrIndex) -> bool,
+    {
         // Bound the number of repartitioning steps: each step either assigns
         // an idle SM or triggers one preemption, so n_sms^2 is a generous
         // upper bound that guarantees termination.
@@ -125,15 +137,22 @@ impl DssPolicy {
                 return;
             };
             // Work-conserving: idle SMs always go to the richest needy
-            // kernel, even if that pushes it into debt.
-            if let Some(&sm) = engine.idle_sms().first() {
-                if engine.assign_sm(now, sm, rich) {
-                    continue;
+            // kernel, even if that pushes it into debt. A failed admission
+            // must not abandon the pass: try the remaining idle SMs and, if
+            // none admits the kernel, fall through to the donor-preemption
+            // branch below instead of returning early.
+            let mut assigned = false;
+            for sm in engine.idle_sms() {
+                if assign(engine, now, sm, rich) {
+                    assigned = true;
+                    break;
                 }
-                return;
             }
-            // No idle SMs: steal from the poorest donor if the imbalance is
-            // larger than one token.
+            if assigned {
+                continue;
+            }
+            // No idle SM took the kernel: steal from the poorest donor if
+            // the imbalance is larger than one token.
             let Some((poor, poor_count)) = self.poorest_donor(engine, rich) else {
                 return;
             };
@@ -386,6 +405,71 @@ mod tests {
         );
         h.run_to_idle();
         assert_eq!(h.completions().len(), 2);
+    }
+
+    #[test]
+    fn adaptive_selection_shares_the_machine_like_fixed_mechanisms() {
+        use gpreempt_gpu::MechanismSelection;
+
+        let mut h = PolicyHarness::with_selection(
+            DssPolicy::equal_share(13, 2),
+            MechanismSelection::adaptive(),
+        );
+        h.submit(toy_launch(0, 0, 4_000, 100));
+        h.run_for(SimTime::from_micros(30));
+        h.submit(toy_launch(1, 1, 4_000, 100));
+        h.run_for(SimTime::from_micros(200));
+        let owned: Vec<u32> = h
+            .engine()
+            .active_kernels()
+            .iter()
+            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+            .collect();
+        assert_eq!(owned.iter().sum::<u32>(), 13, "all SMs stay in use");
+        // Every non-instant preemption was decided by the adaptive selector.
+        let stats = h.engine().stats();
+        assert!(stats.preemptions > 0);
+        assert!(stats.adaptive_picks() > 0);
+        h.run_to_idle();
+        assert_eq!(h.completions().len(), 2);
+    }
+
+    #[test]
+    fn failed_idle_admission_falls_through_to_the_steal_path() {
+        use gpreempt_gpu::EngineParams;
+        use gpreempt_sim::SimRng;
+        use gpreempt_types::{GpuConfig, PreemptionConfig};
+
+        let mut engine = ExecutionEngine::new(
+            GpuConfig::default(),
+            PreemptionConfig::default(),
+            EngineParams {
+                block_time_jitter: 0.0,
+                ..Default::default()
+            },
+            SimRng::new(5),
+        );
+        let now = SimTime::ZERO;
+        engine.submit(toy_launch(0, 0, 1_000, 50), now);
+        engine.submit(toy_launch(1, 1, 1_000, 50), now);
+        let k0 = engine.active_kernels()[0];
+        // Hand 12 of the 13 SMs to process 0, leaving one SM idle.
+        for sm in engine.sm_ids().take(12) {
+            assert!(engine.assign_sm(now, sm, k0));
+        }
+
+        let mut dss = DssPolicy::equal_share(13, 2);
+        // Construct the failing-admission case: the idle SM rejects every
+        // assignment. The pass must fall through to the donor-preemption
+        // branch and still carve process 1's share out of process 0,
+        // instead of abandoning the rebalance (the old early `return`).
+        dss.rebalance_with(now, &mut engine, |_, _, _, _| false);
+        assert!(
+            engine.stats().preemptions >= 5,
+            "steal path must carve out the share: {} preemptions",
+            engine.stats().preemptions
+        );
+        engine.check_invariants().expect("invariants hold");
     }
 
     #[test]

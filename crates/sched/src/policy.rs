@@ -106,7 +106,7 @@ pub fn owned_sms(engine: &ExecutionEngine, ksr: KsrIndex) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpreempt_gpu::{EngineParams, KernelLaunch, PreemptionMechanism};
+    use gpreempt_gpu::{EngineParams, KernelLaunch};
     use gpreempt_sim::SimRng;
     use gpreempt_trace::KernelSpec;
     use gpreempt_types::{
@@ -117,7 +117,6 @@ mod tests {
         ExecutionEngine::new(
             GpuConfig::default(),
             PreemptionConfig::default(),
-            PreemptionMechanism::ContextSwitch,
             EngineParams::default(),
             SimRng::new(3),
         )

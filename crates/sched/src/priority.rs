@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn ppq_starts_high_priority_sooner_than_npq() {
         let finish_hp = |policy: Box<dyn SchedulingPolicy>| -> SimTime {
-            let mut h = PolicyHarness::new_boxed(policy, PreemptionMechanism::ContextSwitch);
+            let mut h = PolicyHarness::new_boxed(policy, PreemptionMechanism::ContextSwitch.into());
             // A long low-priority kernel occupies the GPU...
             h.submit(toy_launch(0, 0, 2_000, 400));
             h.run_for(SimTime::from_micros(50));

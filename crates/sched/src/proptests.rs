@@ -69,7 +69,7 @@ proptest! {
         ];
         for policy in policies {
             let name = policy.name();
-            let mut harness = PolicyHarness::new_boxed(policy, mechanism);
+            let mut harness = PolicyHarness::new_boxed(policy, mechanism.into());
             submit_jobs(&mut harness, &jobs, true);
             harness.run_to_idle();
             prop_assert_eq!(

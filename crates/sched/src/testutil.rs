@@ -5,7 +5,8 @@
 
 use crate::policy::SchedulingPolicy;
 use gpreempt_gpu::{
-    EngineEvent, EngineParams, ExecutionEngine, KernelCompletion, KernelLaunch, PreemptionMechanism,
+    EngineEvent, EngineParams, ExecutionEngine, KernelCompletion, KernelLaunch, MechanismSelection,
+    PreemptionMechanism,
 };
 use gpreempt_sim::{EventQueue, SimRng};
 use gpreempt_trace::KernelSpec;
@@ -52,22 +53,29 @@ pub struct PolicyHarness {
 
 impl PolicyHarness {
     pub fn new<P: SchedulingPolicy + 'static>(policy: P, mechanism: PreemptionMechanism) -> Self {
-        Self::new_boxed(Box::new(policy), mechanism)
+        Self::new_boxed(Box::new(policy), MechanismSelection::Fixed(mechanism))
     }
 
-    pub fn new_boxed(policy: Box<dyn SchedulingPolicy>, mechanism: PreemptionMechanism) -> Self {
+    /// Like [`new`](Self::new) but with an arbitrary mechanism selection
+    /// (e.g. adaptive per-preemption selection).
+    pub fn with_selection<P: SchedulingPolicy + 'static>(
+        policy: P,
+        selection: MechanismSelection,
+    ) -> Self {
+        Self::new_boxed(Box::new(policy), selection)
+    }
+
+    pub fn new_boxed(policy: Box<dyn SchedulingPolicy>, selection: MechanismSelection) -> Self {
         let params = EngineParams {
             block_time_jitter: 0.0,
             ..Default::default()
         };
+        let preemption = PreemptionConfig {
+            selection,
+            ..Default::default()
+        };
         PolicyHarness {
-            engine: ExecutionEngine::new(
-                GpuConfig::default(),
-                PreemptionConfig::default(),
-                mechanism,
-                params,
-                SimRng::new(11),
-            ),
+            engine: ExecutionEngine::new(GpuConfig::default(), preemption, params, SimRng::new(11)),
             policy,
             queue: EventQueue::new(),
             completions: Vec::new(),

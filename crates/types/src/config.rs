@@ -6,6 +6,7 @@
 //! bandwidth.
 
 use crate::error::ConfigError;
+use crate::preemption::MechanismSelection;
 use crate::time::SimTime;
 
 /// Shared memory (scratch-pad) configuration of an SM, in bytes.
@@ -277,6 +278,10 @@ pub struct PreemptionConfig {
     pub pipeline_drain: SimTime,
     /// Fixed overhead of entering/leaving the microcoded trap routine.
     pub trap_overhead: SimTime,
+    /// How the execution engine picks the mechanism for each preemption:
+    /// pinned ([`MechanismSelection::Fixed`]) or chosen per preemption from
+    /// online cost estimates ([`MechanismSelection::Adaptive`]).
+    pub selection: MechanismSelection,
 }
 
 impl Default for PreemptionConfig {
@@ -284,6 +289,7 @@ impl Default for PreemptionConfig {
         PreemptionConfig {
             pipeline_drain: SimTime::from_nanos(500),
             trap_overhead: SimTime::from_nanos(200),
+            selection: MechanismSelection::default(),
         }
     }
 }

@@ -26,6 +26,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod kernel;
+pub mod preemption;
 pub mod priority;
 pub mod time;
 
@@ -35,5 +36,6 @@ pub use ids::{
     CommandId, ContextId, KernelLaunchId, ProcessId, QueueId, SmId, StreamId, ThreadBlockId,
 };
 pub use kernel::{KernelClass, KernelFootprint};
+pub use preemption::{MechanismSelection, PreemptionMechanism};
 pub use priority::{Priority, TokenCount};
 pub use time::SimTime;

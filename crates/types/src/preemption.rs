@@ -1,0 +1,173 @@
+//! Preemption mechanisms and per-preemption mechanism selection.
+//!
+//! The paper's central trade-off (§3.2) is that **context switching** has a
+//! predictable latency proportional to the on-chip footprint of the resident
+//! thread blocks, while **draining** is nearly free when the resident blocks
+//! are close to completion but unbounded in the worst case. A run can either
+//! pin one mechanism for every preemption ([`MechanismSelection::Fixed`]) or
+//! let the execution engine pick the cheaper mechanism at each individual
+//! `preempt_sm` based on an online estimate of the victim SM's remaining
+//! work ([`MechanismSelection::Adaptive`]).
+
+use crate::time::SimTime;
+
+/// The preemption mechanism the execution engine uses to take an SM away
+/// from a running kernel (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreemptionMechanism {
+    /// Stop the SM, save the architectural state of every resident thread
+    /// block to off-chip memory, and re-issue those blocks later (restoring
+    /// their state first). Latency is predictable and proportional to the
+    /// register-file + shared-memory footprint of the resident blocks.
+    ContextSwitch,
+    /// Stop issuing new thread blocks to the SM and wait for the resident
+    /// blocks to finish. Nothing is saved or restored; latency depends on
+    /// the remaining execution time of the resident blocks.
+    Draining,
+}
+
+impl PreemptionMechanism {
+    /// Human-readable label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PreemptionMechanism::ContextSwitch => "context-switch",
+            PreemptionMechanism::Draining => "draining",
+        }
+    }
+
+    /// Both mechanisms, in the order the paper presents them.
+    pub const fn all() -> [PreemptionMechanism; 2] {
+        [
+            PreemptionMechanism::ContextSwitch,
+            PreemptionMechanism::Draining,
+        ]
+    }
+}
+
+impl std::fmt::Display for PreemptionMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the execution engine decides which preemption mechanism to use when a
+/// policy preempts an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismSelection {
+    /// Use the same mechanism for every preemption (the paper's evaluation
+    /// mode). Runs under `Fixed` are bit-identical to the historical
+    /// single-mechanism engine for a given seed.
+    Fixed(PreemptionMechanism),
+    /// Pick the mechanism per preemption: the engine estimates the drain
+    /// latency of the victim SM (from observed block execution times) and
+    /// the context-save latency (from the footprint cost model), then
+    /// chooses the cheaper one.
+    Adaptive {
+        /// Optional preemption-latency target. When set, draining is used
+        /// whenever its estimated latency meets the target (it performs no
+        /// save/restore work); otherwise the engine falls back to the
+        /// mechanism with the lower latency estimate.
+        latency_target: Option<SimTime>,
+    },
+}
+
+impl MechanismSelection {
+    /// Adaptive selection with no latency target (pure cheapest-estimate).
+    pub const fn adaptive() -> Self {
+        MechanismSelection::Adaptive {
+            latency_target: None,
+        }
+    }
+
+    /// Adaptive selection that aims to keep each preemption below `target`.
+    pub const fn adaptive_with_target(target: SimTime) -> Self {
+        MechanismSelection::Adaptive {
+            latency_target: Some(target),
+        }
+    }
+
+    /// Whether this is the adaptive mode.
+    pub const fn is_adaptive(self) -> bool {
+        matches!(self, MechanismSelection::Adaptive { .. })
+    }
+
+    /// The pinned mechanism, if this is a `Fixed` selection.
+    pub const fn fixed_mechanism(self) -> Option<PreemptionMechanism> {
+        match self {
+            MechanismSelection::Fixed(m) => Some(m),
+            MechanismSelection::Adaptive { .. } => None,
+        }
+    }
+}
+
+impl Default for MechanismSelection {
+    /// Fixed context switching, the historical engine default.
+    fn default() -> Self {
+        MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch)
+    }
+}
+
+impl From<PreemptionMechanism> for MechanismSelection {
+    fn from(mechanism: PreemptionMechanism) -> Self {
+        MechanismSelection::Fixed(mechanism)
+    }
+}
+
+impl std::fmt::Display for MechanismSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MechanismSelection::Fixed(m) => f.write_str(m.label()),
+            MechanismSelection::Adaptive {
+                latency_target: None,
+            } => f.write_str("adaptive"),
+            MechanismSelection::Adaptive {
+                latency_target: Some(t),
+            } => write!(f, "adaptive(target {t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_all() {
+        assert_eq!(
+            PreemptionMechanism::ContextSwitch.to_string(),
+            "context-switch"
+        );
+        assert_eq!(PreemptionMechanism::Draining.label(), "draining");
+        assert_eq!(PreemptionMechanism::all().len(), 2);
+    }
+
+    #[test]
+    fn selection_default_is_fixed_context_switch() {
+        assert_eq!(
+            MechanismSelection::default(),
+            MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch)
+        );
+        assert!(!MechanismSelection::default().is_adaptive());
+        assert_eq!(
+            MechanismSelection::default().fixed_mechanism(),
+            Some(PreemptionMechanism::ContextSwitch)
+        );
+    }
+
+    #[test]
+    fn selection_constructors_and_display() {
+        assert!(MechanismSelection::adaptive().is_adaptive());
+        assert_eq!(MechanismSelection::adaptive().fixed_mechanism(), None);
+        assert_eq!(MechanismSelection::adaptive().to_string(), "adaptive");
+        let targeted = MechanismSelection::adaptive_with_target(SimTime::from_micros(50));
+        assert_eq!(targeted.to_string(), "adaptive(target 50.000us)");
+        assert_eq!(
+            MechanismSelection::from(PreemptionMechanism::Draining),
+            MechanismSelection::Fixed(PreemptionMechanism::Draining)
+        );
+        assert_eq!(
+            MechanismSelection::Fixed(PreemptionMechanism::Draining).to_string(),
+            "draining"
+        );
+    }
+}

@@ -152,11 +152,19 @@ impl SimTime {
         SimTime((self.0 as f64 * factor).round() as u64)
     }
 
-    /// The ratio of two durations as `f64`. Returns 0.0 if `other` is zero.
+    /// The ratio of two durations as `f64`.
+    ///
+    /// A zero denominator yields [`f64::INFINITY`] for a nonzero numerator
+    /// (an infinitely slowed process must not read as infinitely fast) and
+    /// `0.0` only for the indeterminate `0 / 0` case.
     #[inline]
     pub fn ratio(self, other: SimTime) -> f64 {
         if other.0 == 0 {
-            0.0
+            if self.0 == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.0 as f64 / other.0 as f64
         }
@@ -287,7 +295,10 @@ mod tests {
         let a = SimTime::from_nanos(100);
         let b = SimTime::from_nanos(50);
         assert!((a.ratio(b) - 2.0).abs() < 1e-12);
-        assert_eq!(b.ratio(SimTime::ZERO), 0.0);
+        // nonzero / zero is an infinite slowdown, not zero.
+        assert_eq!(b.ratio(SimTime::ZERO), f64::INFINITY);
+        // Only the indeterminate 0 / 0 maps to 0.0.
+        assert_eq!(SimTime::ZERO.ratio(SimTime::ZERO), 0.0);
         assert_eq!(a.scale(0.5).as_nanos(), 50);
         assert_eq!(a.scale(-1.0), SimTime::ZERO);
     }

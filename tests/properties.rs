@@ -2,7 +2,8 @@
 //! engine's invariants.
 
 use gpreempt_gpu::{
-    EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism, SmState,
+    ContextSwitchCost, EngineEvent, EngineParams, ExecutionEngine, KernelLaunch,
+    MechanismSelection, PreemptionEstimate, PreemptionMechanism, RemainingTimeEstimator, SmState,
 };
 use gpreempt_metrics::WorkloadMetrics;
 use gpreempt_sim::{EventQueue, SimRng};
@@ -214,15 +215,17 @@ fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
 /// faster than blocks accumulate progress), which is a property of
 /// preemption itself, not an engine bug. The cap keeps the run terminating
 /// while still exercising hundreds of preemptions.
-fn run_chaos(kernels: &[RandomKernel], mechanism: PreemptionMechanism, seed: u64) -> (u64, u64) {
+fn run_chaos(kernels: &[RandomKernel], selection: MechanismSelection, seed: u64) -> (u64, u64) {
     let params = EngineParams {
         block_time_jitter: 0.1,
         ..Default::default()
     };
     let mut engine = ExecutionEngine::new(
         GpuConfig::default(),
-        PreemptionConfig::default(),
-        mechanism,
+        PreemptionConfig {
+            selection,
+            ..Default::default()
+        },
         params,
         SimRng::new(seed),
     );
@@ -304,7 +307,8 @@ proptest! {
         kernels in prop::collection::vec(random_kernel_strategy(), 1..6),
         seed in 0u64..1_000,
     ) {
-        let (completed, expected) = run_chaos(&kernels, PreemptionMechanism::ContextSwitch, seed);
+        let (completed, expected) =
+            run_chaos(&kernels, PreemptionMechanism::ContextSwitch.into(), seed);
         prop_assert_eq!(completed, expected);
     }
 
@@ -313,7 +317,85 @@ proptest! {
         kernels in prop::collection::vec(random_kernel_strategy(), 1..6),
         seed in 0u64..1_000,
     ) {
-        let (completed, expected) = run_chaos(&kernels, PreemptionMechanism::Draining, seed);
+        let (completed, expected) =
+            run_chaos(&kernels, PreemptionMechanism::Draining.into(), seed);
         prop_assert_eq!(completed, expected);
+    }
+
+    #[test]
+    fn chaos_scheduling_never_loses_or_duplicates_blocks_adaptive(
+        kernels in prop::collection::vec(random_kernel_strategy(), 1..6),
+        seed in 0u64..1_000,
+        target_us in 0u64..200,
+    ) {
+        // target_us == 0 plays the no-target variant.
+        let selection = match target_us {
+            0 => MechanismSelection::adaptive(),
+            us => MechanismSelection::adaptive_with_target(SimTime::from_micros(us)),
+        };
+        let (completed, expected) = run_chaos(&kernels, selection, seed);
+        prop_assert_eq!(completed, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive mechanism selection: the chosen mechanism's estimated cost never
+// exceeds the worse pure mechanism's cost on the same SM state, and without
+// a latency target the selector is exactly the arg-min of the estimates.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adaptive_selector_never_picks_worse_than_both_pure_mechanisms(
+        prior_us in 1u64..500,
+        observations in prop::collection::vec(1u64..500, 0..12),
+        elapsed in prop::collection::vec(0u64..600, 0..16),
+        regs in 256u32..20_000,
+        threads in 32u32..1_024,
+        target_us in 0u64..400,
+    ) {
+        let gpu = GpuConfig::default();
+        let cfg = PreemptionConfig::default();
+        let cost = ContextSwitchCost::new(&gpu, &cfg);
+        let footprint = KernelFootprint::new(regs, 0, threads);
+
+        let mut estimator = RemainingTimeEstimator::new(1);
+        estimator.reset_slot(0, SimTime::from_micros(prior_us));
+        for &obs in &observations {
+            estimator.observe(0, SimTime::from_micros(obs));
+        }
+        let elapsed: Vec<SimTime> = elapsed.into_iter().map(SimTime::from_micros).collect();
+        let estimate = PreemptionEstimate::for_resident_blocks(
+            &estimator, 0, &elapsed, &cost, &footprint,
+        );
+        // target_us == 0 plays the no-target variant.
+        let target = (target_us > 0).then(|| SimTime::from_micros(target_us));
+
+        let chosen = estimate.select(target);
+        let worse_latency = estimate.drain_latency.max(estimate.cs_latency);
+        // The chosen mechanism's estimated cost never exceeds the worse
+        // pure mechanism's estimated cost on the same SM state.
+        prop_assert!(estimate.latency_of(chosen) <= worse_latency);
+
+        // Without a target the selector is the exact latency arg-min.
+        let free = estimate.select(None);
+        prop_assert_eq!(
+            estimate.latency_of(free),
+            estimate.drain_latency.min(estimate.cs_latency)
+        );
+
+        // With a target: if either mechanism's estimate meets it, the
+        // chosen mechanism's estimate meets it too.
+        if let Some(t) = target {
+            if estimate.drain_latency <= t || estimate.cs_latency <= t {
+                prop_assert!(estimate.latency_of(chosen) <= t);
+            }
+        }
+
+        // Drain estimates are internally consistent: the latency (max) never
+        // exceeds the work (sum).
+        prop_assert!(estimate.drain_latency <= estimate.drain_work);
     }
 }

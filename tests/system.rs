@@ -5,7 +5,7 @@
 //! (lbm, sad, mri-gridding) so the whole file runs in seconds.
 
 use gpreempt::{PolicyKind, SimulationRun, Simulator, SimulatorConfig};
-use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_trace::{parboil, ProcessSpec, Workload};
 use gpreempt_types::{GpuConfig, Priority, ProcessId, SimTime};
 
@@ -239,6 +239,118 @@ fn same_seed_reproduces_identical_runs() {
             "{policy}: metrics diverged"
         );
     }
+}
+
+/// Regression (starvation metrics): a deadline-bounded run of a
+/// starvation-prone priority workload — a high-priority short process next
+/// to a long process that cannot finish inside the window under exclusive
+/// PPQ — used to make `SimulationRun::metrics` fail with `InvalidWorkload`
+/// because the starved process has zero completed iterations. It must
+/// instead degrade gracefully: NTT = ∞ for the starved process, fairness
+/// = 0, finite STP from the survivors.
+#[test]
+fn starved_process_reports_zero_fairness_instead_of_error() {
+    // spmv (high priority) completes in ~3ms; stencil needs >200ms, so a
+    // 12ms window guarantees it never completes a single iteration.
+    let w = prioritized_workload(&["spmv", "stencil"], 0, 3);
+    let sim = Simulator::new(SimulatorConfig::default());
+    let run = sim
+        .run_until(&w, PolicyKind::PpqExclusive, SimTime::from_millis(12))
+        .unwrap();
+    assert!(
+        !run.iterations()[0].is_empty(),
+        "the high-priority process should have completed inside the window"
+    );
+    assert!(
+        run.iterations()[1].is_empty(),
+        "stencil cannot finish within 12ms"
+    );
+    assert_eq!(run.mean_turnaround(ProcessId::new(1)), SimTime::ZERO);
+    assert_eq!(run.end_time(), SimTime::from_millis(12));
+
+    let isolated = sim.isolated_times(&w).unwrap();
+    let metrics = run.metrics(&isolated).expect("metrics must not error");
+    assert_eq!(metrics.ntt()[1], f64::INFINITY);
+    assert_eq!(metrics.antt(), f64::INFINITY);
+    assert_eq!(metrics.fairness(), 0.0, "total starvation is unfair");
+    assert!(metrics.stp().is_finite() && metrics.stp() > 0.0);
+}
+
+/// `run_until` is a pure prefix of `run`: bounding the same seeded
+/// simulation by a deadline past its natural end reproduces the full run.
+#[test]
+fn run_until_past_the_end_matches_run() {
+    let w = workload(&["spmv", "mri-q"], 1);
+    let sim = Simulator::new(SimulatorConfig::default().with_seed(7));
+    let full = sim.run(&w, PolicyKind::Dss).unwrap();
+    let bounded = sim
+        .run_until(&w, PolicyKind::Dss, full.end_time() + SimTime::from_secs(1))
+        .unwrap();
+    assert_eq!(full.end_time(), bounded.end_time());
+    assert_eq!(full.iterations(), bounded.iterations());
+    assert_eq!(full.engine_stats(), bounded.engine_stats());
+}
+
+/// `MechanismSelection::Fixed` must reproduce the historical
+/// single-mechanism engine bit-for-bit: the legacy `with_mechanism`
+/// convenience and an explicit `with_selection(Fixed(..))` drive identical
+/// simulations for the determinism seed.
+#[test]
+fn fixed_selection_reproduces_the_legacy_engine_bit_identically() {
+    let w = workload(&["spmv", "sgemm", "mri-q"], 2);
+    for mechanism in PreemptionMechanism::all() {
+        let legacy = Simulator::new(
+            SimulatorConfig::default()
+                .with_seed(0xD5)
+                .with_mechanism(mechanism),
+        );
+        let explicit = Simulator::new(
+            SimulatorConfig::default()
+                .with_seed(0xD5)
+                .with_selection(MechanismSelection::Fixed(mechanism)),
+        );
+        let a = legacy.run(&w, PolicyKind::Dss).unwrap();
+        let b = explicit.run(&w, PolicyKind::Dss).unwrap();
+        assert_eq!(a.end_time(), b.end_time(), "{mechanism}: end time");
+        assert_eq!(
+            a.events_processed(),
+            b.events_processed(),
+            "{mechanism}: event count"
+        );
+        assert_eq!(a.engine_stats(), b.engine_stats(), "{mechanism}: stats");
+        assert_eq!(a.iterations(), b.iterations(), "{mechanism}: iterations");
+        assert_eq!(
+            a.kernel_completions(),
+            b.kernel_completions(),
+            "{mechanism}: completions"
+        );
+        // Fixed selection never exercises the adaptive selector.
+        assert_eq!(a.engine_stats().adaptive_picks(), 0);
+    }
+}
+
+/// Adaptive selection completes the same workloads as the fixed mechanisms
+/// and accounts every decided preemption.
+#[test]
+fn adaptive_selection_completes_workloads_end_to_end() {
+    let w = workload(&["spmv", "sgemm", "mri-q", "histo"], 1);
+    let sim =
+        Simulator::new(SimulatorConfig::default().with_selection(MechanismSelection::adaptive()));
+    let run = sim.run(&w, PolicyKind::Dss).unwrap();
+    assert_eq!(run.iterations().len(), 4);
+    assert!(run.iterations().iter().all(|i| !i.is_empty()));
+    let stats = run.engine_stats();
+    assert!(
+        stats.adaptive_picks() <= stats.preemptions,
+        "every pick corresponds to a preemption request"
+    );
+    if stats.preemptions_completed > 0 {
+        assert!(stats.mean_preemption_latency() >= SimTime::ZERO);
+    }
+    let isolated = sim.isolated_times(&w).unwrap();
+    let m = run.metrics(&isolated).unwrap();
+    assert!(m.antt() >= 1.0 - 1e-9);
+    assert!((0.0..=1.0 + 1e-9).contains(&m.fairness()));
 }
 
 #[test]
