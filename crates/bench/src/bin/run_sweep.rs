@@ -1,0 +1,181 @@
+//! Command-line driver for the experiment sweeps: regenerate the paper's
+//! evaluation (or one experiment of it) across worker threads and emit the
+//! results as text tables or machine-readable JSON.
+//!
+//! ```text
+//! cargo run --release -p gpreempt-bench --bin run_sweep -- \
+//!     --experiment spatial --scale bench --jobs 8 --format json
+//! ```
+//!
+//! Options:
+//!
+//! * `--experiment fig2|priority|spatial|mechanism|all` (default `all`)
+//! * `--scale quick|bench|paper` (default `quick`)
+//! * `--jobs N` worker threads; `0` = one per CPU (default `0`). Sweep
+//!   results are bit-identical for every worker count, so this only
+//!   changes wall-clock time.
+//! * `--format table|json` (default `table`). JSON goes to stdout; the
+//!   wall-clock summary always goes to stderr so piped JSON stays clean.
+//! * `--seed N` overrides the workload-generation seed of the scale.
+//! * `--timing` with `--format table`: also print the per-scenario
+//!   wall-clock table.
+//! * `--validate` reads report JSON from stdin, checks it parses and that
+//!   `record_count` matches the records array, and exits non-zero on any
+//!   mismatch (used by the CI smoke step).
+
+use gpreempt::experiments::{
+    ExperimentScale, Fig2Results, MechanismResults, PriorityResults, SpatialResults,
+};
+use gpreempt::sweep::{SweepReport, SweepRunner, SweepTiming};
+use gpreempt::SimulatorConfig;
+use std::io::Read as _;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Experiment {
+    Fig2,
+    Priority,
+    Spatial,
+    Mechanism,
+    All,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+}
+
+fn usage() {
+    println!("usage: run_sweep [options]");
+    println!("  --experiment fig2|priority|spatial|mechanism|all   (default all)");
+    println!("  --scale quick|bench|paper                          (default quick)");
+    println!("  --jobs N          worker threads, 0 = one per CPU  (default 0)");
+    println!("  --format table|json                                (default table)");
+    println!("  --seed N          workload-generation seed override");
+    println!("  --timing          print the per-scenario wall-clock table");
+    println!("  --validate        validate report JSON from stdin and exit");
+}
+
+fn validate_stdin() -> Result<(), Box<dyn std::error::Error>> {
+    let mut text = String::new();
+    std::io::stdin().read_to_string(&mut text)?;
+    match SweepReport::validate_json(&text) {
+        Ok(0) => Err("report is valid JSON but contains no records".into()),
+        Ok(n) => {
+            println!("report OK: {n} records");
+            Ok(())
+        }
+        Err(e) => Err(format!("invalid sweep report: {e}").into()),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut experiment = Experiment::All;
+    let mut scale_name = "quick".to_string();
+    let mut jobs = 0usize;
+    let mut format = Format::Table;
+    let mut seed: Option<u64> = None;
+    let mut timing_table = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" => {
+                experiment = match args.next().as_deref() {
+                    Some("fig2") => Experiment::Fig2,
+                    Some("priority") => Experiment::Priority,
+                    Some("spatial") => Experiment::Spatial,
+                    Some("mechanism") => Experiment::Mechanism,
+                    Some("all") => Experiment::All,
+                    other => return Err(format!("unknown experiment {other:?}").into()),
+                }
+            }
+            "--scale" => scale_name = args.next().ok_or("missing scale")?,
+            "--jobs" => jobs = args.next().ok_or("missing job count")?.parse()?,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("table") => Format::Table,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("unknown format {other:?}").into()),
+                }
+            }
+            "--seed" => seed = Some(args.next().ok_or("missing seed")?.parse()?),
+            "--timing" => timing_table = true,
+            "--validate" => return validate_stdin(),
+            "--help" | "-h" => {
+                usage();
+                return Ok(());
+            }
+            other => return Err(format!("unknown option {other:?} (see --help)").into()),
+        }
+    }
+
+    let mut scale = match scale_name.as_str() {
+        "quick" => ExperimentScale::quick(),
+        "bench" => ExperimentScale::bench(),
+        "paper" => ExperimentScale::paper(),
+        other => return Err(format!("unknown scale {other:?}").into()),
+    };
+    if let Some(seed) = seed {
+        scale.seed = seed;
+    }
+
+    let config = SimulatorConfig::default();
+    let runner = SweepRunner::new(jobs);
+    let mut report = SweepReport::new(scale.seed);
+    let mut timing = SweepTiming::default();
+    let mut tables: Vec<String> = Vec::new();
+
+    if matches!(experiment, Experiment::Fig2 | Experiment::All) {
+        let results = Fig2Results::run_with(&config, &runner)?;
+        tables.push(results.render().render());
+        report.merge(results.report());
+        timing = timing.merged(results.timing().clone());
+    }
+    if matches!(experiment, Experiment::Priority | Experiment::All) {
+        let results = PriorityResults::run_with(&config, &scale, &runner)?;
+        tables.push(results.render_fig5().render());
+        tables.push(results.render_fig6(false).render());
+        tables.push(results.render_fig6(true).render());
+        report.merge(results.report());
+        timing = timing.merged(results.timing().clone());
+    }
+    if matches!(experiment, Experiment::Spatial | Experiment::All) {
+        let results = SpatialResults::run_with(&config, &scale, &runner)?;
+        tables.push(results.render_fig7a().render());
+        tables.push(results.render_fig7b().render());
+        tables.push(results.render_fig7c().render());
+        tables.push(results.render_fig8().render());
+        report.merge(results.report());
+        timing = timing.merged(results.timing().clone());
+    }
+    if matches!(experiment, Experiment::Mechanism | Experiment::All) {
+        let results = MechanismResults::run_with(&config, &scale, &runner)?;
+        tables.push(results.render().render());
+        report.merge(results.report());
+        timing = timing.merged(results.timing().clone());
+    }
+
+    match format {
+        Format::Table => {
+            for table in &tables {
+                println!("{table}");
+            }
+            if timing_table {
+                println!("{}", timing.render().render());
+            }
+        }
+        Format::Json => println!("{}", report.to_json()),
+    }
+    // The wall-clock summary is informational and run-to-run varying, so
+    // it goes to stderr: `--format json | run_sweep --validate` stays
+    // clean.
+    eprintln!("{}", timing.summary());
+    if let Some(slowest) = timing.slowest() {
+        eprintln!(
+            "slowest scenario: {} / {} / {} at {:.2?}",
+            slowest.group, slowest.workload, slowest.label, slowest.wall
+        );
+    }
+    Ok(())
+}

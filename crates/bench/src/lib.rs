@@ -9,11 +9,18 @@
 //!   (seconds; used by CI),
 //! * `bench` — all ten benchmarks, 2/4/6/8-process workloads, reduced
 //!   population (the default; a few minutes),
-//! * `paper` — the full population described in §4.1 (tens of minutes).
+//! * `paper` — the full population described in §4.1 (tens of minutes
+//!   sequentially; minutes with a parallel sweep).
+//!
+//! The figure benches route their experiment populations through the
+//! [`SweepRunner`], parallelised across `GPREEMPT_JOBS` workers (default:
+//! one per CPU; sweep results are bit-identical at every worker count, so
+//! this only changes wall-clock time, never output).
 
 #![warn(missing_docs)]
 
 use gpreempt::experiments::ExperimentScale;
+use gpreempt::sweep::SweepRunner;
 use gpreempt::{PolicyKind, SimulationRun, Simulator, SimulatorConfig};
 use gpreempt_trace::{parboil, ProcessSpec, Workload};
 
@@ -24,6 +31,16 @@ pub fn scale_from_env() -> ExperimentScale {
         Ok("paper") => ExperimentScale::paper(),
         _ => ExperimentScale::bench(),
     }
+}
+
+/// Builds a sweep runner from `GPREEMPT_JOBS` (default `0` = one worker per
+/// CPU; `1` restores the historical sequential harness execution).
+pub fn runner_from_env() -> SweepRunner {
+    let jobs = std::env::var("GPREEMPT_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    SweepRunner::new(jobs)
 }
 
 /// A small representative workload (two short applications, one completed

@@ -1,7 +1,8 @@
 //! Shared infrastructure of the experiment harnesses.
 
-use crate::config::SimulatorConfig;
+use crate::config::{PolicyKind, SimulatorConfig};
 use crate::simulator::Simulator;
+use crate::sweep::{Scenario, SweepPlan, SweepRunner, SweepTiming};
 use gpreempt_gpu::PreemptionMechanism;
 use gpreempt_sim::SimRng;
 use gpreempt_trace::{parboil, BenchmarkTrace, Workload, WorkloadGenerator};
@@ -192,6 +193,85 @@ impl IsolatedTimes {
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
+
+    /// Inserts a precomputed isolated time (used by the sweep phase that
+    /// batch-computes them).
+    pub fn insert(&mut self, benchmark: impl Into<String>, time: SimTime) {
+        self.times.insert(benchmark.into(), time);
+    }
+
+    /// The cached isolated time of a benchmark, if present.
+    pub fn get(&self, benchmark: &str) -> Option<SimTime> {
+        self.times.get(benchmark).copied()
+    }
+
+    /// Isolated times of every process of a workload, in process order,
+    /// from the cache alone (no lazy simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] if any benchmark is missing
+    /// from the cache — the isolated sweep phase did not cover the
+    /// workload.
+    pub fn times_for(&self, workload: &Workload) -> Result<Vec<SimTime>, SimError> {
+        workload
+            .processes()
+            .iter()
+            .map(|p| {
+                self.get(p.benchmark.name()).ok_or_else(|| {
+                    SimError::invalid_workload(format!(
+                        "no isolated time cached for benchmark {}",
+                        p.benchmark.name()
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Enumerates one isolated-execution scenario per distinct benchmark of the
+/// given workloads (first-appearance order) into a fresh plan, runs it on
+/// `runner`, and returns the populated [`IsolatedTimes`] cache plus the
+/// phase's wall-clock timing.
+///
+/// Each scenario replicates [`Simulator::isolated_time`] exactly — a
+/// single-process FCFS run under the fixed context-switch mechanism — so
+/// the cached values are bit-identical to the historical lazy computation,
+/// but distinct benchmarks simulate concurrently when the runner has more
+/// than one worker.
+///
+/// # Errors
+///
+/// Propagates any simulation error.
+pub fn isolated_times_via<'a>(
+    runner: &SweepRunner,
+    config: &SimulatorConfig,
+    workloads: impl IntoIterator<Item = &'a Workload>,
+) -> Result<(IsolatedTimes, SweepTiming), SimError> {
+    let mut plan = SweepPlan::new(
+        config
+            .clone()
+            .with_mechanism(PreemptionMechanism::ContextSwitch),
+    );
+    let mut names: Vec<String> = Vec::new();
+    for workload in workloads {
+        for process in workload.processes() {
+            let name = process.benchmark.name();
+            if names.iter().any(|n| n == name) {
+                continue;
+            }
+            names.push(name.to_string());
+            let isolated = Simulator::isolated_workload(&process.benchmark);
+            plan.push(Scenario::new("isolated", name, isolated, PolicyKind::Fcfs));
+        }
+    }
+    let results = runner.run(&plan)?;
+    let timing = results.timing(&plan);
+    let mut cache = IsolatedTimes::new();
+    for (name, result) in names.into_iter().zip(results.results()) {
+        cache.insert(name, Simulator::isolated_time_of(&result.run));
+    }
+    Ok((cache, timing))
 }
 
 /// Builds a simulator with the given preemption mechanism, sharing all other
@@ -267,5 +347,55 @@ mod tests {
     fn mean_helper() {
         assert_eq!(mean_of([1.0, 3.0]), 2.0);
         assert_eq!(mean_of(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn sweep_isolated_times_match_the_lazy_cache() {
+        let config = SimulatorConfig::default();
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let sgemm = parboil::benchmark("sgemm", &gpu).unwrap();
+        let workload = Workload::new(
+            "pair",
+            vec![
+                gpreempt_trace::ProcessSpec::new(spmv.clone()),
+                gpreempt_trace::ProcessSpec::new(sgemm.clone()),
+                gpreempt_trace::ProcessSpec::new(spmv.clone()),
+            ],
+        );
+
+        // Historical lazy path: reference simulator + per-benchmark cache.
+        let reference = simulator_with_mechanism(&config, PreemptionMechanism::ContextSwitch);
+        let mut lazy = IsolatedTimes::new();
+        let expected = lazy.for_workload(&reference, &workload).unwrap();
+
+        // Sweep path, sequential and parallel.
+        for jobs in [1, 4] {
+            let (cache, timing) =
+                isolated_times_via(&SweepRunner::new(jobs), &config, [&workload]).unwrap();
+            assert_eq!(cache.len(), 2, "two distinct benchmarks");
+            assert_eq!(cache.times_for(&workload).unwrap(), expected, "jobs={jobs}");
+            assert_eq!(timing.entries.len(), 2);
+            assert_eq!(timing.entries[0].group, "isolated");
+        }
+    }
+
+    #[test]
+    fn times_for_reports_missing_benchmarks() {
+        let gpu = GpuConfig::default();
+        let workload = Workload::new(
+            "w",
+            vec![gpreempt_trace::ProcessSpec::new(
+                parboil::benchmark("spmv", &gpu).unwrap(),
+            )],
+        );
+        let mut cache = IsolatedTimes::new();
+        assert!(cache.times_for(&workload).is_err());
+        cache.insert("spmv", SimTime::from_micros(5));
+        assert_eq!(cache.get("spmv"), Some(SimTime::from_micros(5)));
+        assert_eq!(
+            cache.times_for(&workload).unwrap(),
+            vec![SimTime::from_micros(5)]
+        );
     }
 }

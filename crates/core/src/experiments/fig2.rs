@@ -7,9 +7,9 @@
 //! starts almost immediately.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::simulator_with_mechanism;
 use crate::report::TextTable;
-use gpreempt_gpu::PreemptionMechanism;
+use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_trace::{BenchmarkTrace, KernelSpec, ProcessSpec, Workload};
 use gpreempt_types::{KernelFootprint, Priority, ProcessId, SimError, SimTime};
 
@@ -30,25 +30,58 @@ pub struct Fig2Timeline {
 
 /// The Figure 2 experiment: the same three-kernel scenario under FCFS,
 /// non-preemptive priority and preemptive priority scheduling.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Fig2Results {
     /// The three timelines in the order the paper draws them: (a) FCFS,
     /// (b) non-preemptive priority, (c) preemptive priority.
     pub timelines: Vec<Fig2Timeline>,
+    plan_seed: u64,
+    timing: SweepTiming,
+}
+
+impl PartialEq for Fig2Results {
+    /// Equality over the simulated timelines only: wall-clock timing varies
+    /// run to run even when the simulation output is bit-identical.
+    fn eq(&self, other: &Self) -> bool {
+        self.timelines == other.timelines && self.plan_seed == other.plan_seed
+    }
 }
 
 impl Fig2Results {
-    /// Runs the scenario.
+    /// The three schedulers of the figure, in the order the paper draws
+    /// them.
+    const POLICIES: [PolicyKind; 3] = [PolicyKind::Fcfs, PolicyKind::Npq, PolicyKind::PpqExclusive];
+
+    /// Runs the scenario sequentially.
     ///
     /// # Errors
     ///
     /// Propagates any simulation error.
     pub fn run(config: &SimulatorConfig) -> Result<Self, SimError> {
+        Self::run_with(config, &SweepRunner::sequential())
+    }
+
+    /// Runs the three-scheduler scenario on `runner`'s workers; results are
+    /// bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with(config: &SimulatorConfig, runner: &SweepRunner) -> Result<Self, SimError> {
         let workload = Self::workload();
+        let mut plan = SweepPlan::new(config.clone());
+        for policy in Self::POLICIES {
+            plan.push(
+                Scenario::new("fig2", policy.label(), workload.clone(), policy).with_selection(
+                    MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch),
+                ),
+            );
+        }
+        let results = runner.run(&plan)?;
+
         let mut timelines = Vec::new();
-        for policy in [PolicyKind::Fcfs, PolicyKind::Npq, PolicyKind::PpqExclusive] {
-            let sim = simulator_with_mechanism(config, PreemptionMechanism::ContextSwitch);
-            let run = sim.run(&workload, policy)?;
+        for (i, policy) in Self::POLICIES.into_iter().enumerate() {
+            let run = results.run_of(i);
             let completion_of = |process: u32| {
                 run.kernel_completions()
                     .iter()
@@ -81,7 +114,32 @@ impl Fig2Results {
                 k3_finish: k3.finished_at,
             });
         }
-        Ok(Fig2Results { timelines })
+        Ok(Fig2Results {
+            timelines,
+            plan_seed: plan.seed(),
+            timing: results.timing(&plan),
+        })
+    }
+
+    /// Wall-clock timing of the underlying three-scenario sweep.
+    pub fn timing(&self) -> &SweepTiming {
+        &self.timing
+    }
+
+    /// The machine-readable report: one record per scheduler with the four
+    /// timeline marks in microseconds.
+    pub fn report(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.plan_seed);
+        for t in &self.timelines {
+            report.push(
+                SweepRecord::new("fig2", "figure-2", t.policy.label(), 2)
+                    .with_value("k3_start_us", t.k3_start.as_micros_f64())
+                    .with_value("k3_finish_us", t.k3_finish.as_micros_f64())
+                    .with_value("k1_finish_us", t.k1_finish.as_micros_f64())
+                    .with_value("k2_finish_us", t.k2_finish.as_micros_f64()),
+            );
+        }
+        report
     }
 
     /// The three-kernel workload: K1 and K2 are long, low-priority kernels

@@ -9,9 +9,9 @@
 //! prediction error.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{ExperimentScale, IsolatedTimes};
+use crate::experiments::common::{isolated_times_via, ExperimentScale};
 use crate::report::TextTable;
-use crate::simulator::Simulator;
+use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{SimError, SimTime};
 use std::collections::HashMap;
@@ -134,10 +134,13 @@ impl MechanismRecord {
 pub struct MechanismResults {
     records: Vec<MechanismRecord>,
     sizes: Vec<usize>,
+    seed: u64,
+    timing: SweepTiming,
 }
 
 impl MechanismResults {
-    /// Runs the ablation at the given scale: every random workload of every
+    /// Runs the ablation at the given scale on a single worker (the
+    /// historical sequential behaviour): every random workload of every
     /// size is simulated under DSS (the preemption-heavy policy) with each
     /// of the three mechanism configurations.
     ///
@@ -145,52 +148,78 @@ impl MechanismResults {
     ///
     /// Propagates any simulation error.
     pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
-        let mut generator = scale.generator(config);
-        let mut isolated = IsolatedTimes::new();
-        let reference_sim = Simulator::new(
-            config
-                .clone()
-                .with_mechanism(PreemptionMechanism::ContextSwitch),
-        );
-        let mut records = Vec::new();
+        Self::run_with(config, scale, &SweepRunner::sequential())
+    }
 
+    /// Runs the ablation at the given scale on `runner`'s workers; results
+    /// are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+    ) -> Result<Self, SimError> {
+        let mut generator = scale.generator(config);
+        let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
-            let population = generator.random_population(size, scale.random_workloads);
-            for workload in population {
-                let workload = scale.finalize(workload);
-                let iso = isolated.for_workload(&reference_sim, &workload)?;
-                let mut outcomes = HashMap::new();
-                for cfg in MechanismConfig::all() {
-                    let sim = Simulator::new(config.clone().with_selection(cfg.selection()));
-                    let run = sim.run(&workload, PolicyKind::Dss)?;
-                    let metrics = run.metrics(&iso)?;
-                    let stats = run.engine_stats();
-                    outcomes.insert(
-                        cfg,
-                        MechanismOutcome {
-                            antt: metrics.antt(),
-                            stp: metrics.stp(),
-                            fairness: metrics.fairness(),
-                            preemptions: stats.preemptions,
-                            preemptions_completed: stats.preemptions_completed,
-                            mean_preemption_latency: stats.mean_preemption_latency(),
-                            drain_picks: stats.adaptive_drain_picks,
-                            cs_picks: stats.adaptive_cs_picks,
-                            mean_estimate_error: stats.mean_estimate_error(),
-                        },
-                    );
-                }
-                records.push(MechanismRecord {
-                    workload: workload.name().to_string(),
-                    size,
-                    outcomes,
-                });
+            for workload in generator.random_population(size, scale.random_workloads) {
+                workloads.push((size, scale.finalize(workload)));
             }
+        }
+
+        let (isolated, iso_timing) =
+            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+
+        let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
+        for (_, workload) in &workloads {
+            for cfg in MechanismConfig::all() {
+                plan.push(
+                    Scenario::new("mechanism", cfg.label(), workload.clone(), PolicyKind::Dss)
+                        .with_selection(cfg.selection()),
+                );
+            }
+        }
+        let results = runner.run(&plan)?;
+
+        let n_cfg = MechanismConfig::all().len();
+        let mut records = Vec::new();
+        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
+            let iso = isolated.times_for(workload)?;
+            let mut outcomes = HashMap::new();
+            for (c_idx, cfg) in MechanismConfig::all().into_iter().enumerate() {
+                let run = results.run_of(w_idx * n_cfg + c_idx);
+                let metrics = run.metrics(&iso)?;
+                let stats = run.engine_stats();
+                outcomes.insert(
+                    cfg,
+                    MechanismOutcome {
+                        antt: metrics.antt(),
+                        stp: metrics.stp(),
+                        fairness: metrics.fairness(),
+                        preemptions: stats.preemptions,
+                        preemptions_completed: stats.preemptions_completed,
+                        mean_preemption_latency: stats.mean_preemption_latency(),
+                        drain_picks: stats.adaptive_drain_picks,
+                        cs_picks: stats.adaptive_cs_picks,
+                        mean_estimate_error: stats.mean_estimate_error(),
+                    },
+                );
+            }
+            records.push(MechanismRecord {
+                workload: workload.name().to_string(),
+                size: *size,
+                outcomes,
+            });
         }
 
         Ok(MechanismResults {
             records,
             sizes: scale.workload_sizes.clone(),
+            seed: scale.seed,
+            timing: iso_timing.merged(results.timing(&plan)),
         })
     }
 
@@ -202,6 +231,39 @@ impl MechanismResults {
     /// The workload sizes evaluated.
     pub fn sizes(&self) -> &[usize] {
         &self.sizes
+    }
+
+    /// Wall-clock timing of the underlying sweep (isolated phase + main
+    /// phase).
+    pub fn timing(&self) -> &SweepTiming {
+        &self.timing
+    }
+
+    /// The machine-readable report: one record per workload × selection
+    /// mode, with metrics, preemption counters and the adaptive pick split.
+    pub fn report(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.seed);
+        for record in &self.records {
+            for cfg in MechanismConfig::all() {
+                let o = &record.outcomes[&cfg];
+                report.push(
+                    SweepRecord::new("mechanism", &record.workload, cfg.label(), record.size)
+                        .with_value("antt", o.antt)
+                        .with_value("stp", o.stp)
+                        .with_value("fairness", o.fairness)
+                        .with_value("preemptions", o.preemptions as f64)
+                        .with_value("preemptions_completed", o.preemptions_completed as f64)
+                        .with_value(
+                            "mean_preempt_latency_us",
+                            o.mean_preemption_latency.as_micros_f64(),
+                        )
+                        .with_value("drain_picks", o.drain_picks as f64)
+                        .with_value("cs_picks", o.cs_picks as f64)
+                        .with_value("est_err_us", o.mean_estimate_error.as_micros_f64()),
+                );
+            }
+        }
+        report
     }
 
     /// Whether at least one workload mix with preemptions under every

@@ -13,6 +13,16 @@
 //! All harnesses take an [`ExperimentScale`]: `quick()` for smoke runs,
 //! `bench()` for the default `cargo bench` harness and `paper()` for the
 //! full evaluation population.
+//!
+//! Since the sweep refactor, no harness loops over simulations itself:
+//! each one enumerates its population into a
+//! [`SweepPlan`](crate::sweep::SweepPlan) and executes it on a
+//! [`SweepRunner`](crate::sweep::SweepRunner) — `run()` uses a single
+//! worker (bit-identical to the historical sequential loops), `run_with()`
+//! accepts a multi-worker runner and still produces bit-identical results.
+//! Every harness also exposes `report()`, the machine-readable
+//! [`SweepReport`](crate::sweep::SweepReport), and `timing()`, the
+//! per-scenario wall-clock breakdown.
 
 pub mod common;
 pub mod fig2;
@@ -21,7 +31,7 @@ pub mod priority;
 pub mod spatial;
 pub mod table1;
 
-pub use common::{simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+pub use common::{isolated_times_via, simulator_with_mechanism, ExperimentScale, IsolatedTimes};
 pub use fig2::{Fig2Results, Fig2Timeline};
 pub use mechanism::{MechanismConfig, MechanismOutcome, MechanismRecord, MechanismResults};
 pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResults};

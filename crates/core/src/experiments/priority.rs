@@ -8,11 +8,10 @@
 //! preemption mechanisms and both access modes.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{
-    mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes,
-};
+use crate::experiments::common::{isolated_times_via, mean_of, ExperimentScale};
 use crate::report::{times, TextTable};
-use gpreempt_gpu::PreemptionMechanism;
+use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{KernelClass, SimError};
 use std::collections::HashMap;
 
@@ -141,56 +140,91 @@ impl PriorityRecord {
 pub struct PriorityResults {
     records: Vec<PriorityRecord>,
     sizes: Vec<usize>,
+    seed: u64,
+    timing: SweepTiming,
 }
 
 impl PriorityResults {
-    /// Runs the experiment at the given scale.
+    /// Runs the experiment at the given scale on a single worker (the
+    /// historical sequential behaviour).
     ///
     /// # Errors
     ///
     /// Propagates any simulation error.
     pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
-        let mut generator = scale.generator(config);
-        let mut isolated = IsolatedTimes::new();
-        let reference_sim = simulator_with_mechanism(config, PreemptionMechanism::ContextSwitch);
-        let mut records = Vec::new();
+        Self::run_with(config, scale, &SweepRunner::sequential())
+    }
 
+    /// Runs the experiment at the given scale on `runner`'s workers.
+    /// Results are bit-identical for every worker count: the workload
+    /// population is enumerated sequentially into a [`SweepPlan`] and every
+    /// scenario simulates from its own fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+    ) -> Result<Self, SimError> {
+        let mut generator = scale.generator(config);
+        let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
-            let population = generator.prioritized_population(size, scale.reps_per_benchmark);
-            for workload in population {
-                let workload = scale.finalize(workload);
-                let iso = isolated.for_workload(&reference_sim, &workload)?;
-                let hp = workload
-                    .high_priority_process()
-                    .expect("prioritized workloads have a high-priority process");
-                let hp_spec = &workload.processes()[hp.index()];
-                let mut outcomes = HashMap::new();
-                for cfg in PriorityConfig::all() {
-                    let (policy, mechanism) = cfg.policy_and_mechanism();
-                    let sim = simulator_with_mechanism(config, mechanism);
-                    let run = sim.run(&workload, policy)?;
-                    let metrics = run.metrics(&iso)?;
-                    outcomes.insert(
-                        cfg,
-                        PriorityOutcome {
-                            ntt_high_priority: metrics.ntt()[hp.index()],
-                            stp: metrics.stp(),
-                        },
-                    );
-                }
-                records.push(PriorityRecord {
-                    workload: workload.name().to_string(),
-                    size,
-                    high_priority_benchmark: hp_spec.benchmark.name().to_string(),
-                    class: hp_spec.benchmark.kernel_class(),
-                    outcomes,
-                });
+            for workload in generator.prioritized_population(size, scale.reps_per_benchmark) {
+                workloads.push((size, scale.finalize(workload)));
             }
+        }
+
+        let (isolated, iso_timing) =
+            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+
+        let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
+        for (_, workload) in &workloads {
+            for cfg in PriorityConfig::all() {
+                let (policy, mechanism) = cfg.policy_and_mechanism();
+                plan.push(
+                    Scenario::new("priority", cfg.label(), workload.clone(), policy)
+                        .with_selection(MechanismSelection::Fixed(mechanism)),
+                );
+            }
+        }
+        let results = runner.run(&plan)?;
+
+        let n_cfg = PriorityConfig::all().len();
+        let mut records = Vec::new();
+        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
+            let iso = isolated.times_for(workload)?;
+            let hp = workload
+                .high_priority_process()
+                .expect("prioritized workloads have a high-priority process");
+            let hp_spec = &workload.processes()[hp.index()];
+            let mut outcomes = HashMap::new();
+            for (c_idx, cfg) in PriorityConfig::all().into_iter().enumerate() {
+                let run = results.run_of(w_idx * n_cfg + c_idx);
+                let metrics = run.metrics(&iso)?;
+                outcomes.insert(
+                    cfg,
+                    PriorityOutcome {
+                        ntt_high_priority: metrics.ntt()[hp.index()],
+                        stp: metrics.stp(),
+                    },
+                );
+            }
+            records.push(PriorityRecord {
+                workload: workload.name().to_string(),
+                size: *size,
+                high_priority_benchmark: hp_spec.benchmark.name().to_string(),
+                class: hp_spec.benchmark.kernel_class(),
+                outcomes,
+            });
         }
 
         Ok(PriorityResults {
             records,
             sizes: scale.workload_sizes.clone(),
+            seed: scale.seed,
+            timing: iso_timing.merged(results.timing(&plan)),
         })
     }
 
@@ -202,6 +236,29 @@ impl PriorityResults {
     /// The workload sizes evaluated.
     pub fn sizes(&self) -> &[usize] {
         &self.sizes
+    }
+
+    /// Wall-clock timing of the underlying sweep (isolated phase + main
+    /// phase).
+    pub fn timing(&self) -> &SweepTiming {
+        &self.timing
+    }
+
+    /// The machine-readable report: one record per workload ×
+    /// configuration, with the high-priority NTT and the workload STP.
+    pub fn report(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.seed);
+        for record in &self.records {
+            for cfg in PriorityConfig::all() {
+                let outcome = &record.outcomes[&cfg];
+                report.push(
+                    SweepRecord::new("priority", &record.workload, cfg.label(), record.size)
+                        .with_value("ntt_high_priority", outcome.ntt_high_priority)
+                        .with_value("stp", outcome.stp),
+                );
+            }
+        }
+        report
     }
 
     /// Figure 5: mean NTT improvement of the high-priority process over its

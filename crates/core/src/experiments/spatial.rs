@@ -7,11 +7,10 @@
 //! ANTT across workloads.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{
-    mean_of, simulator_with_mechanism, ExperimentScale, IsolatedTimes,
-};
+use crate::experiments::common::{isolated_times_via, mean_of, ExperimentScale};
 use crate::report::{times, TextTable};
-use gpreempt_gpu::PreemptionMechanism;
+use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{KernelClass, SimError};
 use std::collections::HashMap;
 
@@ -128,58 +127,91 @@ impl SpatialRecord {
 pub struct SpatialResults {
     records: Vec<SpatialRecord>,
     sizes: Vec<usize>,
+    seed: u64,
+    timing: SweepTiming,
 }
 
 impl SpatialResults {
-    /// Runs the experiment at the given scale.
+    /// Runs the experiment at the given scale on a single worker (the
+    /// historical sequential behaviour).
     ///
     /// # Errors
     ///
     /// Propagates any simulation error.
     pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
-        let mut generator = scale.generator(config);
-        let mut isolated = IsolatedTimes::new();
-        let reference_sim = simulator_with_mechanism(config, PreemptionMechanism::ContextSwitch);
-        let mut records = Vec::new();
+        Self::run_with(config, scale, &SweepRunner::sequential())
+    }
 
+    /// Runs the experiment at the given scale on `runner`'s workers;
+    /// results are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+    ) -> Result<Self, SimError> {
+        let mut generator = scale.generator(config);
+        let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
-            let population = generator.random_population(size, scale.random_workloads);
-            for workload in population {
-                let workload = scale.finalize(workload);
-                let iso = isolated.for_workload(&reference_sim, &workload)?;
-                let app_classes = workload
-                    .processes()
-                    .iter()
-                    .map(|p| p.benchmark.app_class())
-                    .collect();
-                let mut outcomes = HashMap::new();
-                for cfg in SpatialConfig::all() {
-                    let (policy, mechanism) = cfg.policy_and_mechanism();
-                    let sim = simulator_with_mechanism(config, mechanism);
-                    let run = sim.run(&workload, policy)?;
-                    let metrics = run.metrics(&iso)?;
-                    outcomes.insert(
-                        cfg,
-                        SpatialOutcome {
-                            ntt: metrics.ntt().to_vec(),
-                            antt: metrics.antt(),
-                            stp: metrics.stp(),
-                            fairness: metrics.fairness(),
-                        },
-                    );
-                }
-                records.push(SpatialRecord {
-                    workload: workload.name().to_string(),
-                    size,
-                    app_classes,
-                    outcomes,
-                });
+            for workload in generator.random_population(size, scale.random_workloads) {
+                workloads.push((size, scale.finalize(workload)));
             }
+        }
+
+        let (isolated, iso_timing) =
+            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+
+        let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
+        for (_, workload) in &workloads {
+            for cfg in SpatialConfig::all() {
+                let (policy, mechanism) = cfg.policy_and_mechanism();
+                plan.push(
+                    Scenario::new("spatial", cfg.label(), workload.clone(), policy)
+                        .with_selection(MechanismSelection::Fixed(mechanism)),
+                );
+            }
+        }
+        let results = runner.run(&plan)?;
+
+        let n_cfg = SpatialConfig::all().len();
+        let mut records = Vec::new();
+        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
+            let iso = isolated.times_for(workload)?;
+            let app_classes = workload
+                .processes()
+                .iter()
+                .map(|p| p.benchmark.app_class())
+                .collect();
+            let mut outcomes = HashMap::new();
+            for (c_idx, cfg) in SpatialConfig::all().into_iter().enumerate() {
+                let run = results.run_of(w_idx * n_cfg + c_idx);
+                let metrics = run.metrics(&iso)?;
+                outcomes.insert(
+                    cfg,
+                    SpatialOutcome {
+                        ntt: metrics.ntt().to_vec(),
+                        antt: metrics.antt(),
+                        stp: metrics.stp(),
+                        fairness: metrics.fairness(),
+                    },
+                );
+            }
+            records.push(SpatialRecord {
+                workload: workload.name().to_string(),
+                size: *size,
+                app_classes,
+                outcomes,
+            });
         }
 
         Ok(SpatialResults {
             records,
             sizes: scale.workload_sizes.clone(),
+            seed: scale.seed,
+            timing: iso_timing.merged(results.timing(&plan)),
         })
     }
 
@@ -191,6 +223,32 @@ impl SpatialResults {
     /// The workload sizes evaluated.
     pub fn sizes(&self) -> &[usize] {
         &self.sizes
+    }
+
+    /// Wall-clock timing of the underlying sweep (isolated phase + main
+    /// phase).
+    pub fn timing(&self) -> &SweepTiming {
+        &self.timing
+    }
+
+    /// The machine-readable report: one record per workload ×
+    /// configuration with ANTT / STP / fairness and the per-process NTTs.
+    pub fn report(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.seed);
+        for record in &self.records {
+            for cfg in SpatialConfig::all() {
+                let outcome = &record.outcomes[&cfg];
+                let mut r = SweepRecord::new("spatial", &record.workload, cfg.label(), record.size)
+                    .with_value("antt", outcome.antt)
+                    .with_value("stp", outcome.stp)
+                    .with_value("fairness", outcome.fairness);
+                for (i, &ntt) in outcome.ntt.iter().enumerate() {
+                    r = r.with_value(format!("ntt_{i}"), ntt);
+                }
+                report.push(r);
+            }
+        }
+        report
     }
 
     /// Figure 7a: mean per-application NTT improvement of DSS over FCFS, for

@@ -38,11 +38,14 @@
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod simulator;
+pub mod sweep;
 
 pub use config::{PolicyKind, SimulatorConfig};
 pub use simulator::{SimulationRun, Simulator};
+pub use sweep::{Scenario, SweepPlan, SweepReport, SweepRunner};
 
 // Re-export the workspace crates so downstream users only need one
 // dependency.

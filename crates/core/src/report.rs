@@ -44,9 +44,18 @@ impl TextTable {
         self
     }
 
-    /// Appends a row. Rows shorter than the header are padded with blanks;
-    /// longer rows are truncated.
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    ///
+    /// Rows *longer* than the header indicate a bug in the caller (the
+    /// extra cells would silently disappear), so debug builds assert on
+    /// them; release builds truncate as before.
     pub fn add_row(&mut self, mut row: Vec<String>) {
+        debug_assert!(
+            row.len() <= self.header.len(),
+            "TextTable::add_row: row has {} cells but the header has only {} columns: {row:?}",
+            row.len(),
+            self.header.len(),
+        );
         row.resize(self.header.len(), String::new());
         self.rows.push(row);
     }
@@ -128,6 +137,32 @@ mod tests {
         assert!(lines[1].contains("a"));
         assert!(lines[2].starts_with("---"));
         assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn short_rows_are_padded_to_the_header_width() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.add_row(vec!["x".into()]);
+        t.add_row(vec!["y".into(), "z".into()]);
+        let text = t.render();
+        // Every rendered data line has the padded cells, so the column
+        // separator logic never panics and alignment holds.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with('x'));
+        assert!(lines[3].contains('z'));
+        // The stored rows really were padded, not left ragged.
+        assert!(t.rows.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "row has 3 cells"))]
+    fn long_rows_assert_in_debug_builds() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        // In release builds the extra cell is truncated (legacy behaviour).
+        #[cfg(not(debug_assertions))]
+        assert_eq!(t.rows[0].len(), 2);
     }
 
     #[test]

@@ -283,6 +283,26 @@ impl Simulator {
         })
     }
 
+    /// The single-process FCFS workload an isolated-execution measurement
+    /// simulates. Shared by [`Simulator::isolated_time`] and the sweep
+    /// harnesses' batched isolated phase
+    /// ([`isolated_times_via`](crate::experiments::isolated_times_via)), so
+    /// the two paths cannot diverge.
+    pub fn isolated_workload(benchmark: &BenchmarkTrace) -> Workload {
+        Workload::new(
+            format!("isolated-{}", benchmark.name()),
+            vec![ProcessSpec::new(benchmark.clone())],
+        )
+        .with_min_completions(1)
+    }
+
+    /// Extracts the isolated execution time — the turnaround of the first
+    /// completed iteration — from a finished
+    /// [`isolated_workload`](Self::isolated_workload) run.
+    pub fn isolated_time_of(run: &SimulationRun) -> SimTime {
+        run.iterations()[0][0].turnaround()
+    }
+
     /// Runs one benchmark alone on the machine and returns the execution
     /// time of its first completed iteration — the "isolated execution"
     /// reference the metrics are normalised to.
@@ -292,13 +312,9 @@ impl Simulator {
     /// Returns an error if the benchmark trace is invalid for the configured
     /// GPU.
     pub fn isolated_time(&self, benchmark: &BenchmarkTrace) -> Result<SimTime, SimError> {
-        let workload = Workload::new(
-            format!("isolated-{}", benchmark.name()),
-            vec![ProcessSpec::new(benchmark.clone())],
-        )
-        .with_min_completions(1);
+        let workload = Self::isolated_workload(benchmark);
         let run = self.run(&workload, PolicyKind::Fcfs)?;
-        Ok(run.iterations()[0][0].turnaround())
+        Ok(Self::isolated_time_of(&run))
     }
 
     /// Isolated execution times of every process of a workload, in process

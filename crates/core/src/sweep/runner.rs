@@ -1,0 +1,453 @@
+//! Parallel, deterministic execution of a [`SweepPlan`].
+
+use crate::report::TextTable;
+use crate::simulator::{SimulationRun, Simulator};
+use crate::sweep::{Scenario, ScenarioResult, SweepPlan};
+use gpreempt_types::SimError;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Executes the scenarios of a plan across worker threads.
+///
+/// Scenarios are self-contained values (workload, policy, config overrides,
+/// seed), so each simulation depends only on its scenario — never on which
+/// worker ran it or in what order. Workers pull scenario indices from one
+/// shared atomic counter (a single self-scheduling queue: an idle worker
+/// "steals" the next unclaimed scenario), and results are reassembled in
+/// scenario-id order, which makes the output of `jobs = N` bit-identical to
+/// `jobs = 1` — and to the historical hand-rolled sequential harness loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// Creates a runner with the given worker count; `0` means one worker
+    /// per available CPU.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        SweepRunner { jobs }
+    }
+
+    /// A single-threaded runner (the historical harness behaviour).
+    pub fn sequential() -> Self {
+        SweepRunner { jobs: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every scenario of the plan and returns the results in
+    /// scenario-id order.
+    ///
+    /// # Errors
+    ///
+    /// If any scenario fails, no further scenarios are started (in-flight
+    /// ones finish) and the error of the failing scenario with the
+    /// smallest id is returned — so the reported error does not depend on
+    /// the worker count either.
+    pub fn run(&self, plan: &SweepPlan) -> Result<SweepResults, SimError> {
+        let scenarios = plan.scenarios();
+        let started = Instant::now();
+        let mut slots: Vec<Option<Result<ScenarioResult, SimError>>> =
+            (0..scenarios.len()).map(|_| None).collect();
+
+        let workers = self.jobs.min(scenarios.len()).max(1);
+        if workers <= 1 {
+            for (i, scenario) in scenarios.iter().enumerate() {
+                let outcome = Self::execute(plan, scenario);
+                let failed = outcome.is_err();
+                slots[i] = Some(outcome);
+                if failed {
+                    break;
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let harvested = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let failed = &failed;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            // Stop pulling new scenarios once any worker has
+                            // recorded a failure; in-flight scenarios still
+                            // finish. Indices are handed out in id order, so
+                            // the smallest failing id is always among the
+                            // executed scenarios and the reported error stays
+                            // independent of the worker count.
+                            while !failed.load(Ordering::Relaxed) {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(scenario) = scenarios.get(i) else {
+                                    break;
+                                };
+                                let outcome = Self::execute(plan, scenario);
+                                if outcome.is_err() {
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                                local.push((i, outcome));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut harvested = Vec::with_capacity(scenarios.len());
+                for handle in handles {
+                    harvested.extend(handle.join().expect("sweep worker panicked"));
+                }
+                harvested
+            });
+            for (i, outcome) in harvested {
+                slots[i] = Some(outcome);
+            }
+        }
+
+        let mut results = Vec::with_capacity(scenarios.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(result)) => results.push(result),
+                Some(Err(e)) => return Err(e),
+                // Unexecuted slots form a suffix behind a recorded failure;
+                // reaching one without having returned the error first is a
+                // runner bug.
+                None => {
+                    return Err(SimError::internal(
+                        "sweep aborted before executing every scenario, but no error was recorded",
+                    ))
+                }
+            }
+        }
+        Ok(SweepResults {
+            results,
+            total_wall: started.elapsed(),
+            jobs: workers,
+        })
+    }
+
+    /// Runs one scenario: the plan's base configuration plus the scenario's
+    /// overrides, simulated from a fresh engine.
+    fn execute(plan: &SweepPlan, scenario: &Scenario) -> Result<ScenarioResult, SimError> {
+        let mut config = plan.config().clone();
+        if let Some(selection) = scenario.selection {
+            config = config.with_selection(selection);
+        }
+        if let Some(seed) = scenario.seed {
+            config = config.with_seed(seed);
+        }
+        let wall = Instant::now();
+        let run = Simulator::new(config).run(&scenario.workload, scenario.policy)?;
+        Ok(ScenarioResult {
+            scenario_id: scenario.id,
+            run,
+            wall: wall.elapsed(),
+        })
+    }
+}
+
+impl Default for SweepRunner {
+    /// Defaults to sequential execution, matching the historical harnesses.
+    fn default() -> Self {
+        SweepRunner::sequential()
+    }
+}
+
+/// The results of one executed plan, in scenario-id order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    results: Vec<ScenarioResult>,
+    total_wall: Duration,
+    jobs: usize,
+}
+
+impl SweepResults {
+    /// The per-scenario results, in scenario-id order.
+    pub fn results(&self) -> &[ScenarioResult] {
+        &self.results
+    }
+
+    /// The simulation run of the scenario with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (a caller bug: results always cover
+    /// the full plan).
+    pub fn run_of(&self, scenario_id: usize) -> &SimulationRun {
+        &self.results[scenario_id].run
+    }
+
+    /// Number of executed scenarios.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the plan was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Wall-clock time of the whole sweep.
+    pub fn total_wall(&self) -> Duration {
+        self.total_wall
+    }
+
+    /// Number of workers that executed the sweep.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Per-scenario wall-clock timing, labelled from the plan.
+    pub fn timing(&self, plan: &SweepPlan) -> SweepTiming {
+        SweepTiming {
+            jobs: self.jobs,
+            total: self.total_wall,
+            entries: self
+                .results
+                .iter()
+                .map(|r| {
+                    let s = &plan.scenarios()[r.scenario_id];
+                    TimingEntry {
+                        group: s.group.clone(),
+                        workload: s.workload.name().to_string(),
+                        label: s.label.clone(),
+                        wall: r.wall,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Wall-clock timing of one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingEntry {
+    /// The scenario's experiment group.
+    pub group: String,
+    /// The scenario's workload name.
+    pub workload: String,
+    /// The scenario's configuration label.
+    pub label: String,
+    /// Wall-clock time spent simulating it.
+    pub wall: Duration,
+}
+
+/// Wall-clock summary of an executed sweep (or several merged phases).
+///
+/// Timing is deliberately kept *outside* [`SweepReport`](crate::sweep::SweepReport):
+/// wall-clock numbers differ run to run, while the report must be
+/// byte-identical for a given plan seed regardless of worker count.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTiming {
+    /// Workers used.
+    pub jobs: usize,
+    /// Total wall-clock across the sweep (parallel phases overlap, so this
+    /// is less than the sum of entries when `jobs > 1`).
+    pub total: Duration,
+    /// Per-scenario timings, in scenario-id order.
+    pub entries: Vec<TimingEntry>,
+}
+
+impl SweepTiming {
+    /// Folds another phase's timing into this one (totals add; entries
+    /// append).
+    #[must_use]
+    pub fn merged(mut self, other: SweepTiming) -> SweepTiming {
+        self.total += other.total;
+        self.jobs = self.jobs.max(other.jobs);
+        self.entries.extend(other.entries);
+        self
+    }
+
+    /// Sum of per-scenario wall-clock times (the sequential-equivalent
+    /// cost).
+    pub fn scenario_wall_sum(&self) -> Duration {
+        self.entries.iter().map(|e| e.wall).sum()
+    }
+
+    /// The slowest scenario, if any.
+    pub fn slowest(&self) -> Option<&TimingEntry> {
+        self.entries.iter().max_by_key(|e| e.wall)
+    }
+
+    /// One-line summary: scenario count, workers, wall clock, aggregate
+    /// simulation time and mean per-scenario cost.
+    pub fn summary(&self) -> String {
+        let n = self.entries.len();
+        let sum = self.scenario_wall_sum();
+        let mean = if n == 0 {
+            Duration::ZERO
+        } else {
+            sum / n as u32
+        };
+        format!(
+            "{n} scenarios on {} worker(s): {:.2?} wall ({:.2?} aggregate simulation, {:.2?} mean/scenario)",
+            self.jobs, self.total, sum, mean
+        )
+    }
+
+    /// Renders the per-scenario wall-clock table.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "group".into(),
+            "workload".into(),
+            "config".into(),
+            "wall (ms)".into(),
+        ])
+        .with_title("Per-scenario wall clock");
+        for e in &self.entries {
+            table.add_row(vec![
+                e.group.clone(),
+                e.workload.clone(),
+                e.label.clone(),
+                format!("{:.3}", e.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PolicyKind, SimulatorConfig};
+    use crate::sweep::Scenario;
+    use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
+    use gpreempt_trace::{parboil, ProcessSpec, Workload};
+    use gpreempt_types::GpuConfig;
+
+    fn tiny_plan(n: usize) -> SweepPlan {
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let mut plan = SweepPlan::new(SimulatorConfig::default());
+        for i in 0..n {
+            let workload = Workload::new(
+                format!("w{i}"),
+                vec![
+                    ProcessSpec::new(spmv.clone()),
+                    ProcessSpec::new(spmv.clone()),
+                ],
+            )
+            .with_min_completions(1);
+            plan.push(
+                Scenario::new("test", format!("s{i}"), workload, PolicyKind::Dss).with_selection(
+                    MechanismSelection::Fixed(PreemptionMechanism::ContextSwitch),
+                ),
+            );
+        }
+        plan
+    }
+
+    fn fingerprint(results: &SweepResults) -> Vec<(usize, u64, gpreempt_types::SimTime)> {
+        results
+            .results()
+            .iter()
+            .map(|r| (r.scenario_id, r.run.events_processed(), r.run.end_time()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let plan = tiny_plan(6);
+        let sequential = SweepRunner::sequential().run(&plan).unwrap();
+        for jobs in [2, 4, 8] {
+            let parallel = SweepRunner::new(jobs).run(&plan).unwrap();
+            assert_eq!(
+                fingerprint(&sequential),
+                fingerprint(&parallel),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_by_scenario_id() {
+        let plan = tiny_plan(5);
+        let results = SweepRunner::new(3).run(&plan).unwrap();
+        let ids: Vec<usize> = results.results().iter().map(|r| r.scenario_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(results.len(), 5);
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_runs_to_empty_results() {
+        let plan = SweepPlan::new(SimulatorConfig::default());
+        let results = SweepRunner::new(4).run(&plan).unwrap();
+        assert!(results.is_empty());
+        assert!(results.timing(&plan).entries.is_empty());
+    }
+
+    #[test]
+    fn auto_jobs_resolves_to_at_least_one_worker() {
+        assert!(SweepRunner::new(0).jobs() >= 1);
+        assert_eq!(SweepRunner::sequential().jobs(), 1);
+        assert_eq!(SweepRunner::default().jobs(), 1);
+    }
+
+    #[test]
+    fn failing_scenario_reports_the_smallest_failing_id() {
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let mut plan = SweepPlan::new(SimulatorConfig::default());
+        // Scenario 0 is fine; scenarios 1 and 2 are empty workloads that
+        // fail validation.
+        plan.push(Scenario::new(
+            "t",
+            "ok",
+            Workload::new("ok", vec![ProcessSpec::new(spmv)]).with_min_completions(1),
+            PolicyKind::Fcfs,
+        ));
+        for i in 1..3 {
+            plan.push(Scenario::new(
+                "t",
+                format!("bad{i}"),
+                Workload::new(format!("bad{i}"), vec![]),
+                PolicyKind::Fcfs,
+            ));
+        }
+        // A trailing healthy scenario: with early abort it is skipped under
+        // jobs=1 (leaving an unexecuted suffix slot), and the error must
+        // still surface identically at every worker count.
+        plan.push(Scenario::new(
+            "t",
+            "ok-tail",
+            Workload::new(
+                "ok-tail",
+                vec![ProcessSpec::new(parboil::benchmark("spmv", &gpu).unwrap())],
+            )
+            .with_min_completions(1),
+            PolicyKind::Fcfs,
+        ));
+        for jobs in [1, 4] {
+            let err = SweepRunner::new(jobs).run(&plan).unwrap_err();
+            assert!(
+                err.to_string().contains("no processes"),
+                "jobs={jobs}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn timing_is_labelled_and_summarised() {
+        let plan = tiny_plan(3);
+        let results = SweepRunner::new(2).run(&plan).unwrap();
+        let timing = results.timing(&plan);
+        assert_eq!(timing.entries.len(), 3);
+        assert_eq!(timing.entries[0].label, "s0");
+        assert_eq!(timing.entries[2].workload, "w2");
+        assert!(timing.scenario_wall_sum() >= timing.slowest().unwrap().wall);
+        assert!(timing.summary().contains("3 scenarios"));
+        assert_eq!(timing.render().len(), 3);
+        let merged = timing.clone().merged(results.timing(&plan));
+        assert_eq!(merged.entries.len(), 6);
+    }
+}

@@ -1,0 +1,90 @@
+//! One enumerated simulation unit of a sweep.
+
+use crate::config::PolicyKind;
+use crate::simulator::SimulationRun;
+use gpreempt_gpu::MechanismSelection;
+use gpreempt_trace::Workload;
+use std::time::Duration;
+
+/// A fully-specified simulation: the workload, the scheduling policy, and
+/// optional per-scenario overrides of the plan's base configuration.
+///
+/// Scenarios are *values*: everything a worker thread needs to run one
+/// simulation is captured here at enumeration time, so execution order
+/// cannot influence results — the property the parallel runner's
+/// bit-identical-to-sequential guarantee rests on.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable index in the plan's enumeration order (assigned by
+    /// [`SweepPlan::push`](crate::sweep::SweepPlan::push)).
+    pub id: usize,
+    /// Which experiment family this scenario belongs to (e.g. `"priority"`,
+    /// `"spatial"`, `"isolated"`).
+    pub group: String,
+    /// The configuration label within the group (e.g. `"PPQ Draining"`).
+    pub label: String,
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// The scheduling policy to run it under.
+    pub policy: PolicyKind,
+    /// Mechanism-selection override; `None` keeps the plan configuration's
+    /// selection.
+    pub selection: Option<MechanismSelection>,
+    /// Engine-RNG seed override; `None` keeps the plan configuration's
+    /// seed. [`SweepPlan::assign_derived_seeds`](crate::sweep::SweepPlan::assign_derived_seeds)
+    /// fills this with a stream derived from the plan seed and the
+    /// scenario id.
+    pub seed: Option<u64>,
+}
+
+impl Scenario {
+    /// Creates a scenario with no configuration overrides. The id is
+    /// assigned when the scenario is pushed onto a plan.
+    pub fn new(
+        group: impl Into<String>,
+        label: impl Into<String>,
+        workload: Workload,
+        policy: PolicyKind,
+    ) -> Self {
+        Scenario {
+            id: 0,
+            group: group.into(),
+            label: label.into(),
+            workload,
+            policy,
+            selection: None,
+            seed: None,
+        }
+    }
+
+    /// Overrides the preemption-mechanism selection for this scenario.
+    #[must_use]
+    pub fn with_selection(mut self, selection: MechanismSelection) -> Self {
+        self.selection = Some(selection);
+        self
+    }
+
+    /// Overrides the engine-RNG seed for this scenario.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Number of co-scheduled processes.
+    pub fn size(&self) -> usize {
+        self.workload.len()
+    }
+}
+
+/// The outcome of one scenario: the finished simulation plus how long it
+/// took in wall-clock time.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario's id in the plan.
+    pub scenario_id: usize,
+    /// The simulation result.
+    pub run: SimulationRun,
+    /// Wall-clock time spent simulating this scenario.
+    pub wall: Duration,
+}

@@ -1,0 +1,214 @@
+//! Regression: the sweep-based harnesses must be bit-identical to the
+//! hand-rolled sequential loops they replaced, at every worker count.
+//!
+//! Each test re-implements the pre-refactor loop verbatim (fresh simulator
+//! per configuration, lazy isolated-time cache, nested size × workload ×
+//! config iteration) and compares every floating-point outcome with `==` —
+//! no tolerance — against the refactored harness run sequentially and in
+//! parallel.
+
+use gpreempt::config::{PolicyKind, SimulatorConfig};
+use gpreempt::experiments::{
+    simulator_with_mechanism, ExperimentScale, Fig2Results, IsolatedTimes, MechanismResults,
+    PriorityConfig, PriorityResults, SpatialConfig, SpatialResults,
+};
+use gpreempt::sweep::SweepRunner;
+use gpreempt::Simulator;
+use gpreempt_gpu::PreemptionMechanism;
+
+/// Per-configuration expectations of one spatial workload:
+/// (config, antt, stp, fairness, per-process ntt).
+type SpatialExpectation = (SpatialConfig, f64, f64, f64, Vec<f64>);
+
+/// Per-configuration expectations of one prioritised workload:
+/// (config, high-priority ntt, stp).
+type PriorityExpectation = (PriorityConfig, f64, f64);
+
+fn tiny_scale() -> ExperimentScale {
+    let mut scale = ExperimentScale::quick().with_benchmarks(["spmv", "sgemm", "mri-q"]);
+    scale.workload_sizes = vec![2];
+    scale.reps_per_benchmark = 1;
+    scale.random_workloads = 2;
+    scale
+}
+
+#[test]
+fn spatial_results_match_the_pre_sweep_sequential_loop() {
+    let config = SimulatorConfig::default();
+    let scale = tiny_scale();
+
+    // The pre-refactor loop, verbatim.
+    let mut generator = scale.generator(&config);
+    let mut isolated = IsolatedTimes::new();
+    let reference_sim = simulator_with_mechanism(&config, PreemptionMechanism::ContextSwitch);
+    let mut expected: Vec<(String, Vec<SpatialExpectation>)> = Vec::new();
+    for &size in &scale.workload_sizes {
+        for workload in generator.random_population(size, scale.random_workloads) {
+            let workload = scale.finalize(workload);
+            let iso = isolated.for_workload(&reference_sim, &workload).unwrap();
+            let mut per_cfg = Vec::new();
+            for cfg in SpatialConfig::all() {
+                let (policy, mechanism) = cfg.policy_and_mechanism();
+                let sim = simulator_with_mechanism(&config, mechanism);
+                let run = sim.run(&workload, policy).unwrap();
+                let metrics = run.metrics(&iso).unwrap();
+                per_cfg.push((
+                    cfg,
+                    metrics.antt(),
+                    metrics.stp(),
+                    metrics.fairness(),
+                    metrics.ntt().to_vec(),
+                ));
+            }
+            expected.push((workload.name().to_string(), per_cfg));
+        }
+    }
+
+    for jobs in [1usize, 2, 8] {
+        let results = SpatialResults::run_with(&config, &scale, &SweepRunner::new(jobs)).unwrap();
+        assert_eq!(results.records().len(), expected.len(), "jobs={jobs}");
+        for (record, (name, per_cfg)) in results.records().iter().zip(&expected) {
+            assert_eq!(&record.workload, name, "jobs={jobs}");
+            for (cfg, antt, stp, fairness, ntt) in per_cfg {
+                let outcome = &record.outcomes[cfg];
+                assert_eq!(outcome.antt, *antt, "jobs={jobs} {name} {cfg}");
+                assert_eq!(outcome.stp, *stp, "jobs={jobs} {name} {cfg}");
+                assert_eq!(outcome.fairness, *fairness, "jobs={jobs} {name} {cfg}");
+                assert_eq!(&outcome.ntt, ntt, "jobs={jobs} {name} {cfg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn priority_results_match_the_pre_sweep_sequential_loop() {
+    let config = SimulatorConfig::default();
+    let scale = tiny_scale();
+
+    let mut generator = scale.generator(&config);
+    let mut isolated = IsolatedTimes::new();
+    let reference_sim = simulator_with_mechanism(&config, PreemptionMechanism::ContextSwitch);
+    let mut expected: Vec<(String, Vec<PriorityExpectation>)> = Vec::new();
+    for &size in &scale.workload_sizes {
+        for workload in generator.prioritized_population(size, scale.reps_per_benchmark) {
+            let workload = scale.finalize(workload);
+            let iso = isolated.for_workload(&reference_sim, &workload).unwrap();
+            let hp = workload.high_priority_process().unwrap();
+            let mut per_cfg = Vec::new();
+            for cfg in PriorityConfig::all() {
+                let (policy, mechanism) = cfg.policy_and_mechanism();
+                let sim = simulator_with_mechanism(&config, mechanism);
+                let run = sim.run(&workload, policy).unwrap();
+                let metrics = run.metrics(&iso).unwrap();
+                per_cfg.push((cfg, metrics.ntt()[hp.index()], metrics.stp()));
+            }
+            expected.push((workload.name().to_string(), per_cfg));
+        }
+    }
+
+    for jobs in [1usize, 4] {
+        let results = PriorityResults::run_with(&config, &scale, &SweepRunner::new(jobs)).unwrap();
+        assert_eq!(results.records().len(), expected.len(), "jobs={jobs}");
+        for (record, (name, per_cfg)) in results.records().iter().zip(&expected) {
+            assert_eq!(&record.workload, name, "jobs={jobs}");
+            for (cfg, ntt_hp, stp) in per_cfg {
+                let outcome = &record.outcomes[cfg];
+                assert_eq!(
+                    outcome.ntt_high_priority, *ntt_hp,
+                    "jobs={jobs} {name} {cfg}"
+                );
+                assert_eq!(outcome.stp, *stp, "jobs={jobs} {name} {cfg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig2_results_match_the_pre_sweep_sequential_loop() {
+    let config = SimulatorConfig::default();
+
+    // Pre-refactor: one fresh context-switch simulator per policy.
+    let workload = Fig2Results::workload();
+    let mut expected = Vec::new();
+    for policy in [PolicyKind::Fcfs, PolicyKind::Npq, PolicyKind::PpqExclusive] {
+        let sim = simulator_with_mechanism(&config, PreemptionMechanism::ContextSwitch);
+        let run = sim.run(&workload, policy).unwrap();
+        expected.push((policy, run.end_time(), run.events_processed()));
+    }
+
+    for jobs in [1usize, 3] {
+        let results = Fig2Results::run_with(&config, &SweepRunner::new(jobs)).unwrap();
+        assert_eq!(results.timelines.len(), 3);
+        for (timeline, (policy, _, _)) in results.timelines.iter().zip(&expected) {
+            assert_eq!(timeline.policy, *policy);
+        }
+        // The timelines derive deterministically from the same runs.
+        let sequential = Fig2Results::run(&config).unwrap();
+        assert_eq!(results, sequential, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn mechanism_results_are_identical_across_worker_counts() {
+    let config = SimulatorConfig::default();
+    let mut scale = tiny_scale();
+    scale.random_workloads = 2;
+
+    let sequential = MechanismResults::run(&config, &scale).unwrap();
+    let parallel = MechanismResults::run_with(&config, &scale, &SweepRunner::new(4)).unwrap();
+    assert_eq!(sequential.records().len(), parallel.records().len());
+    for (a, b) in sequential.records().iter().zip(parallel.records()) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+    // The machine-readable reports agree byte for byte.
+    assert_eq!(sequential.report().to_json(), parallel.report().to_json());
+}
+
+#[test]
+fn harness_reports_cover_every_record_and_validate() {
+    let config = SimulatorConfig::default();
+    let scale = tiny_scale();
+    let runner = SweepRunner::new(2);
+
+    let spatial = SpatialResults::run_with(&config, &scale, &runner).unwrap();
+    let report = spatial.report();
+    assert_eq!(
+        report.len(),
+        spatial.records().len() * SpatialConfig::all().len()
+    );
+    let n = gpreempt::SweepReport::validate_json(&report.to_json()).unwrap();
+    assert_eq!(n, report.len());
+    // Timing covers the isolated phase plus every main-phase scenario.
+    assert!(spatial.timing().entries.len() >= report.len());
+    assert!(spatial
+        .timing()
+        .entries
+        .iter()
+        .any(|e| e.group == "isolated"));
+
+    let fig2 = Fig2Results::run_with(&config, &runner).unwrap();
+    assert_eq!(fig2.report().len(), 3);
+    assert!(gpreempt::SweepReport::validate_json(&fig2.report().to_json()).is_ok());
+}
+
+#[test]
+fn isolated_sweep_times_match_simulator_isolated_times() {
+    let config = SimulatorConfig::default();
+    let scale = tiny_scale();
+    let mut generator = scale.generator(&config);
+    let workload = scale.finalize(generator.random_workload(2));
+    let reference = Simulator::new(
+        config
+            .clone()
+            .with_mechanism(PreemptionMechanism::ContextSwitch),
+    );
+    let expected = reference.isolated_times(&workload).unwrap();
+    let (cache, _) = gpreempt::experiments::isolated_times_via(
+        &SweepRunner::new(2),
+        &config,
+        std::iter::once(&workload),
+    )
+    .unwrap();
+    assert_eq!(cache.times_for(&workload).unwrap(), expected);
+}

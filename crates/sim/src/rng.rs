@@ -34,8 +34,13 @@ impl SimRng {
 
     /// Derives an independent child generator. Children created with the
     /// same `salt` from generators with the same seed are identical.
+    ///
+    /// The salt is run through a splitmix64 finalizer before it is combined
+    /// with the parent seed, so *every* salt — including 0 — yields a child
+    /// stream decorrelated from the parent (a plain `seed ^ salt` would make
+    /// `derive(0)` replay the parent's stream verbatim).
     pub fn derive(&self, salt: u64) -> SimRng {
-        SimRng::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        SimRng::new(self.seed ^ splitmix64(salt))
     }
 
     /// Uniform integer in `[0, bound)`. Returns 0 when `bound` is 0.
@@ -96,6 +101,15 @@ impl SimRng {
     }
 }
 
+/// The splitmix64 finalizer: a bijective avalanche over `u64` that spreads
+/// low-entropy salts (0, 1, 2, ...) across the whole seed space.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl fmt::Debug for SimRng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimRng").field("seed", &self.seed).finish()
@@ -139,6 +153,31 @@ mod tests {
         let c = SimRng::new(7).derive(4);
         assert_eq!(a.seed(), b.seed());
         assert_ne!(a.seed(), c.seed());
+    }
+
+    #[test]
+    fn derive_zero_salt_decorrelates_from_parent() {
+        // Regression: `derive(0)` used to be `seed ^ 0 == seed`, so the
+        // child replayed the parent's stream verbatim.
+        let parent = SimRng::new(2014);
+        let mut child = parent.derive(0);
+        assert_ne!(child.seed(), parent.seed());
+        let mut parent = parent;
+        let parent_stream: Vec<usize> = (0..32).map(|_| parent.next_index(1_000_000)).collect();
+        let child_stream: Vec<usize> = (0..32).map(|_| child.next_index(1_000_000)).collect();
+        assert_ne!(parent_stream, child_stream);
+    }
+
+    #[test]
+    fn derive_small_salts_yield_distinct_children() {
+        // Scenario ids are consecutive small integers; each must get its
+        // own stream.
+        let parent = SimRng::new(42);
+        let seeds: Vec<u64> = (0..64).map(|salt| parent.derive(salt).seed()).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
     }
 
     #[test]

@@ -399,3 +399,44 @@ proptest! {
         prop_assert!(estimate.drain_latency <= estimate.drain_work);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sweep determinism
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // Each case runs a full (tiny) experiment population three times, so
+    // keep the case count low; the seeds still vary run to run.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `--jobs 1`, `--jobs 2` and `--jobs 8` must produce byte-identical
+    /// `SweepReport` JSON for the same plan seed: scenario enumeration is
+    /// sequential, every scenario simulates from its own fresh engine, and
+    /// results are reassembled in scenario-id order regardless of which
+    /// worker ran them.
+    #[test]
+    fn sweep_report_json_is_byte_identical_across_worker_counts(seed in 1u64..100_000) {
+        use gpreempt::experiments::{ExperimentScale, SpatialResults};
+        use gpreempt::sweep::SweepRunner;
+        use gpreempt::SimulatorConfig;
+
+        let config = SimulatorConfig::default();
+        let mut scale = ExperimentScale::quick().with_benchmarks(["spmv", "sgemm", "mri-q"]);
+        scale.workload_sizes = vec![2];
+        scale.random_workloads = 2;
+        scale.seed = seed;
+
+        let sequential = SpatialResults::run_with(&config, &scale, &SweepRunner::new(1))
+            .unwrap()
+            .report()
+            .to_json();
+        prop_assert!(!sequential.is_empty());
+        for jobs in [2usize, 8] {
+            let parallel = SpatialResults::run_with(&config, &scale, &SweepRunner::new(jobs))
+                .unwrap()
+                .report()
+                .to_json();
+            prop_assert_eq!(&sequential, &parallel, "jobs={}", jobs);
+        }
+    }
+}
