@@ -27,7 +27,9 @@ fn launch(blocks: u32) -> KernelLaunch {
 }
 
 /// Runs one kernel of `blocks` thread blocks to completion with every SM
-/// assigned; returns the number of processed events.
+/// assigned; returns the number of processed events. Drives the engine the
+/// way the simulator does: reused scratch buffers, zero allocation per
+/// event in steady state.
 fn run_single_kernel(mechanism: PreemptionMechanism, blocks: u32) -> u64 {
     let mut engine = ExecutionEngine::new(
         GpuConfig::default(),
@@ -39,17 +41,23 @@ fn run_single_kernel(mechanism: PreemptionMechanism, blocks: u32) -> u64 {
         SimRng::new(7),
     );
     let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    let mut scheduled = Vec::new();
+    let mut hooks = Vec::new();
+    let mut completions = Vec::new();
     engine.submit(launch(blocks), SimTime::ZERO);
-    let ksr = engine.active_kernels()[0];
-    for sm in engine.idle_sms() {
+    let ksr = engine.active_kernels().next().unwrap();
+    for sm in engine.sm_ids() {
         engine.assign_sm(SimTime::ZERO, sm, ksr);
     }
     loop {
-        for (t, ev) in engine.take_scheduled() {
+        engine.drain_scheduled_into(&mut scheduled);
+        for (t, ev) in scheduled.drain(..) {
             queue.schedule(t, ev);
         }
-        let _ = engine.take_hooks();
-        let _ = engine.take_completions();
+        hooks.clear();
+        engine.drain_hooks_into(&mut hooks);
+        completions.clear();
+        engine.drain_completions_into(&mut completions);
         let Some((t, ev)) = queue.pop() else { break };
         engine.handle(t, ev);
     }
@@ -89,20 +97,21 @@ fn bench_preemption_operation(c: &mut Criterion) {
                     second.command = CommandId::new(1);
                     second.process = ProcessId::new(1);
                     engine.submit(second, SimTime::ZERO);
-                    let first = engine.active_kernels()[0];
-                    for sm in engine.idle_sms() {
+                    let first = engine.active_kernels().next().unwrap();
+                    for sm in engine.sm_ids() {
                         engine.assign_sm(SimTime::ZERO, sm, first);
                     }
                     // Deliver the setup events so blocks are resident.
-                    let scheduled = engine.take_scheduled();
-                    for (t, ev) in scheduled {
+                    let mut scheduled = Vec::new();
+                    engine.drain_scheduled_into(&mut scheduled);
+                    for (t, ev) in scheduled.drain(..) {
                         engine.handle(t, ev);
                     }
-                    let _ = engine.take_scheduled();
+                    engine.drain_scheduled_into(&mut scheduled);
                     engine
                 },
                 |mut engine| {
-                    let target = engine.active_kernels()[1];
+                    let target = engine.active_kernels().nth(1).unwrap();
                     for sm in 0..13 {
                         engine.preempt_sm(SimTime::from_micros(5), SmId::new(sm), target);
                     }
@@ -132,16 +141,16 @@ fn bench_framework_queries(c: &mut Criterion) {
         l.process = ProcessId::new(i as u32);
         engine.submit(l, SimTime::ZERO);
     }
-    let kernels = engine.active_kernels();
-    for (i, sm) in engine.idle_sms().into_iter().enumerate() {
+    let kernels: Vec<_> = engine.active_kernels().collect();
+    let idle: Vec<_> = engine.idle_sms().collect();
+    for (i, sm) in idle.into_iter().enumerate() {
         engine.assign_sm(SimTime::ZERO, sm, kernels[i % kernels.len()]);
     }
     c.bench_function("engine/smst_ksrt_scan", |b| {
         b.iter(|| {
-            let idle = engine.idle_sms().len();
+            let idle = engine.idle_sms().count();
             let needy = engine
                 .active_kernels()
-                .into_iter()
                 .filter(|&k| {
                     engine
                         .kernel(k)

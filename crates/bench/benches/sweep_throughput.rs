@@ -1,0 +1,156 @@
+//! Times `SweepRunner::run_fold` itself — the streaming sweep pipeline —
+//! at several worker counts, so the parallel speedup curve is tracked by
+//! `cargo bench` (the ROADMAP's criterion-integration item).
+//!
+//! Two modes:
+//!
+//! * **criterion** (default): one benchmark per worker count over a fixed
+//!   quick-scale plan, with `Throughput::Elements` set to the plan's total
+//!   simulation events, so the report reads in events/sec.
+//! * **smoke** (`GPREEMPT_SWEEP_SMOKE=1`): runs the plan at `--jobs 1` and
+//!   `--jobs 2` (best of three each), writes a machine-readable
+//!   `BENCH_sweep.json` artifact — events/sec, wall clock, peak
+//!   runs-resident bound — to `GPREEMPT_BENCH_JSON` (default
+//!   `BENCH_sweep.json`), and **exits non-zero if jobs=2 is slower than
+//!   jobs=1**. CI runs this mode.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use gpreempt::experiments::ExperimentScale;
+use gpreempt::json::Value;
+use gpreempt::sweep::{Scenario, SweepPlan, SweepRunner};
+use gpreempt::{PolicyKind, SimulatorConfig};
+use std::time::{Duration, Instant};
+
+/// The timed unit: a quick-scale random population under FCFS and DSS —
+/// the same shape as the spatial experiment's main phase.
+fn plan() -> SweepPlan {
+    let config = SimulatorConfig::default();
+    let scale = ExperimentScale::quick();
+    let mut generator = scale.generator(&config);
+    let mut plan = SweepPlan::new(config).with_seed(scale.seed);
+    for &size in &scale.workload_sizes {
+        for workload in generator.random_population(size, scale.random_workloads) {
+            let workload = scale.finalize(workload);
+            for policy in [PolicyKind::Fcfs, PolicyKind::Dss] {
+                plan.push(Scenario::new(
+                    "throughput",
+                    policy.label(),
+                    workload.clone(),
+                    policy,
+                ));
+            }
+        }
+    }
+    plan
+}
+
+/// Streams the plan once, returning (wall clock, total simulation events).
+fn run_once(plan: &SweepPlan, jobs: usize) -> (Duration, u64) {
+    let started = Instant::now();
+    let folded = SweepRunner::new(jobs)
+        .run_fold(plan, &|_, run| Ok(run.events_processed()))
+        .expect("sweep failed");
+    (started.elapsed(), folded.events_total())
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let plan = plan();
+    let (_, events) = run_once(&plan, 1); // warm + count events
+    let mut group = c.benchmark_group("sweep/run_fold");
+    group.throughput(Throughput::Elements(events));
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("jobs{jobs}"), |b| b.iter(|| run_once(&plan, jobs)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+
+/// Best-of-`n` streaming runs at one worker count.
+fn best_of(plan: &SweepPlan, jobs: usize, n: usize) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut events = 0;
+    for _ in 0..n {
+        let (wall, ev) = run_once(plan, jobs);
+        if wall < best {
+            best = wall;
+        }
+        events = ev;
+    }
+    (best, events)
+}
+
+fn mode_value(jobs: usize, wall: Duration, events: u64) -> Value {
+    let secs = wall.as_secs_f64();
+    Value::object([
+        ("jobs", Value::from(jobs as u64)),
+        ("wall_ms", Value::from(secs * 1e3)),
+        ("events", Value::from(events)),
+        (
+            "events_per_sec",
+            Value::from(if secs > 0.0 {
+                events as f64 / secs
+            } else {
+                0.0
+            }),
+        ),
+        // Streaming bound: at most one SimulationRun body per worker is
+        // resident at any moment.
+        ("peak_runs_resident", Value::from(jobs as u64)),
+    ])
+}
+
+fn smoke() {
+    let plan = plan();
+    let scenarios = plan.len();
+    let (wall1, events) = best_of(&plan, 1, 3);
+    let (wall2, _) = best_of(&plan, 2, 3);
+    let report = Value::object([
+        ("bench", Value::from("sweep_throughput")),
+        ("scale", Value::from("quick")),
+        ("scenarios", Value::from(scenarios)),
+        ("jobs1", mode_value(1, wall1, events)),
+        ("jobs2", mode_value(2, wall2, events)),
+        (
+            "speedup_jobs2",
+            Value::from(wall1.as_secs_f64() / wall2.as_secs_f64().max(1e-9)),
+        ),
+    ]);
+    let path = std::env::var("GPREEMPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    std::fs::write(&path, report.to_json()).expect("write bench artifact");
+    println!(
+        "sweep_throughput smoke: {scenarios} scenarios, jobs1 {:.1?} vs jobs2 {:.1?} ({:.0} vs {:.0} events/s) -> {path}",
+        wall1,
+        wall2,
+        events as f64 / wall1.as_secs_f64().max(1e-9),
+        events as f64 / wall2.as_secs_f64().max(1e-9),
+    );
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // "Slower" with a noise margin: shared CI runners jitter by a few
+    // percent, and this gate exists to catch parallelism regressions, not
+    // scheduler weather.
+    const TOLERANCE: f64 = 1.15;
+    if wall2.as_secs_f64() > wall1.as_secs_f64() * TOLERANCE {
+        if cpus < 2 {
+            // A second worker cannot win on a single hardware thread; the
+            // gate only means something on multi-core machines (CI is).
+            eprintln!(
+                "WARN: jobs=2 ({wall2:.1?}) slower than jobs=1 ({wall1:.1?}) on a \
+                 single-CPU machine; not failing"
+            );
+            return;
+        }
+        eprintln!("FAIL: jobs=2 ({wall2:.1?}) is slower than jobs=1 ({wall1:.1?})");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    if std::env::var("GPREEMPT_SWEEP_SMOKE").is_ok() {
+        smoke();
+    } else {
+        benches();
+    }
+}

@@ -24,7 +24,8 @@
 //!   mismatch (used by the CI smoke step).
 
 use gpreempt::experiments::{
-    ExperimentScale, Fig2Results, MechanismResults, PriorityResults, SpatialResults,
+    ExperimentScale, Fig2Results, IsolatedRunCache, MechanismResults, PriorityResults,
+    SpatialResults,
 };
 use gpreempt::sweep::{SweepReport, SweepRunner, SweepTiming};
 use gpreempt::SimulatorConfig;
@@ -122,6 +123,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let config = SimulatorConfig::default();
     let runner = SweepRunner::new(jobs);
+    // One isolated-run cache for the whole invocation: under
+    // `--experiment all` the priority, spatial and mechanism experiments
+    // share the same base configuration, so each distinct isolated scenario
+    // simulates exactly once instead of once per experiment.
+    let isolated_cache = IsolatedRunCache::new();
     let mut report = SweepReport::new(scale.seed);
     let mut timing = SweepTiming::default();
     let mut tables: Vec<String> = Vec::new();
@@ -133,7 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Priority | Experiment::All) {
-        let results = PriorityResults::run_with(&config, &scale, &runner)?;
+        let results = PriorityResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
         tables.push(results.render_fig5().render());
         tables.push(results.render_fig6(false).render());
         tables.push(results.render_fig6(true).render());
@@ -141,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Spatial | Experiment::All) {
-        let results = SpatialResults::run_with(&config, &scale, &runner)?;
+        let results = SpatialResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
         tables.push(results.render_fig7a().render());
         tables.push(results.render_fig7b().render());
         tables.push(results.render_fig7c().render());
@@ -150,7 +156,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Mechanism | Experiment::All) {
-        let results = MechanismResults::run_with(&config, &scale, &runner)?;
+        let results = MechanismResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
         tables.push(results.render().render());
         report.merge(results.report());
         timing = timing.merged(results.timing().clone());
@@ -171,6 +177,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // it goes to stderr: `--format json | run_sweep --validate` stays
     // clean.
     eprintln!("{}", timing.summary());
+    if isolated_cache.hits() > 0 {
+        eprintln!(
+            "isolated-run cache: {} simulated, {} reused across experiments",
+            isolated_cache.misses(),
+            isolated_cache.hits()
+        );
+    }
     if let Some(slowest) = timing.slowest() {
         eprintln!(
             "slowest scenario: {} / {} / {} at {:.2?}",

@@ -8,6 +8,8 @@ use gpreempt_sim::SimRng;
 use gpreempt_trace::{parboil, BenchmarkTrace, Workload, WorkloadGenerator};
 use gpreempt_types::{SimError, SimTime};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How big an experiment to run.
 ///
@@ -229,6 +231,106 @@ impl IsolatedTimes {
     }
 }
 
+/// A sweep-level memo of isolated-execution times, shared **across**
+/// experiments.
+///
+/// Entries are keyed by `(benchmark name, configuration fingerprint)`,
+/// where the fingerprint covers the machine description, the engine
+/// parameters and the RNG seed of the (context-switch-pinned) configuration
+/// the isolated run would execute under — everything that can influence the
+/// simulated time. Two experiments that share a base configuration
+/// therefore share isolated runs: `run_sweep --experiment all` computes
+/// each distinct isolated scenario exactly once instead of once per
+/// experiment.
+///
+/// The cache is `Sync` (a mutex around the map, atomic hit/miss counters)
+/// so one instance can be threaded through any number of harness runs.
+#[derive(Debug, Default)]
+pub struct IsolatedRunCache {
+    /// Fingerprint → (benchmark name → isolated time). The nesting lets
+    /// lookups borrow the benchmark name (`get(benchmark)` on the inner
+    /// map) instead of building an owned tuple key per probe.
+    entries: Mutex<HashMap<u64, HashMap<String, SimTime>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl IsolatedRunCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached isolated time of `benchmark` under the fingerprinted
+    /// configuration, if present. Counts a hit or a miss.
+    pub fn lookup(&self, benchmark: &str, fingerprint: u64) -> Option<SimTime> {
+        let entries = self.entries.lock().expect("isolated cache poisoned");
+        match entries.get(&fingerprint).and_then(|m| m.get(benchmark)) {
+            Some(&t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed isolated time.
+    pub fn insert(&self, benchmark: impl Into<String>, fingerprint: u64, time: SimTime) {
+        self.entries
+            .lock()
+            .expect("isolated cache poisoned")
+            .entry(fingerprint)
+            .or_default()
+            .insert(benchmark.into(), time);
+    }
+
+    /// Number of cached isolated runs.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("isolated cache poisoned")
+            .values()
+            .map(HashMap::len)
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a simulation so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic fingerprint of everything in a configuration that can
+/// influence a simulation's outcome (machine, engine parameters, transfer
+/// policy, seed, event budget), used as the cache key component of
+/// [`IsolatedRunCache`]. FNV-1a over the configuration's debug rendering:
+/// stable within a process, which is all a per-invocation cache needs.
+pub fn config_fingerprint(config: &SimulatorConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let text = format!(
+        "{:?}|{:?}|{:?}|{}|{}",
+        config.machine, config.engine, config.transfer_policy, config.seed, config.max_events
+    );
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// Enumerates one isolated-execution scenario per distinct benchmark of the
 /// given workloads (first-appearance order) into a fresh plan, runs it on
 /// `runner`, and returns the populated [`IsolatedTimes`] cache plus the
@@ -248,30 +350,55 @@ pub fn isolated_times_via<'a>(
     config: &SimulatorConfig,
     workloads: impl IntoIterator<Item = &'a Workload>,
 ) -> Result<(IsolatedTimes, SweepTiming), SimError> {
-    let mut plan = SweepPlan::new(
-        config
-            .clone()
-            .with_mechanism(PreemptionMechanism::ContextSwitch),
-    );
-    let mut names: Vec<String> = Vec::new();
+    isolated_times_with_cache(runner, config, workloads, &IsolatedRunCache::new())
+}
+
+/// [`isolated_times_via`] backed by a shared [`IsolatedRunCache`]:
+/// benchmarks whose isolated time is already cached for this configuration
+/// are filled from the cache, and only the missing ones are enumerated and
+/// simulated. The isolated runs themselves are streamed (folded to a single
+/// [`SimTime`] on the worker), so the phase holds no run bodies either.
+///
+/// # Errors
+///
+/// Propagates any simulation error.
+pub fn isolated_times_with_cache<'a>(
+    runner: &SweepRunner,
+    config: &SimulatorConfig,
+    workloads: impl IntoIterator<Item = &'a Workload>,
+    cache: &IsolatedRunCache,
+) -> Result<(IsolatedTimes, SweepTiming), SimError> {
+    let iso_config = config
+        .clone()
+        .with_mechanism(PreemptionMechanism::ContextSwitch);
+    let fingerprint = config_fingerprint(&iso_config);
+    let mut plan = SweepPlan::new(iso_config);
+    let mut times = IsolatedTimes::new();
+    let mut seen: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
     for workload in workloads {
         for process in workload.processes() {
             let name = process.benchmark.name();
-            if names.iter().any(|n| n == name) {
+            if seen.iter().any(|n| n == name) {
                 continue;
             }
-            names.push(name.to_string());
+            seen.push(name.to_string());
+            if let Some(t) = cache.lookup(name, fingerprint) {
+                times.insert(name, t);
+                continue;
+            }
+            missing.push(name.to_string());
             let isolated = Simulator::isolated_workload(&process.benchmark);
             plan.push(Scenario::new("isolated", name, isolated, PolicyKind::Fcfs));
         }
     }
-    let results = runner.run(&plan)?;
+    let results = runner.run_fold(&plan, &|_, run| Ok(Simulator::isolated_time_of(&run)))?;
     let timing = results.timing(&plan);
-    let mut cache = IsolatedTimes::new();
-    for (name, result) in names.into_iter().zip(results.results()) {
-        cache.insert(name, Simulator::isolated_time_of(&result.run));
+    for (name, outcome) in missing.into_iter().zip(results.outcomes()) {
+        cache.insert(name.clone(), fingerprint, outcome.value);
+        times.insert(name, outcome.value);
     }
-    Ok((cache, timing))
+    Ok((times, timing))
 }
 
 /// Builds a simulator with the given preemption mechanism, sharing all other

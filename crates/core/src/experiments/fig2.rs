@@ -62,7 +62,9 @@ impl Fig2Results {
     }
 
     /// Runs the three-scheduler scenario on `runner`'s workers; results are
-    /// bit-identical for every worker count.
+    /// bit-identical for every worker count. The timeline marks are folded
+    /// out of each run on the worker that simulated it; no run bodies are
+    /// retained.
     ///
     /// # Errors
     ///
@@ -77,11 +79,7 @@ impl Fig2Results {
                 ),
             );
         }
-        let results = runner.run(&plan)?;
-
-        let mut timelines = Vec::new();
-        for (i, policy) in Self::POLICIES.into_iter().enumerate() {
-            let run = results.run_of(i);
+        let results = runner.run_fold(&plan, &|scenario, run| {
             let completion_of = |process: u32| {
                 run.kernel_completions()
                     .iter()
@@ -106,18 +104,19 @@ impl Fig2Results {
                 .max()
                 .expect("K2 completed");
             let k3 = completion_of(1);
-            timelines.push(Fig2Timeline {
-                policy,
+            Ok(Fig2Timeline {
+                policy: Self::POLICIES[scenario.id],
                 k1_finish: k1,
                 k2_finish: k2,
                 k3_start: k3.started_at,
                 k3_finish: k3.finished_at,
-            });
-        }
+            })
+        })?;
+        let timing = results.timing(&plan);
         Ok(Fig2Results {
-            timelines,
+            timelines: results.into_values(),
             plan_seed: plan.seed(),
-            timing: results.timing(&plan),
+            timing,
         })
     }
 

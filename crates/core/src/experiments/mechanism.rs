@@ -9,8 +9,9 @@
 //! prediction error.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{isolated_times_via, ExperimentScale};
+use crate::experiments::common::{isolated_times_with_cache, ExperimentScale, IsolatedRunCache};
 use crate::report::TextTable;
+use crate::simulator::SimulationRun;
 use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{SimError, SimTime};
@@ -162,6 +163,23 @@ impl MechanismResults {
         scale: &ExperimentScale,
         runner: &SweepRunner,
     ) -> Result<Self, SimError> {
+        Self::run_with_cache(config, scale, runner, &IsolatedRunCache::new())
+    }
+
+    /// [`run_with`](Self::run_with) backed by a shared [`IsolatedRunCache`]
+    /// and a streaming main sweep: each [`SimulationRun`] is folded into its
+    /// [`MechanismOutcome`] (metrics plus engine counters) on the worker and
+    /// dropped, so memory stays O(scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with_cache(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+    ) -> Result<Self, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -171,7 +189,11 @@ impl MechanismResults {
         }
 
         let (isolated, iso_timing) =
-            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+            isolated_times_with_cache(runner, config, workloads.iter().map(|(_, w)| w), cache)?;
+        let iso_per_workload: Vec<Vec<SimTime>> = workloads
+            .iter()
+            .map(|(_, w)| isolated.times_for(w))
+            .collect::<Result<_, _>>()?;
 
         let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
         for (_, workload) in &workloads {
@@ -182,31 +204,33 @@ impl MechanismResults {
                 );
             }
         }
-        let results = runner.run(&plan)?;
-
         let n_cfg = MechanismConfig::all().len();
-        let mut records = Vec::new();
-        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
-            let iso = isolated.times_for(workload)?;
-            let mut outcomes = HashMap::new();
-            for (c_idx, cfg) in MechanismConfig::all().into_iter().enumerate() {
-                let run = results.run_of(w_idx * n_cfg + c_idx);
-                let metrics = run.metrics(&iso)?;
+        let fold =
+            |scenario: &Scenario, run: SimulationRun| -> Result<MechanismOutcome, SimError> {
+                let metrics = run.metrics(&iso_per_workload[scenario.id / n_cfg])?;
                 let stats = run.engine_stats();
-                outcomes.insert(
-                    cfg,
-                    MechanismOutcome {
-                        antt: metrics.antt(),
-                        stp: metrics.stp(),
-                        fairness: metrics.fairness(),
-                        preemptions: stats.preemptions,
-                        preemptions_completed: stats.preemptions_completed,
-                        mean_preemption_latency: stats.mean_preemption_latency(),
-                        drain_picks: stats.adaptive_drain_picks,
-                        cs_picks: stats.adaptive_cs_picks,
-                        mean_estimate_error: stats.mean_estimate_error(),
-                    },
-                );
+                Ok(MechanismOutcome {
+                    antt: metrics.antt(),
+                    stp: metrics.stp(),
+                    fairness: metrics.fairness(),
+                    preemptions: stats.preemptions,
+                    preemptions_completed: stats.preemptions_completed,
+                    mean_preemption_latency: stats.mean_preemption_latency(),
+                    drain_picks: stats.adaptive_drain_picks,
+                    cs_picks: stats.adaptive_cs_picks,
+                    mean_estimate_error: stats.mean_estimate_error(),
+                })
+            };
+        let results = runner.run_fold(&plan, &fold)?;
+        let timing = iso_timing.merged(results.timing(&plan));
+
+        let mut values = results.into_values().into_iter();
+        let mut records = Vec::new();
+        for (size, workload) in &workloads {
+            let mut outcomes = HashMap::new();
+            for cfg in MechanismConfig::all() {
+                let outcome = values.next().expect("one outcome per scenario");
+                outcomes.insert(cfg, outcome);
             }
             records.push(MechanismRecord {
                 workload: workload.name().to_string(),
@@ -219,7 +243,7 @@ impl MechanismResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
-            timing: iso_timing.merged(results.timing(&plan)),
+            timing,
         })
     }
 

@@ -31,7 +31,10 @@ pub mod priority;
 pub mod spatial;
 pub mod table1;
 
-pub use common::{isolated_times_via, simulator_with_mechanism, ExperimentScale, IsolatedTimes};
+pub use common::{
+    config_fingerprint, isolated_times_via, isolated_times_with_cache, simulator_with_mechanism,
+    ExperimentScale, IsolatedRunCache, IsolatedTimes,
+};
 pub use fig2::{Fig2Results, Fig2Timeline};
 pub use mechanism::{MechanismConfig, MechanismOutcome, MechanismRecord, MechanismResults};
 pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResults};

@@ -8,11 +8,14 @@
 //! preemption mechanisms and both access modes.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{isolated_times_via, mean_of, ExperimentScale};
+use crate::experiments::common::{
+    isolated_times_with_cache, mean_of, ExperimentScale, IsolatedRunCache,
+};
 use crate::report::{times, TextTable};
+use crate::simulator::SimulationRun;
 use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
-use gpreempt_types::{KernelClass, SimError};
+use gpreempt_types::{KernelClass, SimError, SimTime};
 use std::collections::HashMap;
 
 /// One scheduler configuration evaluated by the prioritisation experiment.
@@ -168,6 +171,23 @@ impl PriorityResults {
         scale: &ExperimentScale,
         runner: &SweepRunner,
     ) -> Result<Self, SimError> {
+        Self::run_with_cache(config, scale, runner, &IsolatedRunCache::new())
+    }
+
+    /// [`run_with`](Self::run_with) backed by a shared [`IsolatedRunCache`]
+    /// and a streaming main sweep: each [`SimulationRun`] is folded into its
+    /// [`PriorityOutcome`] on the worker and dropped, so memory stays
+    /// O(scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with_cache(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+    ) -> Result<Self, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -177,7 +197,19 @@ impl PriorityResults {
         }
 
         let (isolated, iso_timing) =
-            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+            isolated_times_with_cache(runner, config, workloads.iter().map(|(_, w)| w), cache)?;
+        let iso_per_workload: Vec<Vec<SimTime>> = workloads
+            .iter()
+            .map(|(_, w)| isolated.times_for(w))
+            .collect::<Result<_, _>>()?;
+        let hp_indices: Vec<usize> = workloads
+            .iter()
+            .map(|(_, w)| {
+                w.high_priority_process()
+                    .expect("prioritized workloads have a high-priority process")
+                    .index()
+            })
+            .collect();
 
         let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
         for (_, workload) in &workloads {
@@ -189,27 +221,26 @@ impl PriorityResults {
                 );
             }
         }
-        let results = runner.run(&plan)?;
-
         let n_cfg = PriorityConfig::all().len();
+        let fold = |scenario: &Scenario, run: SimulationRun| -> Result<PriorityOutcome, SimError> {
+            let w_idx = scenario.id / n_cfg;
+            let metrics = run.metrics(&iso_per_workload[w_idx])?;
+            Ok(PriorityOutcome {
+                ntt_high_priority: metrics.ntt()[hp_indices[w_idx]],
+                stp: metrics.stp(),
+            })
+        };
+        let results = runner.run_fold(&plan, &fold)?;
+        let timing = iso_timing.merged(results.timing(&plan));
+
+        let mut values = results.into_values().into_iter();
         let mut records = Vec::new();
-        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
-            let iso = isolated.times_for(workload)?;
-            let hp = workload
-                .high_priority_process()
-                .expect("prioritized workloads have a high-priority process");
-            let hp_spec = &workload.processes()[hp.index()];
+        for ((size, workload), &hp_index) in workloads.iter().zip(&hp_indices) {
+            let hp_spec = &workload.processes()[hp_index];
             let mut outcomes = HashMap::new();
-            for (c_idx, cfg) in PriorityConfig::all().into_iter().enumerate() {
-                let run = results.run_of(w_idx * n_cfg + c_idx);
-                let metrics = run.metrics(&iso)?;
-                outcomes.insert(
-                    cfg,
-                    PriorityOutcome {
-                        ntt_high_priority: metrics.ntt()[hp.index()],
-                        stp: metrics.stp(),
-                    },
-                );
+            for cfg in PriorityConfig::all() {
+                let outcome = values.next().expect("one outcome per scenario");
+                outcomes.insert(cfg, outcome);
             }
             records.push(PriorityRecord {
                 workload: workload.name().to_string(),
@@ -224,7 +255,7 @@ impl PriorityResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
-            timing: iso_timing.merged(results.timing(&plan)),
+            timing,
         })
     }
 

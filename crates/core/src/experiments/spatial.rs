@@ -7,11 +7,14 @@
 //! ANTT across workloads.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{isolated_times_via, mean_of, ExperimentScale};
+use crate::experiments::common::{
+    isolated_times_with_cache, mean_of, ExperimentScale, IsolatedRunCache,
+};
 use crate::report::{times, TextTable};
+use crate::simulator::SimulationRun;
 use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
-use gpreempt_types::{KernelClass, SimError};
+use gpreempt_types::{KernelClass, SimError, SimTime};
 use std::collections::HashMap;
 
 /// One scheduler configuration evaluated by the spatial-sharing experiment.
@@ -153,6 +156,27 @@ impl SpatialResults {
         scale: &ExperimentScale,
         runner: &SweepRunner,
     ) -> Result<Self, SimError> {
+        Self::run_with_cache(config, scale, runner, &IsolatedRunCache::new())
+    }
+
+    /// [`run_with`](Self::run_with) backed by a shared [`IsolatedRunCache`],
+    /// so several experiments over the same configuration compute each
+    /// distinct isolated run only once.
+    ///
+    /// The main sweep **streams**: every finished [`SimulationRun`] is
+    /// folded into its [`SpatialOutcome`] on the worker that simulated it
+    /// and dropped, so memory stays O(scenarios) instead of
+    /// O(runs × completions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with_cache(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+    ) -> Result<Self, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -162,7 +186,11 @@ impl SpatialResults {
         }
 
         let (isolated, iso_timing) =
-            isolated_times_via(runner, config, workloads.iter().map(|(_, w)| w))?;
+            isolated_times_with_cache(runner, config, workloads.iter().map(|(_, w)| w), cache)?;
+        let iso_per_workload: Vec<Vec<SimTime>> = workloads
+            .iter()
+            .map(|(_, w)| isolated.times_for(w))
+            .collect::<Result<_, _>>()?;
 
         let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
         for (_, workload) in &workloads {
@@ -174,30 +202,31 @@ impl SpatialResults {
                 );
             }
         }
-        let results = runner.run(&plan)?;
-
         let n_cfg = SpatialConfig::all().len();
+        let fold = |scenario: &Scenario, run: SimulationRun| -> Result<SpatialOutcome, SimError> {
+            let metrics = run.metrics(&iso_per_workload[scenario.id / n_cfg])?;
+            Ok(SpatialOutcome {
+                ntt: metrics.ntt().to_vec(),
+                antt: metrics.antt(),
+                stp: metrics.stp(),
+                fairness: metrics.fairness(),
+            })
+        };
+        let results = runner.run_fold(&plan, &fold)?;
+        let timing = iso_timing.merged(results.timing(&plan));
+
+        let mut values = results.into_values().into_iter();
         let mut records = Vec::new();
-        for (w_idx, (size, workload)) in workloads.iter().enumerate() {
-            let iso = isolated.times_for(workload)?;
+        for (size, workload) in &workloads {
             let app_classes = workload
                 .processes()
                 .iter()
                 .map(|p| p.benchmark.app_class())
                 .collect();
             let mut outcomes = HashMap::new();
-            for (c_idx, cfg) in SpatialConfig::all().into_iter().enumerate() {
-                let run = results.run_of(w_idx * n_cfg + c_idx);
-                let metrics = run.metrics(&iso)?;
-                outcomes.insert(
-                    cfg,
-                    SpatialOutcome {
-                        ntt: metrics.ntt().to_vec(),
-                        antt: metrics.antt(),
-                        stp: metrics.stp(),
-                        fairness: metrics.fairness(),
-                    },
-                );
+            for cfg in SpatialConfig::all() {
+                let outcome = values.next().expect("one outcome per scenario");
+                outcomes.insert(cfg, outcome);
             }
             records.push(SpatialRecord {
                 workload: workload.name().to_string(),
@@ -211,7 +240,7 @@ impl SpatialResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
-            timing: iso_timing.merged(results.timing(&plan)),
+            timing,
         })
     }
 

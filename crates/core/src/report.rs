@@ -60,6 +60,17 @@ impl TextTable {
         self.rows.push(row);
     }
 
+    /// Appends every row of an iterator (see [`add_row`](Self::add_row)).
+    ///
+    /// This is the streaming entry point used by the folded-record report
+    /// paths: rows are produced one at a time from per-scenario records —
+    /// never from a materialised vector of simulation runs.
+    pub fn extend_rows<I: IntoIterator<Item = Vec<String>>>(&mut self, rows: I) {
+        for row in rows {
+            self.add_row(row);
+        }
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,7 +1,9 @@
 //! The whole-system simulator: host + PCIe + execution engine + policy.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use gpreempt_gpu::{EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch};
+use gpreempt_gpu::{
+    EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch, PolicyHook,
+};
 use gpreempt_host::{HostEvent, HostSystem, IterationRecord, LaunchRequest};
 use gpreempt_metrics::{ProcessPerformance, WorkloadMetrics};
 use gpreempt_sched::SchedulingPolicy;
@@ -14,6 +16,22 @@ use gpreempt_types::{KernelLaunchId, ProcessId, SimError, SimTime};
 enum Event {
     Host(HostEvent),
     Engine(EngineEvent),
+}
+
+/// Scratch buffers the drain loop reuses across every event of a run.
+///
+/// Each `drain` iteration moves the host's and the engine's pending outputs
+/// through these vectors instead of `mem::take`-ing fresh ones; once their
+/// capacities plateau (within the first few events), the steady-state event
+/// loop performs **zero heap allocations per event** — verified by the
+/// counting-allocator integration tests.
+#[derive(Debug, Default)]
+struct DrainScratch {
+    host_events: Vec<(SimTime, HostEvent)>,
+    engine_events: Vec<(SimTime, EngineEvent)>,
+    launches: Vec<LaunchRequest>,
+    iterations: Vec<IterationRecord>,
+    hooks: Vec<PolicyHook>,
 }
 
 /// The result of simulating one workload under one policy.
@@ -209,11 +227,15 @@ impl Simulator {
         );
         let mut policy_impl: Box<dyn SchedulingPolicy> =
             policy.build(workload, self.config.machine.gpu.n_sms);
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        // Pre-size the event queue from the replay target so steady-state
+        // scheduling rarely grows the heap.
+        let mut queue: EventQueue<Event> =
+            EventQueue::with_capacity(workload.min_completions() as usize * workload.len());
 
         let mut iterations: Vec<Vec<IterationRecord>> = vec![Vec::new(); workload.len()];
         let mut kernel_completions: Vec<KernelCompletion> = Vec::new();
         let mut next_launch_id: u64 = 0;
+        let mut scratch = DrainScratch::default();
         let target = workload.min_completions();
 
         host.start(SimTime::ZERO);
@@ -226,6 +248,7 @@ impl Simulator {
             &mut iterations,
             &mut kernel_completions,
             &mut next_launch_id,
+            &mut scratch,
             SimTime::ZERO,
         );
 
@@ -267,6 +290,7 @@ impl Simulator {
                 &mut iterations,
                 &mut kernel_completions,
                 &mut next_launch_id,
+                &mut scratch,
                 now,
             );
         }
@@ -324,12 +348,13 @@ impl Simulator {
     ///
     /// Propagates any error from [`Simulator::isolated_time`].
     pub fn isolated_times(&self, workload: &Workload) -> Result<Vec<SimTime>, SimError> {
-        let mut cache: std::collections::HashMap<String, SimTime> =
-            std::collections::HashMap::new();
+        // Keyed by `&str` borrowed from the workload's traces: no per-lookup
+        // `String` allocation for repeated benchmarks.
+        let mut cache: std::collections::HashMap<&str, SimTime> = std::collections::HashMap::new();
         let mut times = Vec::with_capacity(workload.len());
         for spec in workload.processes() {
-            let name = spec.benchmark.name().to_string();
-            let time = match cache.get(&name) {
+            let name = spec.benchmark.name();
+            let time = match cache.get(name) {
                 Some(&t) => t,
                 None => {
                     let t = self.isolated_time(&spec.benchmark)?;
@@ -356,6 +381,10 @@ impl Simulator {
 
     /// Moves pending outputs between the host, the engine and the policy
     /// until everything settles.
+    ///
+    /// All transfers go through the caller-owned [`DrainScratch`] buffers
+    /// (and completions land directly in the run's accumulation vector), so
+    /// the per-event hot path never allocates once capacities plateau.
     #[allow(clippy::too_many_arguments)]
     fn drain(
         host: &mut HostSystem,
@@ -366,34 +395,42 @@ impl Simulator {
         iterations: &mut [Vec<IterationRecord>],
         kernel_completions: &mut Vec<KernelCompletion>,
         next_launch_id: &mut u64,
+        scratch: &mut DrainScratch,
         now: SimTime,
     ) {
         loop {
             let mut progressed = false;
 
-            for (t, e) in host.take_scheduled() {
+            host.drain_scheduled_into(&mut scratch.host_events);
+            for (t, e) in scratch.host_events.drain(..) {
                 queue.schedule(t, Event::Host(e));
             }
-            for record in host.take_iterations() {
+            host.drain_iterations_into(&mut scratch.iterations);
+            for record in scratch.iterations.drain(..) {
                 iterations[record.process.index()].push(record);
             }
-            let launches = host.take_launches();
-            for req in launches {
+            host.drain_launches_into(&mut scratch.launches);
+            for i in 0..scratch.launches.len() {
                 progressed = true;
-                engine.submit(Self::build_launch(workload, &req, next_launch_id), now);
+                let launch = Self::build_launch(workload, &scratch.launches[i], next_launch_id);
+                engine.submit(launch, now);
             }
+            scratch.launches.clear();
 
-            for (t, e) in engine.take_scheduled() {
+            engine.drain_scheduled_into(&mut scratch.engine_events);
+            for (t, e) in scratch.engine_events.drain(..) {
                 queue.schedule(t, Event::Engine(e));
             }
-            let completions = engine.take_completions();
-            for completion in completions {
+            // Completions accumulate straight into the run's vector; the new
+            // tail is what still needs to be reported to the host.
+            let first_new = kernel_completions.len();
+            engine.drain_completions_into(kernel_completions);
+            for completion in &kernel_completions[first_new..] {
                 progressed = true;
-                kernel_completions.push(completion);
                 host.kernel_completed(now, completion.command);
             }
-            let hooks = engine.take_hooks();
-            for hook in hooks {
+            engine.drain_hooks_into(&mut scratch.hooks);
+            for hook in scratch.hooks.drain(..) {
                 progressed = true;
                 policy.on_hook(now, hook, engine);
             }

@@ -14,7 +14,13 @@
 //! * a [`SweepRunner`] executes the plan across worker threads
 //!   (`--jobs N`), reassembling results in scenario-id order so parallel
 //!   output is **bit-identical** to sequential output and to the historical
-//!   sequential harnesses;
+//!   sequential harnesses. [`SweepRunner::run_fold`] is the **streaming**
+//!   mode every experiment harness uses: each finished
+//!   [`SimulationRun`](crate::SimulationRun) is folded into a small
+//!   per-scenario record on the worker that simulated it and dropped, so a
+//!   sweep holds at most one run body per worker — memory is O(scenarios),
+//!   not O(runs × completions). [`SweepRunner::run`] is the opt-in
+//!   `keep_runs` mode the regression tests use;
 //! * a [`SweepReport`] carries the machine-readable results (hand-rolled
 //!   JSON — the environment is offline), while [`SweepTiming`] carries the
 //!   run-to-run-varying wall-clock numbers separately.
@@ -50,5 +56,7 @@ mod scenario;
 
 pub use plan::SweepPlan;
 pub use report::{SweepRecord, SweepReport};
-pub use runner::{SweepResults, SweepRunner, SweepTiming, TimingEntry};
-pub use scenario::{Scenario, ScenarioResult};
+pub use runner::{
+    FoldedResults, ScenarioFold, SweepResults, SweepRunner, SweepTiming, TimingEntry,
+};
+pub use scenario::{FoldedScenario, Scenario, ScenarioResult};

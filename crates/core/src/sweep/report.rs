@@ -208,22 +208,22 @@ impl SweepReport {
             "values".into(),
         ])
         .with_title(format!("Sweep report (plan seed {})", self.plan_seed));
-        for r in &self.records {
+        table.extend_rows(self.records.iter().map(|r| {
             let values = r
                 .values
                 .iter()
                 .map(|(k, v)| format!("{k}={v:.4}"))
                 .collect::<Vec<_>>()
                 .join(" ");
-            table.add_row(vec![
+            vec![
                 r.id.to_string(),
                 r.group.clone(),
                 r.workload.clone(),
                 r.config.clone(),
                 r.size.to_string(),
                 values,
-            ]);
-        }
+            ]
+        }));
         table
     }
 }

@@ -2,10 +2,16 @@
 
 use crate::report::TextTable;
 use crate::simulator::{SimulationRun, Simulator};
-use crate::sweep::{Scenario, ScenarioResult, SweepPlan};
+use crate::sweep::{FoldedScenario, Scenario, ScenarioResult, SweepPlan};
 use gpreempt_types::SimError;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// A per-scenario fold: receives the scenario and its finished simulation,
+/// returns whatever the experiment wants to keep. The run is consumed — and
+/// dropped — on the worker thread, so a streaming sweep holds at most one
+/// [`SimulationRun`] per worker in memory at any time.
+pub type ScenarioFold<'a, T> = dyn Fn(&Scenario, SimulationRun) -> Result<T, SimError> + Sync + 'a;
 
 /// Executes the scenarios of a plan across worker threads.
 ///
@@ -45,8 +51,14 @@ impl SweepRunner {
         self.jobs
     }
 
-    /// Runs every scenario of the plan and returns the results in
-    /// scenario-id order.
+    /// Runs every scenario of the plan, **keeping every simulation run**,
+    /// and returns the results in scenario-id order.
+    ///
+    /// This is the opt-in `keep_runs` mode: memory grows with the number of
+    /// scenarios (every [`SimulationRun`] body is retained), which the
+    /// regression tests rely on for exhaustive comparisons. Experiments
+    /// stream through [`run_fold`](Self::run_fold) instead, which keeps at
+    /// most one run per worker in memory.
     ///
     /// # Errors
     ///
@@ -55,15 +67,52 @@ impl SweepRunner {
     /// smallest id is returned — so the reported error does not depend on
     /// the worker count either.
     pub fn run(&self, plan: &SweepPlan) -> Result<SweepResults, SimError> {
+        let folded = self.run_fold(plan, &|_, run| Ok(run))?;
+        Ok(SweepResults {
+            results: folded
+                .outcomes
+                .into_iter()
+                .map(|o| ScenarioResult {
+                    scenario_id: o.scenario_id,
+                    run: o.value,
+                    wall: o.wall,
+                    events: o.events,
+                })
+                .collect(),
+            total_wall: folded.total_wall,
+            jobs: folded.jobs,
+        })
+    }
+
+    /// Runs every scenario of the plan, folding each finished
+    /// [`SimulationRun`] into `fold`'s output **on the worker that ran it**
+    /// and dropping the run body immediately. Outputs are reassembled in
+    /// scenario-id order, so — exactly like [`run`](Self::run) — the result
+    /// is bit-identical for every worker count.
+    ///
+    /// Memory stays flat: at any moment at most one `SimulationRun` per
+    /// worker is alive, so a sweep over `N` scenarios holds `O(N)` folded
+    /// records instead of `O(N × completions)` run bodies.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`run`](Self::run): the error of the failing scenario
+    /// (simulation or fold) with the smallest id is returned, independent
+    /// of the worker count.
+    pub fn run_fold<T: Send>(
+        &self,
+        plan: &SweepPlan,
+        fold: &ScenarioFold<'_, T>,
+    ) -> Result<FoldedResults<T>, SimError> {
         let scenarios = plan.scenarios();
         let started = Instant::now();
-        let mut slots: Vec<Option<Result<ScenarioResult, SimError>>> =
+        let mut slots: Vec<Option<Result<FoldedScenario<T>, SimError>>> =
             (0..scenarios.len()).map(|_| None).collect();
 
         let workers = self.jobs.min(scenarios.len()).max(1);
         if workers <= 1 {
             for (i, scenario) in scenarios.iter().enumerate() {
-                let outcome = Self::execute(plan, scenario);
+                let outcome = Self::execute(plan, scenario, fold);
                 let failed = outcome.is_err();
                 slots[i] = Some(outcome);
                 if failed {
@@ -91,7 +140,7 @@ impl SweepRunner {
                                 let Some(scenario) = scenarios.get(i) else {
                                     break;
                                 };
-                                let outcome = Self::execute(plan, scenario);
+                                let outcome = Self::execute(plan, scenario, fold);
                                 if outcome.is_err() {
                                     failed.store(true, Ordering::Relaxed);
                                 }
@@ -112,10 +161,10 @@ impl SweepRunner {
             }
         }
 
-        let mut results = Vec::with_capacity(scenarios.len());
+        let mut outcomes = Vec::with_capacity(scenarios.len());
         for slot in slots {
             match slot {
-                Some(Ok(result)) => results.push(result),
+                Some(Ok(outcome)) => outcomes.push(outcome),
                 Some(Err(e)) => return Err(e),
                 // Unexecuted slots form a suffix behind a recorded failure;
                 // reaching one without having returned the error first is a
@@ -127,16 +176,21 @@ impl SweepRunner {
                 }
             }
         }
-        Ok(SweepResults {
-            results,
+        Ok(FoldedResults {
+            outcomes,
             total_wall: started.elapsed(),
             jobs: workers,
         })
     }
 
-    /// Runs one scenario: the plan's base configuration plus the scenario's
-    /// overrides, simulated from a fresh engine.
-    fn execute(plan: &SweepPlan, scenario: &Scenario) -> Result<ScenarioResult, SimError> {
+    /// Runs one scenario — the plan's base configuration plus the
+    /// scenario's overrides, simulated from a fresh engine — and folds the
+    /// finished run, dropping its body.
+    fn execute<T>(
+        plan: &SweepPlan,
+        scenario: &Scenario,
+        fold: &ScenarioFold<'_, T>,
+    ) -> Result<FoldedScenario<T>, SimError> {
         let mut config = plan.config().clone();
         if let Some(selection) = scenario.selection {
             config = config.with_selection(selection);
@@ -146,10 +200,13 @@ impl SweepRunner {
         }
         let wall = Instant::now();
         let run = Simulator::new(config).run(&scenario.workload, scenario.policy)?;
-        Ok(ScenarioResult {
+        let events = run.events_processed();
+        let value = fold(scenario, run)?;
+        Ok(FoldedScenario {
             scenario_id: scenario.id,
-            run,
+            value,
             wall: wall.elapsed(),
+            events,
         })
     }
 }
@@ -207,23 +264,113 @@ impl SweepResults {
 
     /// Per-scenario wall-clock timing, labelled from the plan.
     pub fn timing(&self, plan: &SweepPlan) -> SweepTiming {
-        SweepTiming {
-            jobs: self.jobs,
-            total: self.total_wall,
-            entries: self
-                .results
+        timing_of(
+            self.jobs,
+            self.total_wall,
+            plan,
+            self.results
                 .iter()
-                .map(|r| {
-                    let s = &plan.scenarios()[r.scenario_id];
-                    TimingEntry {
-                        group: s.group.clone(),
-                        workload: s.workload.name().to_string(),
-                        label: s.label.clone(),
-                        wall: r.wall,
-                    }
-                })
-                .collect(),
-        }
+                .map(|r| (r.scenario_id, r.wall, r.events)),
+        )
+    }
+}
+
+/// The outcomes of one streamed plan, in scenario-id order: the fold's
+/// per-scenario outputs plus timing — the run bodies were dropped on the
+/// workers.
+#[derive(Debug, Clone)]
+pub struct FoldedResults<T> {
+    outcomes: Vec<FoldedScenario<T>>,
+    total_wall: Duration,
+    jobs: usize,
+}
+
+impl<T> FoldedResults<T> {
+    /// The per-scenario outcomes, in scenario-id order.
+    pub fn outcomes(&self) -> &[FoldedScenario<T>] {
+        &self.outcomes
+    }
+
+    /// The fold output of the scenario with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (a caller bug: outcomes always
+    /// cover the full plan).
+    pub fn value_of(&self, scenario_id: usize) -> &T {
+        &self.outcomes[scenario_id].value
+    }
+
+    /// Consumes the results, returning just the fold outputs in
+    /// scenario-id order.
+    pub fn into_values(self) -> Vec<T> {
+        self.outcomes.into_iter().map(|o| o.value).collect()
+    }
+
+    /// Number of executed scenarios.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the plan was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Wall-clock time of the whole sweep.
+    pub fn total_wall(&self) -> Duration {
+        self.total_wall
+    }
+
+    /// Number of workers that executed the sweep.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Total simulation events processed across every scenario.
+    pub fn events_total(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.events).sum()
+    }
+
+    /// Per-scenario wall-clock timing, labelled from the plan.
+    pub fn timing(&self, plan: &SweepPlan) -> SweepTiming {
+        timing_of(
+            self.jobs,
+            self.total_wall,
+            plan,
+            self.outcomes
+                .iter()
+                .map(|o| (o.scenario_id, o.wall, o.events)),
+        )
+    }
+}
+
+/// Builds the labelled timing summary shared by the keep-runs and streaming
+/// result types.
+fn timing_of(
+    jobs: usize,
+    total: Duration,
+    plan: &SweepPlan,
+    per_scenario: impl Iterator<Item = (usize, Duration, u64)>,
+) -> SweepTiming {
+    let entries: Vec<TimingEntry> = per_scenario
+        .map(|(id, wall, events)| {
+            let s = &plan.scenarios()[id];
+            TimingEntry {
+                group: s.group.clone(),
+                workload: s.workload.name().to_string(),
+                label: s.label.clone(),
+                wall,
+                events,
+            }
+        })
+        .collect();
+    let events = entries.iter().map(|e| e.events).sum();
+    SweepTiming {
+        jobs,
+        total,
+        events,
+        entries,
     }
 }
 
@@ -238,6 +385,8 @@ pub struct TimingEntry {
     pub label: String,
     /// Wall-clock time spent simulating it.
     pub wall: Duration,
+    /// Simulation events it processed.
+    pub events: u64,
 }
 
 /// Wall-clock summary of an executed sweep (or several merged phases).
@@ -252,6 +401,9 @@ pub struct SweepTiming {
     /// Total wall-clock across the sweep (parallel phases overlap, so this
     /// is less than the sum of entries when `jobs > 1`).
     pub total: Duration,
+    /// Total simulation events processed across every scenario — the
+    /// numerator of [`events_per_sec`](Self::events_per_sec).
+    pub events: u64,
     /// Per-scenario timings, in scenario-id order.
     pub entries: Vec<TimingEntry>,
 }
@@ -263,8 +415,20 @@ impl SweepTiming {
     pub fn merged(mut self, other: SweepTiming) -> SweepTiming {
         self.total += other.total;
         self.jobs = self.jobs.max(other.jobs);
+        self.events += other.events;
         self.entries.extend(other.entries);
         self
+    }
+
+    /// Aggregate simulation throughput of the sweep: events processed per
+    /// wall-clock second across all workers (zero for an instant sweep).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.total.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
     }
 
     /// Sum of per-scenario wall-clock times (the sequential-equivalent
@@ -289,28 +453,31 @@ impl SweepTiming {
             sum / n as u32
         };
         format!(
-            "{n} scenarios on {} worker(s): {:.2?} wall ({:.2?} aggregate simulation, {:.2?} mean/scenario)",
-            self.jobs, self.total, sum, mean
+            "{n} scenarios on {} worker(s): {:.2?} wall ({:.2?} aggregate simulation, {:.2?} mean/scenario, {:.0} events/s)",
+            self.jobs, self.total, sum, mean, self.events_per_sec()
         )
     }
 
-    /// Renders the per-scenario wall-clock table.
+    /// Renders the per-scenario wall-clock table, streaming rows straight
+    /// from the timing entries.
     pub fn render(&self) -> TextTable {
         let mut table = TextTable::new(vec![
             "group".into(),
             "workload".into(),
             "config".into(),
             "wall (ms)".into(),
+            "events".into(),
         ])
         .with_title("Per-scenario wall clock");
-        for e in &self.entries {
-            table.add_row(vec![
+        table.extend_rows(self.entries.iter().map(|e| {
+            vec![
                 e.group.clone(),
                 e.workload.clone(),
                 e.label.clone(),
                 format!("{:.3}", e.wall.as_secs_f64() * 1e3),
-            ]);
-        }
+                e.events.to_string(),
+            ]
+        }));
         table
     }
 }

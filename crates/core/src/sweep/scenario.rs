@@ -87,4 +87,22 @@ pub struct ScenarioResult {
     pub run: SimulationRun,
     /// Wall-clock time spent simulating this scenario.
     pub wall: Duration,
+    /// Simulation events the scenario processed (drives the sweep's
+    /// events/sec throughput accounting).
+    pub events: u64,
+}
+
+/// The outcome of one scenario under a streaming fold: whatever the fold
+/// extracted from the finished [`SimulationRun`] (which was dropped on the
+/// worker), plus the scenario's wall clock and event count.
+#[derive(Debug, Clone)]
+pub struct FoldedScenario<T> {
+    /// The scenario's id in the plan.
+    pub scenario_id: usize,
+    /// The fold's output for this scenario.
+    pub value: T,
+    /// Wall-clock time spent simulating (and folding) this scenario.
+    pub wall: Duration,
+    /// Simulation events the scenario processed.
+    pub events: u64,
 }

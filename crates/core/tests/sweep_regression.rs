@@ -9,12 +9,13 @@
 
 use gpreempt::config::{PolicyKind, SimulatorConfig};
 use gpreempt::experiments::{
-    simulator_with_mechanism, ExperimentScale, Fig2Results, IsolatedTimes, MechanismResults,
-    PriorityConfig, PriorityResults, SpatialConfig, SpatialResults,
+    simulator_with_mechanism, ExperimentScale, Fig2Results, IsolatedRunCache, IsolatedTimes,
+    MechanismResults, PriorityConfig, PriorityResults, SpatialConfig, SpatialResults,
 };
-use gpreempt::sweep::SweepRunner;
+use gpreempt::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner};
 use gpreempt::Simulator;
 use gpreempt_gpu::PreemptionMechanism;
+use gpreempt_trace::{parboil, ProcessSpec, Workload};
 
 /// Per-configuration expectations of one spatial workload:
 /// (config, antt, stp, fairness, per-process ntt).
@@ -190,6 +191,147 @@ fn harness_reports_cover_every_record_and_validate() {
     let fig2 = Fig2Results::run_with(&config, &runner).unwrap();
     assert_eq!(fig2.report().len(), 3);
     assert!(gpreempt::SweepReport::validate_json(&fig2.report().to_json()).is_ok());
+}
+
+/// The fold every streaming-vs-keep-runs comparison below uses: identity of
+/// the run compressed into a [`SweepRecord`].
+fn record_of(scenario: &Scenario, run: &gpreempt::SimulationRun) -> SweepRecord {
+    SweepRecord::new(
+        &scenario.group,
+        run.workload_name(),
+        &scenario.label,
+        run.n_processes(),
+    )
+    .with_value("events", run.events_processed() as f64)
+    .with_value("end_time_us", run.end_time().as_micros_f64())
+    .with_value(
+        "mean_turnaround_us",
+        run.mean_turnarounds()
+            .iter()
+            .map(|t| t.as_micros_f64())
+            .sum::<f64>(),
+    )
+}
+
+fn streaming_plan() -> SweepPlan {
+    let gpu = gpreempt_types::GpuConfig::default();
+    let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+    let sgemm = parboil::benchmark("sgemm", &gpu).unwrap();
+    let mut plan = SweepPlan::new(SimulatorConfig::default()).with_seed(77);
+    for (i, policy) in [PolicyKind::Fcfs, PolicyKind::Dss, PolicyKind::PpqShared]
+        .into_iter()
+        .enumerate()
+    {
+        for j in 0..2 {
+            let workload = Workload::new(
+                format!("pair-{i}-{j}"),
+                vec![
+                    ProcessSpec::new(spmv.clone()),
+                    ProcessSpec::new(sgemm.clone()),
+                ],
+            )
+            .with_min_completions(1);
+            plan.push(Scenario::new("stream", policy.label(), workload, policy));
+        }
+    }
+    plan
+}
+
+/// The streaming fold path (`run_fold`, at most one run per worker in
+/// memory) must serialise to exactly the bytes of the keep-runs path
+/// (`run`, every run retained and folded afterwards) — at jobs 1, 2 and 8.
+#[test]
+fn folded_reports_are_byte_identical_to_keep_runs_reports() {
+    let plan = streaming_plan();
+
+    // keep_runs reference (sequential, runs retained, folded post-hoc).
+    let keep = SweepRunner::sequential().run(&plan).unwrap();
+    let mut keep_report = SweepReport::new(plan.seed());
+    for result in keep.results() {
+        keep_report.push(record_of(
+            &plan.scenarios()[result.scenario_id],
+            &result.run,
+        ));
+    }
+    let expected = keep_report.to_json();
+
+    for jobs in [1usize, 2, 8] {
+        let folded = SweepRunner::new(jobs)
+            .run_fold(&plan, &|scenario, run| Ok(record_of(scenario, &run)))
+            .unwrap();
+        // Event accounting survives the fold.
+        assert_eq!(
+            folded.events_total(),
+            keep.results().iter().map(|r| r.events).sum::<u64>(),
+            "jobs={jobs}"
+        );
+        let mut report = SweepReport::new(plan.seed());
+        for record in folded.into_values() {
+            report.push(record);
+        }
+        assert_eq!(report.to_json(), expected, "jobs={jobs}");
+    }
+}
+
+/// Sharing one [`IsolatedRunCache`] across experiments must (a) not change
+/// a single output byte and (b) run each distinct isolated scenario exactly
+/// once: the second and third experiments reuse the first's isolated runs
+/// and enumerate zero "isolated" scenarios of their own.
+#[test]
+fn shared_isolated_cache_runs_each_isolated_scenario_exactly_once() {
+    let config = SimulatorConfig::default();
+    let scale = tiny_scale();
+    let runner = SweepRunner::new(2);
+
+    let cache = IsolatedRunCache::new();
+    let spatial = SpatialResults::run_with_cache(&config, &scale, &runner, &cache).unwrap();
+    let simulated_by_first = cache.misses();
+    assert!(simulated_by_first > 0, "first experiment fills the cache");
+    assert_eq!(cache.len() as u64, simulated_by_first);
+
+    // Mechanism draws the exact same random population as spatial, so its
+    // isolated phase is fully served from the cache: zero new simulations,
+    // zero enumerated "isolated" scenarios.
+    let mechanism = MechanismResults::run_with_cache(&config, &scale, &runner, &cache).unwrap();
+    assert_eq!(
+        cache.misses(),
+        simulated_by_first,
+        "mechanism must not recompute isolated runs"
+    );
+    assert!(
+        mechanism
+            .timing()
+            .entries
+            .iter()
+            .all(|e| e.group != "isolated"),
+        "mechanism re-ran isolated scenarios"
+    );
+
+    // Priority's population may introduce benchmarks spatial never drew;
+    // those (and only those) are simulated. Globally, every distinct
+    // benchmark is simulated exactly once: misses == cache entries.
+    let priority = PriorityResults::run_with_cache(&config, &scale, &runner, &cache).unwrap();
+    assert_eq!(
+        cache.misses(),
+        cache.len() as u64,
+        "a cached isolated run was recomputed"
+    );
+    assert!(cache.hits() > 0, "later experiments hit the cache");
+
+    // Cached isolated times are bit-identical to freshly computed ones, so
+    // the reports agree byte for byte with uncached runs.
+    let spatial_fresh = SpatialResults::run_with(&config, &scale, &runner).unwrap();
+    let mechanism_fresh = MechanismResults::run_with(&config, &scale, &runner).unwrap();
+    let priority_fresh = PriorityResults::run_with(&config, &scale, &runner).unwrap();
+    assert_eq!(spatial.report().to_json(), spatial_fresh.report().to_json());
+    assert_eq!(
+        mechanism.report().to_json(),
+        mechanism_fresh.report().to_json()
+    );
+    assert_eq!(
+        priority.report().to_json(),
+        priority_fresh.report().to_json()
+    );
 }
 
 #[test]

@@ -226,9 +226,15 @@ impl ExecutionEngine {
         &self.sms[sm.index()]
     }
 
-    /// SMs that are currently idle.
-    pub fn idle_sms(&self) -> Vec<SmId> {
-        self.sm_ids().filter(|s| self.sm(*s).is_idle()).collect()
+    /// SMs that are currently idle, in SM-id order. Returns an iterator over
+    /// the SM Status Table — no allocation — so policies can scan it on
+    /// every hook without heap traffic.
+    pub fn idle_sms(&self) -> impl Iterator<Item = SmId> + '_ {
+        self.sms
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_idle())
+            .map(|(i, _)| SmId::new(i as u32))
     }
 
     /// The KSRT entry at `ksr`, if that slot is occupied.
@@ -237,12 +243,12 @@ impl ExecutionEngine {
     }
 
     /// Indices of all occupied KSRT slots (the active queue), in slot order.
-    pub fn active_kernels(&self) -> Vec<KsrIndex> {
+    /// Returns an iterator over the table — no allocation.
+    pub fn active_kernels(&self) -> impl Iterator<Item = KsrIndex> + '_ {
         self.ksrt
             .iter()
             .enumerate()
             .filter_map(|(i, k)| k.as_ref().map(|_| KsrIndex(i as u32)))
-            .collect()
     }
 
     /// Number of kernels waiting in command buffers for a free KSRT slot.
@@ -263,20 +269,28 @@ impl ExecutionEngine {
         self.stats
     }
 
-    /// Events the engine wants scheduled; the caller must deliver each back
-    /// via [`handle`](Self::handle) at the given absolute time.
-    pub fn take_scheduled(&mut self) -> Vec<(SimTime, EngineEvent)> {
-        std::mem::take(&mut self.scheduled)
+    /// Moves the events the engine wants scheduled into `out`; the caller
+    /// must deliver each back via [`handle`](Self::handle) at the given
+    /// absolute time.
+    ///
+    /// Appends to (rather than replaces) `out` and keeps the internal
+    /// buffer's capacity, so a caller that reuses one scratch vector pays no
+    /// allocation in steady state — this is the simulator's per-event hot
+    /// path.
+    pub fn drain_scheduled_into(&mut self, out: &mut Vec<(SimTime, EngineEvent)>) {
+        out.append(&mut self.scheduled);
     }
 
-    /// Kernel completions produced since the last call.
-    pub fn take_completions(&mut self) -> Vec<KernelCompletion> {
-        std::mem::take(&mut self.completions)
+    /// Moves the kernel completions produced since the last drain into
+    /// `out`. Appends; both buffers keep their capacity.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<KernelCompletion>) {
+        out.append(&mut self.completions);
     }
 
-    /// Policy hooks raised since the last call.
-    pub fn take_hooks(&mut self) -> Vec<PolicyHook> {
-        std::mem::take(&mut self.hooks)
+    /// Moves the policy hooks raised since the last drain into `out`.
+    /// Appends; both buffers keep their capacity.
+    pub fn drain_hooks_into(&mut self, out: &mut Vec<PolicyHook>) {
+        out.append(&mut self.hooks);
     }
 
     // ------------------------------------------------------------------
@@ -422,30 +436,36 @@ impl ExecutionEngine {
             }
             PreemptionMechanism::ContextSwitch => {
                 // Cancel outstanding block completions and move the resident
-                // blocks to the kernel's PTBQ with their remaining time.
+                // blocks to the kernel's PTBQ with their remaining time. The
+                // resident vector is drained in place so its capacity
+                // survives for the next residency (no per-preemption
+                // allocation).
                 status.epoch += 1;
                 let epoch = status.epoch;
                 status.saving = true;
                 let current = status.current.expect("running SM has a kernel");
-                let resident: Vec<ResidentBlock> = std::mem::take(&mut status.resident);
-                let n_saved = resident.len() as u32;
-                let footprint = self.ksrt[current.index()]
-                    .as_ref()
-                    .expect("current kernel exists")
-                    .launch()
-                    .spec
-                    .footprint();
-                let cost = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg);
+                let ExecutionEngine {
+                    gpu,
+                    preemption_cfg,
+                    sms,
+                    ksrt,
+                    ..
+                } = self;
+                let status = &mut sms[sm.index()];
+                let kernel = ksrt[current.index()]
+                    .as_mut()
+                    .expect("current kernel exists");
+                let footprint = kernel.launch().spec.footprint();
+                let n_saved = status.resident.len() as u32;
+                let cost = ContextSwitchCost::new(gpu, preemption_cfg);
                 let save_time = cost.save_time(&footprint, n_saved);
-                if let Some(k) = self.ksrt[current.index()].as_mut() {
-                    for rb in resident {
-                        let elapsed = now - rb.issued_at;
-                        let remaining = rb.duration.saturating_sub(elapsed);
-                        k.note_block_preempted(PreemptedBlock {
-                            block: rb.block,
-                            remaining,
-                        });
-                    }
+                for rb in status.resident.drain(..) {
+                    let elapsed = now - rb.issued_at;
+                    let remaining = rb.duration.saturating_sub(elapsed);
+                    kernel.note_block_preempted(PreemptedBlock {
+                        block: rb.block,
+                        remaining,
+                    });
                 }
                 self.stats.blocks_saved += n_saved as u64;
                 self.stats.save_time += save_time;
@@ -473,16 +493,11 @@ impl ExecutionEngine {
             .launch()
             .spec
             .footprint();
-        let elapsed: Vec<SimTime> = status
-            .resident
-            .iter()
-            .map(|rb| now - rb.issued_at)
-            .collect();
         let cost = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg);
-        PreemptionEstimate::for_resident_blocks(
+        PreemptionEstimate::for_elapsed(
             &self.estimator,
             ksr.index(),
-            &elapsed,
+            status.resident.iter().map(|rb| now - rb.issued_at),
             &cost,
             &footprint,
         )

@@ -144,14 +144,30 @@ impl PreemptionEstimate {
         cost: &ContextSwitchCost<'_>,
         footprint: &gpreempt_types::KernelFootprint,
     ) -> Self {
+        Self::for_elapsed(estimator, slot, elapsed.iter().copied(), cost, footprint)
+    }
+
+    /// Iterator-based variant of
+    /// [`for_resident_blocks`](Self::for_resident_blocks): the engine feeds
+    /// the SMST's resident-block list straight through without collecting
+    /// the elapsed times into a temporary vector, keeping the adaptive
+    /// `preempt_sm` path allocation-free.
+    pub fn for_elapsed(
+        estimator: &RemainingTimeEstimator,
+        slot: usize,
+        elapsed: impl Iterator<Item = SimTime>,
+        cost: &ContextSwitchCost<'_>,
+        footprint: &gpreempt_types::KernelFootprint,
+    ) -> Self {
         let mut drain_latency = SimTime::ZERO;
         let mut drain_work = SimTime::ZERO;
-        for &e in elapsed {
+        let mut n: u32 = 0;
+        for e in elapsed {
             let remaining = estimator.remaining(slot, e);
             drain_latency = drain_latency.max(remaining);
             drain_work += remaining;
+            n += 1;
         }
-        let n = elapsed.len() as u32;
         PreemptionEstimate {
             drain_latency,
             drain_work,

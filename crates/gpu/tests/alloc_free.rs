@@ -1,0 +1,154 @@
+//! Counting-allocator proof that the execution engine's steady-state event
+//! loop performs **zero** heap allocations per event.
+//!
+//! This file contains exactly one test on purpose: the counting global
+//! allocator is process-wide, and a concurrently running sibling test would
+//! pollute the counter.
+
+use gpreempt_gpu::{EngineEvent, EngineParams, ExecutionEngine, KernelLaunch, PreemptionMechanism};
+use gpreempt_sim::{EventQueue, SimRng};
+use gpreempt_trace::KernelSpec;
+use gpreempt_types::{
+    CommandId, GpuConfig, KernelFootprint, KernelLaunchId, PreemptionConfig, Priority, ProcessId,
+    SimTime,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator and counts every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn launch(id: u64, blocks: u32) -> KernelLaunch {
+    KernelLaunch::new(
+        KernelLaunchId::new(id),
+        CommandId::new(id),
+        ProcessId::new(0),
+        Priority::NORMAL,
+        KernelSpec::new(
+            "alloc-free",
+            KernelFootprint::new(8_192, 0, 256),
+            blocks,
+            SimTime::from_micros(10),
+        ),
+    )
+}
+
+/// Drives the engine's event loop the way the simulator does (drain-into
+/// reused scratch buffers) and returns the number of processed events.
+fn run_event_loop(
+    engine: &mut ExecutionEngine,
+    queue: &mut EventQueue<EngineEvent>,
+    scheduled: &mut Vec<(SimTime, EngineEvent)>,
+    hooks: &mut Vec<gpreempt_gpu::PolicyHook>,
+    completions: &mut Vec<gpreempt_gpu::KernelCompletion>,
+) -> u64 {
+    loop {
+        engine.drain_scheduled_into(scheduled);
+        for (t, ev) in scheduled.drain(..) {
+            queue.schedule(t, ev);
+        }
+        hooks.clear();
+        engine.drain_hooks_into(hooks);
+        completions.clear();
+        engine.drain_completions_into(completions);
+        let Some((t, ev)) = queue.pop() else { break };
+        engine.handle(t, ev);
+    }
+    queue.processed()
+}
+
+/// One full single-kernel execution (submit, assign every SM, run to empty)
+/// warms every buffer: resident-block vectors, the scheduled/hook/completion
+/// buffers, the event-queue heap and the scratch vectors. A second kernel
+/// through the **same** engine, queue and scratch must then complete without
+/// a single heap allocation — the steady-state event loop is allocation-free.
+#[test]
+fn steady_state_engine_event_loop_is_allocation_free() {
+    let mut engine = ExecutionEngine::new(
+        GpuConfig::default(),
+        PreemptionConfig {
+            selection: PreemptionMechanism::ContextSwitch.into(),
+            ..Default::default()
+        },
+        EngineParams::default(),
+        SimRng::new(7),
+    );
+    let mut queue: EventQueue<EngineEvent> = EventQueue::with_capacity(256);
+    let mut scheduled = Vec::with_capacity(256);
+    let mut hooks = Vec::with_capacity(64);
+    let mut completions = Vec::with_capacity(8);
+
+    // Build both launches up front so their (one-time) spec allocations do
+    // not land in the measured window.
+    let warm = launch(0, 2_000);
+    let measured = launch(1, 2_000);
+
+    // Warm-up: run the first kernel to completion.
+    engine.submit(warm, SimTime::ZERO);
+    let ksr = engine.active_kernels().next().expect("kernel admitted");
+    for sm in engine.sm_ids() {
+        engine.assign_sm(SimTime::ZERO, sm, ksr);
+    }
+    let warm_events = run_event_loop(
+        &mut engine,
+        &mut queue,
+        &mut scheduled,
+        &mut hooks,
+        &mut completions,
+    );
+    assert!(
+        warm_events > 2_000,
+        "warm-up processed {warm_events} events"
+    );
+    assert!(engine.is_empty(), "warm-up must drain the engine");
+
+    // Measured window: the second kernel reuses every warmed buffer.
+    queue.reset();
+    let now = SimTime::ZERO;
+    let before = allocations();
+    engine.submit(measured, now);
+    let ksr = engine.active_kernels().next().expect("kernel admitted");
+    for sm in engine.sm_ids() {
+        engine.assign_sm(now, sm, ksr);
+    }
+    let events = run_event_loop(
+        &mut engine,
+        &mut queue,
+        &mut scheduled,
+        &mut hooks,
+        &mut completions,
+    );
+    let allocated = allocations() - before;
+
+    assert!(events > 2_000, "measured window processed {events} events");
+    assert!(engine.is_empty(), "measured kernel must run to completion");
+    assert_eq!(
+        allocated, 0,
+        "steady-state event loop allocated {allocated} times over {events} events"
+    );
+}

@@ -76,11 +76,20 @@ impl Harness {
     }
 
     fn pump(&mut self) {
-        for (t, ev) in self.engine.take_scheduled() {
+        let mut scheduled = Vec::new();
+        self.engine.drain_scheduled_into(&mut scheduled);
+        for (t, ev) in scheduled {
             self.queue.schedule(t, ev);
         }
-        self.hooks.extend(self.engine.take_hooks());
+        self.engine.drain_hooks_into(&mut self.hooks);
         self.engine.check_invariants().expect("engine invariants");
+    }
+
+    /// Drains and returns the engine's pending kernel completions.
+    fn take_completions(&mut self) -> Vec<gpreempt_gpu::KernelCompletion> {
+        let mut completions = Vec::new();
+        self.engine.drain_completions_into(&mut completions);
+        completions
     }
 
     /// Processes events until the queue drains. Returns the final time.
@@ -113,7 +122,8 @@ impl Harness {
 
     fn assign_all_idle(&mut self, ksr: KsrIndex) {
         let now = self.now();
-        for sm in self.engine.idle_sms() {
+        let idle: Vec<SmId> = self.engine.idle_sms().collect();
+        for sm in idle {
             self.engine.assign_sm(now, sm, ksr);
         }
         self.pump();
@@ -133,11 +143,11 @@ fn single_kernel_runs_to_completion() {
     // 8 blocks/SM * 13 SMs = 104 concurrent; 208 blocks = 2 full waves.
     let k = h.kernel(208, 100, 0);
     h.submit(k);
-    let ksr = h.engine.active_kernels()[0];
+    let ksr = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr);
     let end = h.run_to_idle();
 
-    let completions = h.engine.take_completions();
+    let completions = h.take_completions();
     assert_eq!(completions.len(), 1);
     assert_eq!(completions[0].process, ProcessId::new(0));
     assert!(h.engine.is_empty(), "engine should be drained");
@@ -156,7 +166,7 @@ fn small_kernel_uses_few_sms() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k = h.kernel(8, 50, 0); // one SM's worth of blocks
     h.submit(k);
-    let ksr = h.engine.active_kernels()[0];
+    let ksr = h.engine.active_kernels().next().unwrap();
     assert!(h.assign(0, ksr));
     // Assigning a second SM to a kernel with no blocks left to issue fails
     // once the first SM has taken everything.
@@ -170,7 +180,7 @@ fn assigning_busy_sm_or_missing_kernel_fails() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k = h.kernel(500, 50, 0);
     h.submit(k);
-    let ksr = h.engine.active_kernels()[0];
+    let ksr = h.engine.active_kernels().next().unwrap();
     assert!(h.assign(0, ksr));
     // SM 0 is now running: a second assignment must be rejected.
     assert!(!h.assign(0, ksr));
@@ -185,14 +195,14 @@ fn draining_preemption_waits_for_resident_blocks() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k1 = h.kernel(2_000, 200, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     // Let the first wave get going.
     h.run_until(SimTime::from_micros(50));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert_ne!(ksr1, ksr2);
     let preempt_at = h.now();
     assert!(h.preempt(0, ksr2));
@@ -215,7 +225,7 @@ fn draining_preemption_waits_for_resident_blocks() {
 
     h.run_to_idle();
     assert_eq!(h.engine.stats().blocks_completed, 2_016);
-    assert_eq!(h.engine.take_completions().len(), 2);
+    assert_eq!(h.take_completions().len(), 2);
     assert!(h.engine.is_empty());
 }
 
@@ -224,13 +234,13 @@ fn context_switch_preemption_is_fast_and_preserves_work() {
     let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
     let k1 = h.kernel(2_000, 500, 0); // long blocks: draining would be slow
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(100));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     let preempt_at = h.now();
     assert!(h.preempt(0, ksr2));
 
@@ -254,7 +264,7 @@ fn context_switch_preemption_is_fast_and_preserves_work() {
     assert_eq!(h.engine.stats().blocks_completed, 2_016);
     assert_eq!(h.engine.stats().blocks_saved, 8);
     assert!(h.engine.stats().preemptions >= 1);
-    assert_eq!(h.engine.take_completions().len(), 2);
+    assert_eq!(h.take_completions().len(), 2);
     assert!(h.engine.is_empty());
     assert_eq!(h.engine.stats().kernels_completed, 2);
 }
@@ -264,14 +274,14 @@ fn preempting_a_setting_up_sm_hands_it_over_immediately() {
     let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
     let k1 = h.kernel(100, 50, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     assert!(h.assign(0, ksr1));
     // SM 0 is still in setup (setup takes 1us and no events were processed).
     assert!(h.engine.sm(SmId::new(0)).is_setting_up());
 
     let k2 = h.kernel(8, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     assert_eq!(h.engine.sm(SmId::new(0)).current_kernel(), Some(ksr2));
 
@@ -279,7 +289,7 @@ fn preempting_a_setting_up_sm_hands_it_over_immediately() {
     h.assign_all_idle(ksr1);
     h.run_to_idle();
     assert_eq!(h.engine.stats().blocks_completed, 108);
-    assert_eq!(h.engine.take_completions().len(), 2);
+    assert_eq!(h.take_completions().len(), 2);
 }
 
 #[test]
@@ -287,7 +297,7 @@ fn reservation_can_be_retargeted() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k1 = h.kernel(1_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(20));
 
@@ -295,7 +305,7 @@ fn reservation_can_be_retargeted() {
     let k3 = h.kernel(8, 10, 2);
     h.submit(k2);
     h.submit(k3);
-    let active = h.engine.active_kernels();
+    let active: Vec<KsrIndex> = h.engine.active_kernels().collect();
     let (ksr2, ksr3) = (active[1], active[2]);
     assert!(h.preempt(0, ksr2));
     assert!(h.engine.retarget_reservation(SmId::new(0), ksr3));
@@ -313,7 +323,7 @@ fn reservation_can_be_retargeted() {
         assert!(h.assign(1, ksr2));
         h.run_to_idle();
     }
-    assert_eq!(h.engine.take_completions().len(), 3);
+    assert_eq!(h.take_completions().len(), 3);
     assert!(h.engine.is_empty());
 }
 
@@ -325,16 +335,16 @@ fn admission_is_limited_to_one_kernel_per_sm() {
         let k = h.kernel(8, 10, i as u32);
         h.submit(k);
     }
-    assert_eq!(h.engine.active_kernels().len(), n);
+    assert_eq!(h.engine.active_kernels().count(), n);
     assert_eq!(h.engine.waiting_admission(), 2);
 
     // Run the first admitted kernel to completion; a waiting kernel takes
     // its slot.
-    let first = h.engine.active_kernels()[0];
+    let first = h.engine.active_kernels().next().unwrap();
     h.assign(0, first);
     h.run_to_idle();
     assert_eq!(h.engine.waiting_admission(), 1);
-    assert_eq!(h.engine.active_kernels().len(), n);
+    assert_eq!(h.engine.active_kernels().count(), n);
 }
 
 #[test]
@@ -347,7 +357,7 @@ fn hooks_report_admission_idle_and_completion() {
         .hooks
         .iter()
         .any(|hk| matches!(hk, PolicyHook::KernelAdmitted(_))));
-    let ksr = h.engine.active_kernels()[0];
+    let ksr = h.engine.active_kernels().next().unwrap();
     h.assign(0, ksr);
     h.run_to_idle();
     assert!(h
@@ -365,7 +375,7 @@ fn finished_kernel_frees_reserved_target() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k1 = h.kernel(2_000, 300, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(10));
 
@@ -373,7 +383,7 @@ fn finished_kernel_frees_reserved_target() {
     // while SM 0 is also reserved for it but drains much later.
     let k2 = h.kernel(4, 5, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     // Give kernel 2 an idle-free path: finish it by waiting for SM 0? No —
     // instead preempt nothing else and let it run after the drain. To force
@@ -393,7 +403,7 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
     let k2 = h.kernel(400, 80, 1);
     h.submit(k1);
     h.submit(k2);
-    let active = h.engine.active_kernels();
+    let active: Vec<KsrIndex> = h.engine.active_kernels().collect();
     let (a, b) = (active[0], active[1]);
     h.assign_all_idle(a);
 
@@ -415,7 +425,8 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
         h.pump();
         // Also hand idle SMs to whichever kernel still has work.
         let now = h.now();
-        for sm in h.engine.idle_sms() {
+        let idle: Vec<SmId> = h.engine.idle_sms().collect();
+        for sm in idle {
             let tgt = if h
                 .engine
                 .kernel(target)
@@ -438,7 +449,6 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
         let pending: Vec<_> = h
             .engine
             .active_kernels()
-            .into_iter()
             .filter(|k| {
                 h.engine
                     .kernel(*k)
@@ -449,7 +459,8 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
         if pending.is_empty() {
             break;
         }
-        for sm in h.engine.idle_sms() {
+        let idle: Vec<SmId> = h.engine.idle_sms().collect();
+        for sm in idle {
             h.engine.assign_sm(now, sm, pending[0]);
         }
         h.pump();
@@ -462,7 +473,7 @@ fn context_switch_respects_block_accounting_under_repeated_preemption() {
     }
     h.run_to_idle();
     assert_eq!(h.engine.stats().blocks_completed, 800);
-    assert_eq!(h.engine.take_completions().len(), 2);
+    assert_eq!(h.take_completions().len(), 2);
     assert!(h.engine.is_empty());
 }
 
@@ -477,14 +488,14 @@ fn adaptive_picks_context_switch_for_fresh_long_blocks() {
     // estimated drain latency of a freshly issued wave.
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     // Just past setup: blocks have ~99us left, estimate seeded at 100us.
     h.run_until(SimTime::from_micros(2));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
 
     let sm0 = h.engine.sm(SmId::new(0));
@@ -506,7 +517,7 @@ fn adaptive_picks_draining_when_blocks_are_nearly_done() {
     let mut h = Harness::with_selection(MechanismSelection::adaptive());
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     // Preempt at t = 96us: the wave issued at ~1us has ~5us left
     // (estimate 100us - 95us elapsed), well under the ~16.7us context-save
@@ -515,7 +526,7 @@ fn adaptive_picks_draining_when_blocks_are_nearly_done() {
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h
         .engine
         .preempt_sm(SimTime::from_micros(96), SmId::new(0), ksr2));
@@ -540,13 +551,13 @@ fn adaptive_latency_target_prefers_draining_within_target() {
     ));
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(2));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     assert_eq!(
         h.engine.sm(SmId::new(0)).preempting_with(),
@@ -566,13 +577,13 @@ fn adaptive_latency_target_falls_back_to_context_switch() {
     ));
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(2));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     assert_eq!(
         h.engine.sm(SmId::new(0)).preempting_with(),
@@ -588,12 +599,12 @@ fn preemption_latency_accounting_matches_the_mechanism() {
     let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(2));
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     h.run_to_idle();
 
@@ -614,12 +625,12 @@ fn adaptive_estimate_error_is_zero_for_context_switch_picks() {
     let mut h = Harness::with_selection(MechanismSelection::adaptive());
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(2));
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h.preempt(0, ksr2));
     h.run_to_idle();
 
@@ -634,7 +645,7 @@ fn estimator_learns_observed_block_durations() {
     let mut h = Harness::new(PreemptionMechanism::Draining);
     let k = h.kernel(104, 40, 0);
     h.submit(k);
-    let ksr = h.engine.active_kernels()[0];
+    let ksr = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr);
     // The estimator is seeded with the declared 40us mean.
     assert_eq!(
@@ -659,13 +670,13 @@ fn estimator_ignores_restored_partial_executions() {
     let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
     let k1 = h.kernel(2_000, 100, 0);
     h.submit(k1);
-    let ksr1 = h.engine.active_kernels()[0];
+    let ksr1 = h.engine.active_kernels().next().unwrap();
     h.assign_all_idle(ksr1);
     h.run_until(SimTime::from_micros(96));
 
     let k2 = h.kernel(16, 10, 1);
     h.submit(k2);
-    let ksr2 = *h.engine.active_kernels().last().unwrap();
+    let ksr2 = h.engine.active_kernels().last().unwrap();
     assert!(h
         .engine
         .preempt_sm(SimTime::from_micros(96), SmId::new(0), ksr2));

@@ -62,9 +62,13 @@ impl CommandDispatcher {
     }
 
     /// Enqueues a command on its stream's hardware queue and returns the
-    /// commands that become ready to issue as a result (at most one: the
+    /// command that becomes ready to issue as a result (at most one: the
     /// enqueued command itself, if its queue was empty and idle).
-    pub fn enqueue(&mut self, command: Command) -> Vec<Command> {
+    ///
+    /// A queue issues at most one command per state change, so the result
+    /// is an `Option` rather than a vector — the per-command hot path
+    /// performs no allocation.
+    pub fn enqueue(&mut self, command: Command) -> Option<Command> {
         let key = (command.process, command.stream);
         let queue = self.queues.entry(key).or_default();
         queue.pending.push_back(command);
@@ -73,11 +77,9 @@ impl CommandDispatcher {
 
     /// Notifies the dispatcher that an engine completed `command`; its queue
     /// is re-enabled and the next command (if any) becomes ready to issue.
-    /// Returns the newly issued commands.
-    pub fn complete(&mut self, command: CommandId) -> Vec<Command> {
-        let Some(key) = self.in_flight_index.remove(&command) else {
-            return Vec::new();
-        };
+    /// Returns the newly issued command.
+    pub fn complete(&mut self, command: CommandId) -> Option<Command> {
+        let key = self.in_flight_index.remove(&command)?;
         if let Some(queue) = self.queues.get_mut(&key) {
             if queue.in_flight == Some(command) {
                 queue.in_flight = None;
@@ -86,21 +88,15 @@ impl CommandDispatcher {
         self.issue_from(key)
     }
 
-    fn issue_from(&mut self, key: (ProcessId, StreamId)) -> Vec<Command> {
-        let Some(queue) = self.queues.get_mut(&key) else {
-            return Vec::new();
-        };
+    fn issue_from(&mut self, key: (ProcessId, StreamId)) -> Option<Command> {
+        let queue = self.queues.get_mut(&key)?;
         if queue.in_flight.is_some() {
-            return Vec::new();
+            return None;
         }
-        match queue.pending.pop_front() {
-            Some(cmd) => {
-                queue.in_flight = Some(cmd.id);
-                self.in_flight_index.insert(cmd.id, key);
-                vec![cmd]
-            }
-            None => Vec::new(),
-        }
+        let cmd = queue.pending.pop_front()?;
+        queue.in_flight = Some(cmd.id);
+        self.in_flight_index.insert(cmd.id, key);
+        Some(cmd)
     }
 
     /// Number of commands waiting in queues (not yet issued to an engine).
@@ -136,26 +132,25 @@ mod tests {
     fn same_stream_commands_are_serialized() {
         let mut d = CommandDispatcher::new();
         let ready = d.enqueue(cmd(1, 0, 0));
-        assert_eq!(ready.len(), 1);
+        assert!(ready.is_some());
         // Second command on the same stream waits for the first to complete.
         let ready = d.enqueue(cmd(2, 0, 0));
-        assert!(ready.is_empty());
+        assert!(ready.is_none());
         assert_eq!(d.pending(), 1);
         assert_eq!(d.in_flight(), 1);
         let ready = d.complete(CommandId::new(1));
-        assert_eq!(ready.len(), 1);
-        assert_eq!(ready[0].id, CommandId::new(2));
+        assert_eq!(ready.unwrap().id, CommandId::new(2));
         let ready = d.complete(CommandId::new(2));
-        assert!(ready.is_empty());
+        assert!(ready.is_none());
         assert!(d.is_empty());
     }
 
     #[test]
     fn different_streams_issue_concurrently() {
         let mut d = CommandDispatcher::new();
-        assert_eq!(d.enqueue(cmd(1, 0, 0)).len(), 1);
-        assert_eq!(d.enqueue(cmd(2, 0, 1)).len(), 1);
-        assert_eq!(d.enqueue(cmd(3, 1, 0)).len(), 1);
+        assert!(d.enqueue(cmd(1, 0, 0)).is_some());
+        assert!(d.enqueue(cmd(2, 0, 1)).is_some());
+        assert!(d.enqueue(cmd(3, 1, 0)).is_some());
         assert_eq!(d.in_flight(), 3);
         assert_eq!(d.pending(), 0);
     }
@@ -163,7 +158,7 @@ mod tests {
     #[test]
     fn completing_unknown_command_is_harmless() {
         let mut d = CommandDispatcher::new();
-        assert!(d.complete(CommandId::new(99)).is_empty());
+        assert!(d.complete(CommandId::new(99)).is_none());
         assert!(d.is_empty());
     }
 
@@ -173,7 +168,7 @@ mod tests {
         let mut issued = Vec::new();
         issued.extend(d.enqueue(cmd(0, 0, 0)));
         for i in 1..10 {
-            assert!(d.enqueue(cmd(i, 0, 0)).is_empty());
+            assert!(d.enqueue(cmd(i, 0, 0)).is_none());
         }
         let mut next = 0;
         while !d.is_empty() {

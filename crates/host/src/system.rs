@@ -96,19 +96,24 @@ impl HostSystem {
         self.processes.iter().all(|p| p.completions() >= n)
     }
 
-    /// Events the host wants scheduled (drained by the simulator).
-    pub fn take_scheduled(&mut self) -> Vec<(SimTime, HostEvent)> {
-        std::mem::take(&mut self.scheduled)
+    /// Moves the events the host wants scheduled into `out` (drained by the
+    /// simulator). Appends to `out` and keeps the internal buffer's
+    /// capacity, so a reused scratch vector makes this allocation-free in
+    /// steady state.
+    pub fn drain_scheduled_into(&mut self, out: &mut Vec<(SimTime, HostEvent)>) {
+        out.append(&mut self.scheduled);
     }
 
-    /// Kernel launches the host wants forwarded to the execution engine.
-    pub fn take_launches(&mut self) -> Vec<LaunchRequest> {
-        std::mem::take(&mut self.launches)
+    /// Moves the kernel launches the host wants forwarded to the execution
+    /// engine into `out`. Appends; both buffers keep their capacity.
+    pub fn drain_launches_into(&mut self, out: &mut Vec<LaunchRequest>) {
+        out.append(&mut self.launches);
     }
 
-    /// Completed process executions since the last call.
-    pub fn take_iterations(&mut self) -> Vec<IterationRecord> {
-        std::mem::take(&mut self.iterations)
+    /// Moves the process executions completed since the last drain into
+    /// `out`. Appends; both buffers keep their capacity.
+    pub fn drain_iterations_into(&mut self, out: &mut Vec<IterationRecord>) {
+        out.append(&mut self.iterations);
     }
 
     /// Starts every process at `now` (usually zero).
@@ -151,8 +156,9 @@ impl HostSystem {
     }
 
     fn command_completed(&mut self, now: SimTime, command: CommandId) {
-        let ready = self.dispatcher.complete(command);
-        self.issue(now, ready);
+        if let Some(ready) = self.dispatcher.complete(command) {
+            self.issue(now, ready);
+        }
         let Some(owner) = self.command_owner.remove(&command) else {
             return;
         };
@@ -201,7 +207,9 @@ impl HostSystem {
                         stream,
                         kind: CommandKind::Copy { direction, bytes },
                     });
-                    self.issue(now, ready);
+                    if let Some(ready) = ready {
+                        self.issue(now, ready);
+                    }
                 }
                 Some(TraceOp::Launch { kernel, stream }) => {
                     let id = self.new_command(pid);
@@ -212,7 +220,9 @@ impl HostSystem {
                         stream,
                         kind: CommandKind::Launch { kernel },
                     });
-                    self.issue(now, ready);
+                    if let Some(ready) = ready {
+                        self.issue(now, ready);
+                    }
                 }
                 Some(TraceOp::Synchronize) => {
                     if self.processes[pid.index()].all_commands_completed() {
@@ -234,34 +244,32 @@ impl HostSystem {
         id
     }
 
-    /// Issues dispatcher-ready commands to their target engines.
-    fn issue(&mut self, now: SimTime, ready: Vec<Command>) {
-        for cmd in ready {
-            match cmd.kind {
-                CommandKind::Copy { bytes, .. } => {
-                    let priority = self.processes[cmd.process.index()].priority();
-                    if let Some(started) =
-                        self.transfer
-                            .submit(cmd.id, cmd.process, priority, bytes, now)
-                    {
-                        self.scheduled.push((
-                            started.finishes_at,
-                            HostEvent::TransferDone {
-                                command: started.command,
-                            },
-                        ));
-                    }
+    /// Issues one dispatcher-ready command to its target engine.
+    fn issue(&mut self, now: SimTime, cmd: Command) {
+        match cmd.kind {
+            CommandKind::Copy { bytes, .. } => {
+                let priority = self.processes[cmd.process.index()].priority();
+                if let Some(started) =
+                    self.transfer
+                        .submit(cmd.id, cmd.process, priority, bytes, now)
+                {
+                    self.scheduled.push((
+                        started.finishes_at,
+                        HostEvent::TransferDone {
+                            command: started.command,
+                        },
+                    ));
                 }
-                CommandKind::Launch { kernel } => {
-                    let priority = self.processes[cmd.process.index()].priority();
-                    self.launches.push(LaunchRequest {
-                        command: cmd.id,
-                        process: cmd.process,
-                        kernel,
-                        stream: cmd.stream,
-                        priority,
-                    });
-                }
+            }
+            CommandKind::Launch { kernel } => {
+                let priority = self.processes[cmd.process.index()].priority();
+                self.launches.push(LaunchRequest {
+                    command: cmd.id,
+                    process: cmd.process,
+                    kernel,
+                    stream: cmd.stream,
+                    priority,
+                });
             }
         }
     }
@@ -305,12 +313,16 @@ mod tests {
             KernelDone(CommandId),
         }
         let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut scheduled = Vec::new();
+        let mut launches = Vec::new();
         host.start(SimTime::ZERO);
         loop {
-            for (t, e) in host.take_scheduled() {
+            host.drain_scheduled_into(&mut scheduled);
+            for (t, e) in scheduled.drain(..) {
                 q.schedule(t, Ev::Host(e));
             }
-            for l in host.take_launches() {
+            host.drain_launches_into(&mut launches);
+            for l in launches.drain(..) {
                 q.schedule_after(kernel_time, Ev::KernelDone(l.command));
             }
             if host.all_completed_at_least(until_completions) {
@@ -332,7 +344,8 @@ mod tests {
         let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
         let end = run_host(&mut host, SimTime::from_micros(50), 3);
         assert!(host.processes()[0].completions() >= 3);
-        let iters = host.take_iterations();
+        let mut iters = Vec::new();
+        host.drain_iterations_into(&mut iters);
         assert!(iters.len() >= 3);
         // Iterations are sequential and non-overlapping for one process.
         for pair in iters.windows(2) {
@@ -351,7 +364,8 @@ mod tests {
         let w = workload(vec![toy_trace(10, 0, 2)]);
         let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
         host.start(SimTime::ZERO);
-        let sched = host.take_scheduled();
+        let mut sched = Vec::new();
+        host.drain_scheduled_into(&mut sched);
         assert_eq!(sched.len(), 1); // the CPU phase
         host.handle(
             SimTime::from_micros(10),
@@ -359,10 +373,12 @@ mod tests {
                 process: ProcessId::new(0),
             },
         );
-        let launches = host.take_launches();
+        let mut launches = Vec::new();
+        host.drain_launches_into(&mut launches);
         assert_eq!(launches.len(), 1, "only the first kernel may be issued");
         host.kernel_completed(SimTime::from_micros(60), launches[0].command);
-        let launches = host.take_launches();
+        launches.clear();
+        host.drain_launches_into(&mut launches);
         assert_eq!(launches.len(), 1, "second kernel follows the first");
     }
 

@@ -79,7 +79,6 @@ impl DssPolicy {
     fn richest_needy(&self, engine: &ExecutionEngine) -> Option<(KsrIndex, i32)> {
         engine
             .active_kernels()
-            .into_iter()
             .filter(|&k| {
                 engine
                     .kernel(k)
@@ -99,7 +98,6 @@ impl DssPolicy {
     ) -> Option<(KsrIndex, i32)> {
         engine
             .active_kernels()
-            .into_iter()
             .filter(|&k| k != exclude)
             .filter(|&k| self.preemptible_sm_of(engine, k).is_some())
             .map(|k| (k, self.token_count(engine, k)))
@@ -141,9 +139,12 @@ impl DssPolicy {
             // must not abandon the pass: try the remaining idle SMs and, if
             // none admits the kernel, fall through to the donor-preemption
             // branch below instead of returning early.
+            // `sm_ids` does not borrow the engine, so the admission closure
+            // can mutate it mid-scan; non-idle SMs are skipped up front and
+            // `assign` itself rejects SMs that stopped being idle.
             let mut assigned = false;
-            for sm in engine.idle_sms() {
-                if assign(engine, now, sm, rich) {
+            for sm in engine.sm_ids() {
+                if engine.sm(sm).is_idle() && assign(engine, now, sm, rich) {
                     assigned = true;
                     break;
                 }
@@ -231,7 +232,7 @@ mod tests {
         h.run_for(SimTime::from_micros(5));
         // Work conservation: the only kernel owns every SM despite a budget
         // of 7 (it goes into debt).
-        let ksr = h.engine().active_kernels()[0];
+        let ksr = h.engine().active_kernels().next().unwrap();
         assert_eq!(crate::policy::owned_sms(h.engine(), ksr), 13);
         h.run_to_idle();
         assert_eq!(h.completions().len(), 1);
@@ -249,10 +250,10 @@ mod tests {
         // Process 1 arrives; DSS must carve out roughly half the SMs.
         h.submit(toy_launch(1, 1, 4_000, 100));
         h.run_for(SimTime::from_micros(200));
-        let kernels = h.engine().active_kernels();
-        let counts: Vec<(ProcessId, u32)> = kernels
-            .iter()
-            .map(|&k| {
+        let counts: Vec<(ProcessId, u32)> = h
+            .engine()
+            .active_kernels()
+            .map(|k| {
                 (
                     h.engine().kernel(k).unwrap().launch().process,
                     crate::policy::owned_sms(h.engine(), k),
@@ -288,10 +289,10 @@ mod tests {
         h.submit(toy_launch(1, 1, 2_000, 50));
         // Draining takes up to one block time (50us); give it 200us.
         h.run_for(SimTime::from_micros(200));
-        let kernels = h.engine().active_kernels();
-        let owned: Vec<u32> = kernels
-            .iter()
-            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+        let owned: Vec<u32> = h
+            .engine()
+            .active_kernels()
+            .map(|k| crate::policy::owned_sms(h.engine(), k))
             .collect();
         assert!(
             owned.iter().all(|&c| c >= 6),
@@ -317,7 +318,7 @@ mod tests {
         );
         h.submit(toy_launch(0, 0, 1_000, 40));
         h.run_for(SimTime::from_micros(10));
-        let ksr = h.engine().active_kernels()[0];
+        let ksr = h.engine().active_kernels().next().unwrap();
         assert_eq!(crate::policy::owned_sms(h.engine(), ksr), 13);
         // Exactly on budget: zero tokens left, zero debt, so the rebalancer
         // has nothing to preempt.
@@ -349,11 +350,10 @@ mod tests {
         let owned_by = |h: &PolicyHarness, process: u32| {
             h.engine()
                 .active_kernels()
-                .iter()
-                .find(|&&k| {
+                .find(|&k| {
                     h.engine().kernel(k).unwrap().launch().process == ProcessId::new(process)
                 })
-                .map(|&k| crate::policy::owned_sms(h.engine(), k))
+                .map(|k| crate::policy::owned_sms(h.engine(), k))
         };
         assert_eq!(owned_by(&h, 0), Some(13));
         assert_eq!(owned_by(&h, 1), Some(0));
@@ -396,7 +396,7 @@ mod tests {
             assert!(steps < 100, "short kernel never departed");
         }
         h.run_for(SimTime::from_micros(400));
-        let kernels = h.engine().active_kernels();
+        let kernels: Vec<KsrIndex> = h.engine().active_kernels().collect();
         assert_eq!(kernels.len(), 1, "short kernel should have departed");
         assert_eq!(
             crate::policy::owned_sms(h.engine(), kernels[0]),
@@ -422,8 +422,7 @@ mod tests {
         let owned: Vec<u32> = h
             .engine()
             .active_kernels()
-            .iter()
-            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+            .map(|k| crate::policy::owned_sms(h.engine(), k))
             .collect();
         assert_eq!(owned.iter().sum::<u32>(), 13, "all SMs stay in use");
         // Every non-instant preemption was decided by the adaptive selector.
@@ -452,7 +451,7 @@ mod tests {
         let now = SimTime::ZERO;
         engine.submit(toy_launch(0, 0, 1_000, 50), now);
         engine.submit(toy_launch(1, 1, 1_000, 50), now);
-        let k0 = engine.active_kernels()[0];
+        let k0 = engine.active_kernels().next().unwrap();
         // Hand 12 of the 13 SMs to process 0, leaving one SM idle.
         for sm in engine.sm_ids().take(12) {
             assert!(engine.assign_sm(now, sm, k0));
@@ -485,8 +484,7 @@ mod tests {
         let owned: Vec<u32> = h
             .engine()
             .active_kernels()
-            .iter()
-            .map(|&k| crate::policy::owned_sms(h.engine(), k))
+            .map(|k| crate::policy::owned_sms(h.engine(), k))
             .collect();
         assert_eq!(owned.iter().sum::<u32>(), 13);
         let max = *owned.iter().max().unwrap();

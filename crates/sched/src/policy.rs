@@ -73,7 +73,7 @@ pub fn assign_idle_sms(
                 break;
             }
         }
-        let Some(&sm) = engine.idle_sms().first() else {
+        let Some(sm) = engine.idle_sms().next() else {
             break;
         };
         if !engine.assign_sm(now, sm, ksr) {
@@ -142,23 +142,23 @@ mod tests {
         let mut e = engine();
         // 16 blocks at 8 per SM -> needs exactly 2 SMs.
         e.submit(launch(0, 16), SimTime::ZERO);
-        let ksr = e.active_kernels()[0];
+        let ksr = e.active_kernels().next().unwrap();
         let n = assign_idle_sms(SimTime::ZERO, &mut e, ksr, None);
         assert_eq!(n, 2);
         assert_eq!(owned_sms(&e, ksr), 2);
-        assert_eq!(e.idle_sms().len(), 11);
+        assert_eq!(e.idle_sms().count(), 11);
     }
 
     #[test]
     fn assign_idle_sms_respects_limit() {
         let mut e = engine();
         e.submit(launch(0, 10_000), SimTime::ZERO);
-        let ksr = e.active_kernels()[0];
+        let ksr = e.active_kernels().next().unwrap();
         let n = assign_idle_sms(SimTime::ZERO, &mut e, ksr, Some(5));
         assert_eq!(n, 5);
         let n2 = assign_idle_sms(SimTime::ZERO, &mut e, ksr, None);
         assert_eq!(n2, 8, "the rest of the GPU");
-        assert!(e.idle_sms().is_empty());
+        assert!(e.idle_sms().next().is_none());
     }
 
     #[test]

@@ -13,11 +13,13 @@ use crate::policy::{assign_idle_sms, owned_sms, SchedulingPolicy};
 use gpreempt_gpu::{ExecutionEngine, KsrIndex, SmState};
 use gpreempt_types::{KernelLaunchId, Priority, SimTime, SmId};
 
-/// Returns the active kernels sorted by descending priority, breaking ties
-/// by admission time (oldest first).
-fn by_priority(engine: &ExecutionEngine) -> Vec<KsrIndex> {
-    let mut ksrs = engine.active_kernels();
-    ksrs.sort_by_key(|&k| {
+/// Fills `out` with the active kernels sorted by descending priority,
+/// breaking ties by admission time (oldest first). The caller owns the
+/// buffer so the per-hook scheduling path reuses one allocation.
+fn order_by_priority(engine: &ExecutionEngine, out: &mut Vec<KsrIndex>) {
+    out.clear();
+    out.extend(engine.active_kernels());
+    out.sort_by_key(|&k| {
         let state = engine.kernel(k).expect("active kernel");
         (
             std::cmp::Reverse(state.launch().priority),
@@ -25,14 +27,12 @@ fn by_priority(engine: &ExecutionEngine) -> Vec<KsrIndex> {
             k.index(),
         )
     });
-    ksrs
 }
 
 /// The highest priority among active, unfinished kernels.
 fn top_active_priority(engine: &ExecutionEngine) -> Option<Priority> {
     engine
         .active_kernels()
-        .into_iter()
         .filter_map(|k| engine.kernel(k))
         .filter(|k| !k.is_finished())
         .map(|k| k.launch().priority)
@@ -44,17 +44,22 @@ fn top_active_priority(engine: &ExecutionEngine) -> Option<Priority> {
 /// Idle SMs are always given to the highest-priority kernel that still has
 /// thread blocks to issue; running kernels are never disturbed.
 #[derive(Debug, Default)]
-pub struct NpqPolicy;
+pub struct NpqPolicy {
+    /// Scratch for the priority-ordered active queue, reused across hooks.
+    order: Vec<KsrIndex>,
+}
 
 impl NpqPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        NpqPolicy
+        NpqPolicy::default()
     }
 
     fn schedule(&mut self, now: SimTime, engine: &mut ExecutionEngine) {
-        for ksr in by_priority(engine) {
-            if engine.idle_sms().is_empty() {
+        order_by_priority(engine, &mut self.order);
+        for i in 0..self.order.len() {
+            let ksr = self.order[i];
+            if engine.idle_sms().next().is_none() {
                 break;
             }
             assign_idle_sms(now, engine, ksr, None);
@@ -106,6 +111,8 @@ pub enum PpqAccess {
 #[derive(Debug, Default)]
 pub struct PpqPolicy {
     access: PpqAccess,
+    /// Scratch for the priority-ordered active queue, reused across hooks.
+    order: Vec<KsrIndex>,
 }
 
 impl PpqPolicy {
@@ -114,6 +121,7 @@ impl PpqPolicy {
     pub fn exclusive() -> Self {
         PpqPolicy {
             access: PpqAccess::Exclusive,
+            order: Vec::new(),
         }
     }
 
@@ -122,6 +130,7 @@ impl PpqPolicy {
     pub fn shared() -> Self {
         PpqPolicy {
             access: PpqAccess::Shared,
+            order: Vec::new(),
         }
     }
 
@@ -131,12 +140,13 @@ impl PpqPolicy {
     }
 
     fn schedule(&mut self, now: SimTime, engine: &mut ExecutionEngine) {
-        let ordered = by_priority(engine);
+        order_by_priority(engine, &mut self.order);
         let top_priority = match top_active_priority(engine) {
             Some(p) => p,
             None => return,
         };
-        for &ksr in &ordered {
+        for i in 0..self.order.len() {
+            let ksr = self.order[i];
             let Some(kernel) = engine.kernel(ksr) else {
                 continue;
             };
@@ -299,7 +309,6 @@ mod tests {
         let lp_started = h
             .engine()
             .active_kernels()
-            .into_iter()
             .filter_map(|k| h.engine().kernel(k))
             .any(|k| k.launch().process == gpreempt_types::ProcessId::new(1) && k.has_started());
         assert!(!lp_started, "exclusive access violated");

@@ -110,8 +110,7 @@ proptest! {
         let owned: Vec<u32> = harness
             .engine()
             .active_kernels()
-            .iter()
-            .map(|&k| owned_sms(harness.engine(), k))
+            .map(|k| owned_sms(harness.engine(), k))
             .collect();
         prop_assert_eq!(owned.len(), n_kernels);
         prop_assert_eq!(owned.iter().sum::<u32>(), 13, "all SMs in use: {:?}", owned);

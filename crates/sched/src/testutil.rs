@@ -49,6 +49,8 @@ pub struct PolicyHarness {
     policy: Box<dyn SchedulingPolicy>,
     queue: EventQueue<EngineEvent>,
     completions: Vec<KernelCompletion>,
+    sched_scratch: Vec<(SimTime, EngineEvent)>,
+    hook_scratch: Vec<gpreempt_gpu::PolicyHook>,
 }
 
 impl PolicyHarness {
@@ -79,6 +81,8 @@ impl PolicyHarness {
             policy,
             queue: EventQueue::new(),
             completions: Vec::new(),
+            sched_scratch: Vec::new(),
+            hook_scratch: Vec::new(),
         }
     }
 
@@ -102,16 +106,19 @@ impl PolicyHarness {
 
     fn pump(&mut self) {
         loop {
-            for (t, ev) in self.engine.take_scheduled() {
+            self.engine.drain_scheduled_into(&mut self.sched_scratch);
+            for (t, ev) in self.sched_scratch.drain(..) {
                 self.queue.schedule(t, ev);
             }
-            self.completions.extend(self.engine.take_completions());
-            let hooks = self.engine.take_hooks();
-            if hooks.is_empty() {
+            self.engine.drain_completions_into(&mut self.completions);
+            self.hook_scratch.clear();
+            self.engine.drain_hooks_into(&mut self.hook_scratch);
+            if self.hook_scratch.is_empty() {
                 break;
             }
             let now = self.now();
-            for hook in hooks {
+            for i in 0..self.hook_scratch.len() {
+                let hook = self.hook_scratch[i];
                 self.policy.on_hook(now, hook, &mut self.engine);
             }
         }

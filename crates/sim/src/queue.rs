@@ -73,6 +73,35 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose backing storage can hold `capacity`
+    /// pending events before reallocating. Hot loops that know a lower
+    /// bound on their concurrency pre-size the queue so steady-state
+    /// scheduling never grows the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Spare capacity of the backing storage (useful for allocation tests).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Clears all pending events and rewinds the clock, sequence counter
+    /// and processed count to a fresh state while **keeping the backing
+    /// allocation**. Harness-internal reruns reset-and-reuse one queue
+    /// instead of re-heapifying from an empty, capacity-zero heap.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.processed = 0;
+    }
+
     /// The current simulated time: the timestamp of the last popped event
     /// (zero before any event is popped).
     pub fn now(&self) -> SimTime {
@@ -213,5 +242,34 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_presizes_the_heap() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_rewinds_the_clock_and_keeps_the_allocation() {
+        let mut q = EventQueue::with_capacity(32);
+        for i in 0..20u64 {
+            q.schedule(SimTime::from_nanos(100 + i), i);
+        }
+        q.pop();
+        let cap = q.capacity();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.processed(), 0);
+        assert!(q.capacity() >= cap, "reset must keep the allocation");
+        // The reset queue behaves like a fresh one: earlier times are legal
+        // again and FIFO order restarts from sequence zero.
+        q.schedule(SimTime::from_nanos(5), 1);
+        q.schedule(SimTime::from_nanos(5), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 2)));
     }
 }

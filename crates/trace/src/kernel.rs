@@ -1,6 +1,7 @@
 //! Static description of a GPU kernel as it appears in a trace.
 
 use gpreempt_types::{GpuConfig, KernelClass, KernelFootprint, SimTime};
+use std::sync::Arc;
 
 /// A kernel as described by a benchmark trace: its resource footprint, grid
 /// size and timing characteristics.
@@ -17,7 +18,9 @@ use gpreempt_types::{GpuConfig, KernelClass, KernelFootprint, SimTime};
 ///   `measured_time` (see [`KernelSpec::block_time_for_measured`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelSpec {
-    name: String,
+    /// Interned: cloning a spec (one clone per dynamic kernel launch on the
+    /// simulator's hot path) bumps a refcount instead of copying the string.
+    name: Arc<str>,
     footprint: KernelFootprint,
     n_blocks: u32,
     mean_block_time: SimTime,
@@ -28,7 +31,7 @@ pub struct KernelSpec {
 impl KernelSpec {
     /// Creates a kernel spec with an explicit per-block execution time.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         footprint: KernelFootprint,
         n_blocks: u32,
         mean_block_time: SimTime,
@@ -57,7 +60,7 @@ impl KernelSpec {
     /// `L`, the kernel completes its `n_blocks` blocks in
     /// `n_blocks * L / (n_sms * blocks_per_sm)`.
     pub fn from_measured(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         footprint: KernelFootprint,
         n_blocks: u32,
         measured_time: SimTime,

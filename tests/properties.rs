@@ -231,6 +231,9 @@ fn run_chaos(kernels: &[RandomKernel], selection: MechanismSelection, seed: u64)
     );
     let mut queue: EventQueue<EngineEvent> = EventQueue::new();
     let mut chaos = SimRng::new(seed ^ 0xDEAD_BEEF);
+    let mut scheduled = Vec::new();
+    let mut hooks = Vec::new();
+    let mut completions = Vec::new();
     let total_blocks: u64 = kernels.iter().map(|k| k.blocks as u64).sum();
 
     for (i, k) in kernels.iter().enumerate() {
@@ -256,7 +259,6 @@ fn run_chaos(kernels: &[RandomKernel], selection: MechanismSelection, seed: u64)
         engine.check_invariants().expect("invariants");
         let needy: Vec<_> = engine
             .active_kernels()
-            .into_iter()
             .filter(|&k| {
                 engine
                     .kernel(k)
@@ -265,7 +267,10 @@ fn run_chaos(kernels: &[RandomKernel], selection: MechanismSelection, seed: u64)
             })
             .collect();
         if !needy.is_empty() {
-            for sm in engine.idle_sms() {
+            for sm in engine.sm_ids() {
+                if !engine.sm(sm).is_idle() {
+                    continue;
+                }
                 let target = needy[chaos.next_index(needy.len())];
                 engine.assign_sm(now, sm, target);
             }
@@ -283,11 +288,14 @@ fn run_chaos(kernels: &[RandomKernel], selection: MechanismSelection, seed: u64)
                 }
             }
         }
-        for (t, ev) in engine.take_scheduled() {
+        engine.drain_scheduled_into(&mut scheduled);
+        for (t, ev) in scheduled.drain(..) {
             queue.schedule(t, ev);
         }
-        let _ = engine.take_hooks();
-        let _ = engine.take_completions();
+        hooks.clear();
+        engine.drain_hooks_into(&mut hooks);
+        completions.clear();
+        engine.drain_completions_into(&mut completions);
 
         let Some((t, ev)) = queue.pop() else { break };
         engine.handle(t, ev);
@@ -408,6 +416,53 @@ proptest! {
     // Each case runs a full (tiny) experiment population three times, so
     // keep the case count low; the seeds still vary run to run.
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The streaming fold path must serialise to exactly the bytes of the
+    /// opt-in keep-runs path, at every worker count: folding a run on the
+    /// worker (and dropping its body) loses no information a report needs.
+    #[test]
+    fn streamed_fold_reports_match_keep_runs_reports_byte_for_byte(seed in 1u64..100_000) {
+        use gpreempt::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner};
+        use gpreempt::{PolicyKind, SimulationRun, SimulatorConfig};
+        use gpreempt_trace::{parboil, ProcessSpec, Workload};
+
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let mriq = parboil::benchmark("mri-q", &gpu).unwrap();
+        let mut plan = SweepPlan::new(SimulatorConfig::default().with_seed(seed)).with_seed(seed);
+        for (i, policy) in [PolicyKind::Fcfs, PolicyKind::Dss].into_iter().enumerate() {
+            let workload = Workload::new(
+                format!("prop-pair-{i}"),
+                vec![ProcessSpec::new(spmv.clone()), ProcessSpec::new(mriq.clone())],
+            )
+            .with_min_completions(1);
+            plan.push(Scenario::new("prop", policy.label(), workload, policy));
+        }
+        let fold = |scenario: &Scenario, run: &SimulationRun| {
+            SweepRecord::new(&scenario.group, run.workload_name(), &scenario.label, run.n_processes())
+                .with_value("events", run.events_processed() as f64)
+                .with_value("end_time_us", run.end_time().as_micros_f64())
+        };
+
+        // keep_runs reference: every run retained, folded afterwards.
+        let keep = SweepRunner::sequential().run(&plan).unwrap();
+        let mut expected = SweepReport::new(plan.seed());
+        for r in keep.results() {
+            expected.push(fold(&plan.scenarios()[r.scenario_id], &r.run));
+        }
+        let expected = expected.to_json();
+
+        for jobs in [1usize, 2, 8] {
+            let folded = SweepRunner::new(jobs)
+                .run_fold(&plan, &|s, run| Ok(fold(s, &run)))
+                .unwrap();
+            let mut report = SweepReport::new(plan.seed());
+            for record in folded.into_values() {
+                report.push(record);
+            }
+            prop_assert_eq!(&report.to_json(), &expected, "jobs={}", jobs);
+        }
+    }
 
     /// `--jobs 1`, `--jobs 2` and `--jobs 8` must produce byte-identical
     /// `SweepReport` JSON for the same plan seed: scenario enumeration is
