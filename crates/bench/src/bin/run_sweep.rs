@@ -9,7 +9,8 @@
 //!
 //! Options:
 //!
-//! * `--experiment fig2|priority|spatial|mechanism|all` (default `all`)
+//! * `--experiment fig2|priority|spatial|mechanism|realtime|all`
+//!   (default `all`)
 //! * `--scale quick|bench|paper` (default `quick`)
 //! * `--jobs N` worker threads; `0` = one per CPU (default `0`). Sweep
 //!   results are bit-identical for every worker count, so this only
@@ -19,15 +20,19 @@
 //! * `--seed N` overrides the workload-generation seed of the scale.
 //! * `--timing` with `--format table`: also print the per-scenario
 //!   wall-clock table.
+//! * `--out FILE` streams sweep records to FILE as JSON Lines. Realtime
+//!   scenarios spill in completion order the moment each finishes; the
+//!   other experiments append their report records as each experiment
+//!   completes. The file is valid (and tail-able) mid-sweep.
 //! * `--validate` reads report JSON from stdin, checks it parses and that
 //!   `record_count` matches the records array, and exits non-zero on any
 //!   mismatch (used by the CI smoke step).
 
 use gpreempt::experiments::{
     ExperimentScale, Fig2Results, IsolatedRunCache, MechanismResults, PriorityResults,
-    SpatialResults,
+    RealtimeResults, SpatialResults,
 };
-use gpreempt::sweep::{SweepReport, SweepRunner, SweepTiming};
+use gpreempt::sweep::{JsonlSink, SweepReport, SweepRunner, SweepTiming};
 use gpreempt::SimulatorConfig;
 use std::io::Read as _;
 
@@ -37,6 +42,7 @@ enum Experiment {
     Priority,
     Spatial,
     Mechanism,
+    Realtime,
     All,
 }
 
@@ -48,12 +54,13 @@ enum Format {
 
 fn usage() {
     println!("usage: run_sweep [options]");
-    println!("  --experiment fig2|priority|spatial|mechanism|all   (default all)");
+    println!("  --experiment fig2|priority|spatial|mechanism|realtime|all (default all)");
     println!("  --scale quick|bench|paper                          (default quick)");
     println!("  --jobs N          worker threads, 0 = one per CPU  (default 0)");
     println!("  --format table|json                                (default table)");
     println!("  --seed N          workload-generation seed override");
     println!("  --timing          print the per-scenario wall-clock table");
+    println!("  --out FILE        stream sweep records to FILE as JSON Lines");
     println!("  --validate        validate report JSON from stdin and exit");
 }
 
@@ -77,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut format = Format::Table;
     let mut seed: Option<u64> = None;
     let mut timing_table = false;
+    let mut out_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,12 +95,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Some("priority") => Experiment::Priority,
                     Some("spatial") => Experiment::Spatial,
                     Some("mechanism") => Experiment::Mechanism,
+                    Some("realtime") => Experiment::Realtime,
                     Some("all") => Experiment::All,
                     other => return Err(format!("unknown experiment {other:?}").into()),
                 }
             }
             "--scale" => scale_name = args.next().ok_or("missing scale")?,
             "--jobs" => jobs = args.next().ok_or("missing job count")?.parse()?,
+            "--out" => out_path = Some(args.next().ok_or("missing output path")?),
             "--format" => {
                 format = match args.next().as_deref() {
                     Some("table") => Format::Table,
@@ -124,18 +134,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimulatorConfig::default();
     let runner = SweepRunner::new(jobs);
     // One isolated-run cache for the whole invocation: under
-    // `--experiment all` the priority, spatial and mechanism experiments
-    // share the same base configuration, so each distinct isolated scenario
-    // simulates exactly once instead of once per experiment.
+    // `--experiment all` the priority, spatial, mechanism and realtime
+    // experiments share the same base configuration, so each distinct
+    // isolated scenario simulates exactly once instead of once per
+    // experiment.
     let isolated_cache = IsolatedRunCache::new();
+    // Optional disk spill: realtime scenarios stream as they complete; the
+    // other experiments append their report records per experiment.
+    let sink = match &out_path {
+        Some(path) => Some(JsonlSink::create(path)?),
+        None => None,
+    };
     let mut report = SweepReport::new(scale.seed);
     let mut timing = SweepTiming::default();
     let mut tables: Vec<String> = Vec::new();
+    let spill =
+        |report: &SweepReport, first_new: usize| -> Result<(), Box<dyn std::error::Error>> {
+            if let Some(sink) = &sink {
+                sink.append_all(&report.records()[first_new..])?;
+            }
+            Ok(())
+        };
 
     if matches!(experiment, Experiment::Fig2 | Experiment::All) {
         let results = Fig2Results::run_with(&config, &runner)?;
         tables.push(results.render().render());
+        let first_new = report.len();
         report.merge(results.report());
+        spill(&report, first_new)?;
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Priority | Experiment::All) {
@@ -143,7 +169,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tables.push(results.render_fig5().render());
         tables.push(results.render_fig6(false).render());
         tables.push(results.render_fig6(true).render());
+        let first_new = report.len();
         report.merge(results.report());
+        spill(&report, first_new)?;
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Spatial | Experiment::All) {
@@ -152,11 +180,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tables.push(results.render_fig7b().render());
         tables.push(results.render_fig7c().render());
         tables.push(results.render_fig8().render());
+        let first_new = report.len();
         report.merge(results.report());
+        spill(&report, first_new)?;
         timing = timing.merged(results.timing().clone());
     }
     if matches!(experiment, Experiment::Mechanism | Experiment::All) {
         let results = MechanismResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
+        tables.push(results.render().render());
+        let first_new = report.len();
+        report.merge(results.report());
+        spill(&report, first_new)?;
+        timing = timing.merged(results.timing().clone());
+    }
+    if matches!(experiment, Experiment::Realtime | Experiment::All) {
+        // The realtime harness streams its raw per-scenario records through
+        // the sink itself (completion order); only the aggregated cell
+        // records go through the shared report.
+        let results = RealtimeResults::run_streaming(
+            &config,
+            &scale,
+            &runner,
+            &isolated_cache,
+            sink.as_ref(),
+        )?;
         tables.push(results.render().render());
         report.merge(results.report());
         timing = timing.merged(results.timing().clone());
@@ -177,6 +224,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // it goes to stderr: `--format json | run_sweep --validate` stays
     // clean.
     eprintln!("{}", timing.summary());
+    if let (Some(sink), Some(path)) = (&sink, &out_path) {
+        eprintln!("streamed {} records to {path}", sink.written());
+    }
     if isolated_cache.hits() > 0 {
         eprintln!(
             "isolated-run cache: {} simulated, {} reused across experiments",

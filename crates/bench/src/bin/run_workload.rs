@@ -8,19 +8,22 @@
 //!
 //! Arguments are benchmark names (repeatable); options:
 //!
-//! * `--policy fcfs|npq|ppq|ppq-shared|dss` (default `dss`)
+//! * `--policy fcfs|npq|ppq|ppq-shared|dss|gcaps|edf` (default `dss`)
 //! * `--mechanism context-switch|draining|adaptive[:latency_target_us]`
 //!   (default `context-switch`); `adaptive` lets the engine pick the
 //!   cheaper mechanism at each preemption, optionally subject to a
 //!   preemption-latency target in microseconds (e.g. `adaptive:50`)
 //! * `--high-priority <index>` mark the i-th process as high priority
+//! * `--deadline-ms <ms>` give every process an implicit-deadline
+//!   [`RtSpec`] of that many milliseconds and report deadline-miss
+//!   metrics (the deadline-aware policies `gcaps`/`edf` act on it)
 //! * `--completions <n>` replay target (default 3)
 //! * `--seed <n>` RNG seed
 
 use gpreempt::{PolicyKind, Simulator, SimulatorConfig};
 use gpreempt_gpu::MechanismSelection;
 use gpreempt_trace::{parboil, ProcessSpec, Workload};
-use gpreempt_types::{Priority, ProcessId, SimTime};
+use gpreempt_types::{Priority, ProcessId, RtSpec, SimTime};
 use std::time::Instant;
 
 /// Parses a `--mechanism` value: a fixed mechanism name, `adaptive`, or
@@ -54,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut policy = PolicyKind::Dss;
     let mut mechanism = MechanismSelection::default();
     let mut high_priority: Option<usize> = None;
+    let mut deadline: Option<SimTime> = None;
     let mut completions = 3u32;
     let mut seed = 0x5EEDu64;
     let mut names: Vec<String> = Vec::new();
@@ -68,6 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Some("ppq") => PolicyKind::PpqExclusive,
                     Some("ppq-shared") => PolicyKind::PpqShared,
                     Some("dss") => PolicyKind::Dss,
+                    Some("gcaps") => PolicyKind::Gcaps,
+                    Some("edf") => PolicyKind::Edf,
                     other => return Err(format!("unknown policy {other:?}").into()),
                 }
             }
@@ -77,6 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--high-priority" => {
                 high_priority = Some(args.next().ok_or("missing index")?.parse()?);
+            }
+            "--deadline-ms" => {
+                let ms: f64 = args.next().ok_or("missing deadline")?.parse()?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err("deadline must be positive".into());
+                }
+                deadline = Some(SimTime::from_micros_f64(ms * 1_000.0));
             }
             "--completions" => completions = args.next().ok_or("missing count")?.parse()?,
             "--seed" => seed = args.next().ok_or("missing seed")?.parse()?,
@@ -113,12 +126,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     parboil::BENCHMARK_NAMES.join(", ")
                 )
             })?;
-            let spec = ProcessSpec::new(benchmark);
-            Ok(if Some(i) == high_priority {
-                spec.with_priority(Priority::HIGH)
-            } else {
-                spec
-            })
+            let mut spec = ProcessSpec::new(benchmark);
+            if Some(i) == high_priority {
+                spec = spec.with_priority(Priority::HIGH);
+            }
+            if let Some(deadline) = deadline {
+                // With a real-time contract the scheduler derives priority
+                // from criticality, so --high-priority must map onto a
+                // High-criticality contract or it would be silently lost.
+                let mut rt = RtSpec::implicit(deadline);
+                if Some(i) == high_priority {
+                    rt = rt.with_criticality(gpreempt_types::Criticality::High);
+                }
+                spec = spec.with_rt(rt);
+            }
+            Ok(spec)
         })
         .collect::<Result<_, String>>()?;
     let workload = Workload::new(names.join("+"), processes).with_min_completions(completions);
@@ -156,6 +178,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.adaptive_drain_picks,
             stats.adaptive_cs_picks,
             stats.mean_estimate_error(),
+        );
+    }
+    if workload.has_rt() {
+        let rt = run.rt_metrics(&workload);
+        println!(
+            "deadline miss rate {:.3} ({} of {} executions)   mean response {:.3} ms   max tardiness {:.3} ms",
+            rt.miss_rate(),
+            rt.missed(),
+            rt.completed(),
+            rt.mean_response().as_millis_f64(),
+            rt.max_tardiness().as_millis_f64(),
         );
     }
     for (i, spec) in workload.processes().iter().enumerate() {

@@ -2,7 +2,9 @@
 
 use gpreempt_gpu::{EngineParams, MechanismSelection, PreemptionMechanism};
 use gpreempt_host::TransferPolicy;
-use gpreempt_sched::{DssPolicy, FcfsPolicy, NpqPolicy, PpqPolicy, SchedulingPolicy};
+use gpreempt_sched::{
+    DssPolicy, EdfPolicy, FcfsPolicy, GcapsPolicy, NpqPolicy, PpqPolicy, SchedulingPolicy,
+};
 use gpreempt_trace::Workload;
 use gpreempt_types::SimConfig;
 
@@ -21,17 +23,25 @@ pub enum PolicyKind {
     PpqShared,
     /// Dynamic Spatial Sharing with equal token budgets (§4.4).
     Dss,
+    /// Context-aware preemptive priority scheduling (Wang et al. 2024):
+    /// PPQ semantics refined with deadline-aware urgency and a
+    /// preemption-cost gate fed by the engine's online estimates.
+    Gcaps,
+    /// Earliest-deadline-first: the cost-blind real-time baseline.
+    Edf,
 }
 
 impl PolicyKind {
     /// All policy kinds.
-    pub const fn all() -> [PolicyKind; 5] {
+    pub const fn all() -> [PolicyKind; 7] {
         [
             PolicyKind::Fcfs,
             PolicyKind::Npq,
             PolicyKind::PpqExclusive,
             PolicyKind::PpqShared,
             PolicyKind::Dss,
+            PolicyKind::Gcaps,
+            PolicyKind::Edf,
         ]
     }
 
@@ -43,6 +53,8 @@ impl PolicyKind {
             PolicyKind::PpqExclusive => "PPQ",
             PolicyKind::PpqShared => "PPQ-shared",
             PolicyKind::Dss => "DSS",
+            PolicyKind::Gcaps => "GCAPS",
+            PolicyKind::Edf => "EDF",
         }
     }
 
@@ -50,8 +62,18 @@ impl PolicyKind {
     pub const fn is_preemptive(self) -> bool {
         matches!(
             self,
-            PolicyKind::PpqExclusive | PolicyKind::PpqShared | PolicyKind::Dss
+            PolicyKind::PpqExclusive
+                | PolicyKind::PpqShared
+                | PolicyKind::Dss
+                | PolicyKind::Gcaps
+                | PolicyKind::Edf
         )
+    }
+
+    /// Whether the policy reads the deadline annotations of real-time
+    /// launches.
+    pub const fn is_deadline_aware(self) -> bool {
+        matches!(self, PolicyKind::Gcaps | PolicyKind::Edf)
     }
 
     /// Builds the policy instance for a given workload and GPU size.
@@ -62,17 +84,23 @@ impl PolicyKind {
             PolicyKind::PpqExclusive => Box::new(PpqPolicy::exclusive()),
             PolicyKind::PpqShared => Box::new(PpqPolicy::shared()),
             PolicyKind::Dss => Box::new(DssPolicy::equal_share(n_sms, workload.len())),
+            PolicyKind::Gcaps => Box::new(GcapsPolicy::new()),
+            PolicyKind::Edf => Box::new(EdfPolicy::new()),
         }
     }
 
     /// The data-transfer engine policy the paper pairs with this execution
     /// policy: NPQ for the prioritisation experiments, FCFS otherwise
-    /// (§4.2, §4.4).
+    /// (§4.2, §4.4). The real-time policies prioritise transfers like the
+    /// priority-queue schedulers — an urgent kernel gains nothing from
+    /// preempting SMs while its input data waits behind a bulk copy.
     pub const fn transfer_policy(self) -> TransferPolicy {
         match self {
-            PolicyKind::Npq | PolicyKind::PpqExclusive | PolicyKind::PpqShared => {
-                TransferPolicy::Priority
-            }
+            PolicyKind::Npq
+            | PolicyKind::PpqExclusive
+            | PolicyKind::PpqShared
+            | PolicyKind::Gcaps
+            | PolicyKind::Edf => TransferPolicy::Priority,
             PolicyKind::Fcfs | PolicyKind::Dss => TransferPolicy::Fcfs,
         }
     }
@@ -169,11 +197,18 @@ mod tests {
     fn labels_and_flags() {
         assert_eq!(PolicyKind::Fcfs.label(), "FCFS");
         assert_eq!(PolicyKind::Dss.to_string(), "DSS");
+        assert_eq!(PolicyKind::Gcaps.label(), "GCAPS");
+        assert_eq!(PolicyKind::Edf.to_string(), "EDF");
         assert!(!PolicyKind::Fcfs.is_preemptive());
         assert!(!PolicyKind::Npq.is_preemptive());
         assert!(PolicyKind::PpqExclusive.is_preemptive());
         assert!(PolicyKind::Dss.is_preemptive());
-        assert_eq!(PolicyKind::all().len(), 5);
+        assert!(PolicyKind::Gcaps.is_preemptive());
+        assert!(PolicyKind::Edf.is_preemptive());
+        assert!(PolicyKind::Gcaps.is_deadline_aware());
+        assert!(PolicyKind::Edf.is_deadline_aware());
+        assert!(!PolicyKind::PpqExclusive.is_deadline_aware());
+        assert_eq!(PolicyKind::all().len(), 7);
     }
 
     #[test]
@@ -185,6 +220,11 @@ mod tests {
         );
         assert_eq!(PolicyKind::Fcfs.transfer_policy(), TransferPolicy::Fcfs);
         assert_eq!(PolicyKind::Dss.transfer_policy(), TransferPolicy::Fcfs);
+        assert_eq!(
+            PolicyKind::Gcaps.transfer_policy(),
+            TransferPolicy::Priority
+        );
+        assert_eq!(PolicyKind::Edf.transfer_policy(), TransferPolicy::Priority);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod common;
 pub mod fig2;
 pub mod mechanism;
 pub mod priority;
+pub mod realtime;
 pub mod spatial;
 pub mod table1;
 
@@ -38,6 +39,10 @@ pub use common::{
 pub use fig2::{Fig2Results, Fig2Timeline};
 pub use mechanism::{MechanismConfig, MechanismOutcome, MechanismRecord, MechanismResults};
 pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResults};
+pub use realtime::{
+    LatencyTarget, RealtimeCell, RealtimeCellKey, RealtimePoint, RealtimeResults,
+    LATENCY_TARGETS_US, N_SEEDS, REALTIME_POLICIES, UTILIZATIONS,
+};
 pub use spatial::{SpatialConfig, SpatialOutcome, SpatialRecord, SpatialResults};
 pub use table1::{Table1, Table1Row};
 
@@ -185,6 +190,43 @@ mod tests {
             results.render().render()
         );
         assert!(!results.render().is_empty());
+    }
+
+    #[test]
+    fn realtime_experiment_reports_cells_with_confidence_intervals() {
+        let config = SimulatorConfig::default();
+        let mut scale = tiny_scale();
+        scale.workload_sizes = vec![2];
+        let results = RealtimeResults::run(&config, &scale).unwrap();
+        // 1 size x 2 utilizations x 3 policies x 2 latency targets.
+        assert_eq!(
+            results.cells().len(),
+            UTILIZATIONS.len() * REALTIME_POLICIES.len() * LATENCY_TARGETS_US.len()
+        );
+        for cell in results.cells() {
+            assert_eq!(cell.points.len(), N_SEEDS, "every cell is replicated");
+            let (miss, ci) = cell.miss_rate();
+            assert!((0.0..=1.0).contains(&miss), "miss rate {miss}");
+            assert!(ci >= 0.0);
+            assert!(cell.points.iter().all(|p| p.completed > 0));
+            // PPQ never preempts an all-equal-priority workload; the
+            // deadline-aware policies do.
+            if cell.key.policy == crate::PolicyKind::PpqExclusive {
+                assert_eq!(cell.mean_preemptions(), 0.0);
+            }
+        }
+        // The headline acceptance criterion: in at least one swept
+        // scenario GCAPS meets a strictly lower deadline-miss rate than
+        // PPQ at equal utilization.
+        assert!(
+            results.gcaps_beats_ppq_somewhere(),
+            "GCAPS never beat PPQ:\n{}",
+            results.render().render()
+        );
+        assert_eq!(results.report().len(), results.cells().len());
+        assert!(!results.render().is_empty());
+        assert_eq!(results.sizes(), &[2]);
+        assert!(results.timing().entries.len() > results.cells().len());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use gpreempt_gpu::{
     EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch, PolicyHook,
 };
 use gpreempt_host::{HostEvent, HostSystem, IterationRecord, LaunchRequest};
-use gpreempt_metrics::{ProcessPerformance, WorkloadMetrics};
+use gpreempt_metrics::{ProcessPerformance, RtMetrics, RtProcessMetrics, WorkloadMetrics};
 use gpreempt_sched::SchedulingPolicy;
 use gpreempt_sim::EventQueue;
 use gpreempt_trace::{BenchmarkTrace, ProcessSpec, Workload};
@@ -106,6 +106,34 @@ impl SimulationRun {
         (0..self.iterations.len())
             .map(|p| self.mean_turnaround(ProcessId::from(p)))
             .collect()
+    }
+
+    /// Computes the real-time metrics of this run — per-process response
+    /// times, deadline-miss rate and max tardiness — holding each process
+    /// to the relative deadline of its [`RtSpec`](gpreempt_types::RtSpec)
+    /// in `workload` (processes without a contract contribute response
+    /// times but can miss nothing).
+    ///
+    /// `workload` must be the workload this run simulated; each process's
+    /// completed executions are matched to its spec by process index.
+    pub fn rt_metrics(&self, workload: &gpreempt_trace::Workload) -> RtMetrics {
+        debug_assert_eq!(
+            workload.len(),
+            self.iterations.len(),
+            "rt_metrics needs the workload this run simulated"
+        );
+        let per_process = workload
+            .processes()
+            .iter()
+            .zip(&self.iterations)
+            .map(|(spec, records)| {
+                RtProcessMetrics::from_executions(
+                    spec.rt.map(|rt| rt.deadline),
+                    records.iter().map(|r| (r.started, r.finished)),
+                )
+            })
+            .collect();
+        RtMetrics::new(per_process)
     }
 
     /// Computes the Eyerman & Eeckhout metrics of this run given each
@@ -412,7 +440,8 @@ impl Simulator {
             host.drain_launches_into(&mut scratch.launches);
             for i in 0..scratch.launches.len() {
                 progressed = true;
-                let launch = Self::build_launch(workload, &scratch.launches[i], next_launch_id);
+                let launch =
+                    Self::build_launch(workload, host, &scratch.launches[i], next_launch_id);
                 engine.submit(launch, now);
             }
             scratch.launches.clear();
@@ -442,15 +471,28 @@ impl Simulator {
     }
 
     /// Translates a host launch request into an execution-engine launch
-    /// command by looking the kernel up in the workload's traces.
-    fn build_launch(workload: &Workload, req: &LaunchRequest, next_id: &mut u64) -> KernelLaunch {
-        let spec = workload.processes()[req.process.index()]
-            .benchmark
-            .kernels()[req.kernel]
-            .clone();
+    /// command by looking the kernel up in the workload's traces. Launches
+    /// of real-time processes carry the process's [`RtSpec`] and the
+    /// absolute deadline of the execution they belong to, resolved against
+    /// the host's record of when that execution started.
+    fn build_launch(
+        workload: &Workload,
+        host: &HostSystem,
+        req: &LaunchRequest,
+        next_id: &mut u64,
+    ) -> KernelLaunch {
+        let process_spec = &workload.processes()[req.process.index()];
+        let spec = process_spec.benchmark.kernels()[req.kernel].clone();
         let id = KernelLaunchId::new(*next_id);
         *next_id += 1;
-        KernelLaunch::new(id, req.command, req.process, req.priority, spec)
+        let launch = KernelLaunch::new(id, req.command, req.process, req.priority, spec);
+        match process_spec.rt {
+            Some(rt) => {
+                let release = host.processes()[req.process.index()].iteration_start();
+                launch.with_rt(rt, release)
+            }
+            None => launch,
+        }
     }
 }
 

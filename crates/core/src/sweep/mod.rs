@@ -53,10 +53,12 @@ mod plan;
 mod report;
 mod runner;
 mod scenario;
+mod sink;
 
 pub use plan::SweepPlan;
 pub use report::{SweepRecord, SweepReport};
 pub use runner::{
-    FoldedResults, ScenarioFold, SweepResults, SweepRunner, SweepTiming, TimingEntry,
+    FoldedResults, ScenarioFold, ScenarioTap, SweepResults, SweepRunner, SweepTiming, TimingEntry,
 };
 pub use scenario::{FoldedScenario, Scenario, ScenarioResult};
+pub use sink::JsonlSink;

@@ -55,6 +55,13 @@ impl SweepRecord {
         self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Serialises this record alone as compact JSON — one line of a JSONL
+    /// stream ([`JsonlSink`](crate::sweep::JsonlSink)). Identical to the
+    /// record's rendering inside [`SweepReport::to_json`].
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
     fn to_value(&self) -> Value {
         Value::object([
             ("id", Value::from(self.id)),

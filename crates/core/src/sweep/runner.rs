@@ -13,6 +13,14 @@ use std::time::{Duration, Instant};
 /// [`SimulationRun`] per worker in memory at any time.
 pub type ScenarioFold<'a, T> = dyn Fn(&Scenario, SimulationRun) -> Result<T, SimError> + Sync + 'a;
 
+/// A per-scenario tap: observes each fold output **on the worker that
+/// produced it**, in completion order, before the output is queued for
+/// id-ordered reassembly. This is the spill point of disk-streaming sweeps:
+/// a tap that appends to a [`JsonlSink`](crate::sweep::JsonlSink) gets every
+/// record on disk the moment its scenario finishes, regardless of how many
+/// scenarios are still pending in memory.
+pub type ScenarioTap<'a, T> = dyn Fn(&Scenario, &T) -> Result<(), SimError> + Sync + 'a;
+
 /// Executes the scenarios of a plan across worker threads.
 ///
 /// Scenarios are self-contained values (workload, policy, config overrides,
@@ -104,6 +112,25 @@ impl SweepRunner {
         plan: &SweepPlan,
         fold: &ScenarioFold<'_, T>,
     ) -> Result<FoldedResults<T>, SimError> {
+        self.run_fold_tap(plan, fold, &|_, _| Ok(()))
+    }
+
+    /// [`run_fold`](Self::run_fold) with a per-scenario [`ScenarioTap`]
+    /// observing each fold output on its worker, in completion order.
+    /// Reassembled results are identical to `run_fold`'s — the tap only
+    /// adds a side channel (typically a
+    /// [`JsonlSink`](crate::sweep::JsonlSink) spilling records to disk).
+    ///
+    /// # Errors
+    ///
+    /// A failing tap aborts the sweep exactly like a failing fold: the
+    /// error of the failing scenario with the smallest id is returned.
+    pub fn run_fold_tap<T: Send>(
+        &self,
+        plan: &SweepPlan,
+        fold: &ScenarioFold<'_, T>,
+        tap: &ScenarioTap<'_, T>,
+    ) -> Result<FoldedResults<T>, SimError> {
         let scenarios = plan.scenarios();
         let started = Instant::now();
         let mut slots: Vec<Option<Result<FoldedScenario<T>, SimError>>> =
@@ -112,7 +139,7 @@ impl SweepRunner {
         let workers = self.jobs.min(scenarios.len()).max(1);
         if workers <= 1 {
             for (i, scenario) in scenarios.iter().enumerate() {
-                let outcome = Self::execute(plan, scenario, fold);
+                let outcome = Self::execute(plan, scenario, fold, tap);
                 let failed = outcome.is_err();
                 slots[i] = Some(outcome);
                 if failed {
@@ -140,7 +167,7 @@ impl SweepRunner {
                                 let Some(scenario) = scenarios.get(i) else {
                                     break;
                                 };
-                                let outcome = Self::execute(plan, scenario, fold);
+                                let outcome = Self::execute(plan, scenario, fold, tap);
                                 if outcome.is_err() {
                                     failed.store(true, Ordering::Relaxed);
                                 }
@@ -184,12 +211,14 @@ impl SweepRunner {
     }
 
     /// Runs one scenario — the plan's base configuration plus the
-    /// scenario's overrides, simulated from a fresh engine — and folds the
-    /// finished run, dropping its body.
+    /// scenario's overrides, simulated from a fresh engine — folds the
+    /// finished run (dropping its body), and hands the fold output to the
+    /// tap.
     fn execute<T>(
         plan: &SweepPlan,
         scenario: &Scenario,
         fold: &ScenarioFold<'_, T>,
+        tap: &ScenarioTap<'_, T>,
     ) -> Result<FoldedScenario<T>, SimError> {
         let mut config = plan.config().clone();
         if let Some(selection) = scenario.selection {
@@ -202,6 +231,7 @@ impl SweepRunner {
         let run = Simulator::new(config).run(&scenario.workload, scenario.policy)?;
         let events = run.events_processed();
         let value = fold(scenario, run)?;
+        tap(scenario, &value)?;
         Ok(FoldedScenario {
             scenario_id: scenario.id,
             value,

@@ -24,6 +24,17 @@ pub struct EngineParams {
     pub sm_setup_time: SimTime,
     /// Uniform jitter applied to per-block execution times (0.1 = ±10 %).
     pub block_time_jitter: f64,
+    /// Scheduling quantum: when set, the engine raises a
+    /// [`PolicyHook::QuantumExpired`] every `quantum` of continuous SM
+    /// occupancy, giving time-slicing policies a periodic decision point.
+    /// `None` (the default, and the paper's model) schedules no quantum
+    /// events at all.
+    pub quantum: Option<SimTime>,
+    /// How long before a real-time kernel's absolute deadline the engine
+    /// raises [`PolicyHook::DeadlineApproaching`]. Only kernels whose launch
+    /// carries an [`RtLaunch`](crate::launch::RtLaunch) annotation produce
+    /// deadline events; legacy workloads schedule none.
+    pub deadline_margin: SimTime,
 }
 
 impl Default for EngineParams {
@@ -31,6 +42,8 @@ impl Default for EngineParams {
         EngineParams {
             sm_setup_time: SimTime::from_micros(1),
             block_time_jitter: 0.05,
+            quantum: None,
+            deadline_margin: SimTime::from_micros(50),
         }
     }
 }
@@ -64,6 +77,23 @@ pub enum EngineEvent {
         /// Epoch guard.
         epoch: u64,
     },
+    /// The scheduling quantum on `sm` elapsed (only scheduled when
+    /// [`EngineParams::quantum`] is set).
+    QuantumTick {
+        /// The SM whose quantum elapsed.
+        sm: SmId,
+        /// Epoch guard: ticks from a previous assignment are ignored.
+        epoch: u64,
+    },
+    /// A real-time kernel's absolute deadline is [`EngineParams::deadline_margin`]
+    /// away (only scheduled for launches carrying a deadline).
+    DeadlineTick {
+        /// The KSRT slot the kernel was admitted into.
+        ksr: KsrIndex,
+        /// The launch the tick belongs to; stale ticks (the slot was
+        /// reused) are ignored.
+        launch: KernelLaunchId,
+    },
 }
 
 /// Notifications the engine raises for the scheduling policy. The policy is
@@ -81,6 +111,20 @@ pub enum PolicyHook {
         ksr: KsrIndex,
         /// The launch that finished, for policy bookkeeping keyed by launch.
         launch: KernelLaunchId,
+    },
+    /// The configured scheduling quantum elapsed on a running SM. Raised
+    /// only when [`EngineParams::quantum`] is set; time-slicing policies can
+    /// use it to rotate kernels without waiting for an SM to go idle.
+    QuantumExpired(SmId),
+    /// An active kernel's absolute deadline is within
+    /// [`EngineParams::deadline_margin`]. Raised once per launch, and only
+    /// for launches that carry a deadline; deadline-aware policies can react
+    /// by escalating the kernel (e.g. preempting on its behalf).
+    DeadlineApproaching {
+        /// The kernel approaching its deadline.
+        ksr: KsrIndex,
+        /// Its absolute deadline.
+        deadline: SimTime,
     },
 }
 
@@ -319,8 +363,25 @@ impl ExecutionEngine {
                 // Seed the remaining-time estimator with the kernel's
                 // declared mean block time; observations refine it online.
                 self.estimator.reset_slot(i, launch.spec.mean_block_time());
-                self.ksrt[i] = Some(KernelState::new(launch, &self.gpu, now));
                 let ksr = KsrIndex(i as u32);
+                // Real-time launches get a one-shot deadline tick,
+                // `deadline_margin` ahead of the absolute deadline (or
+                // immediately, if the deadline is closer than that). Legacy
+                // launches schedule nothing, keeping their event stream
+                // bit-identical to the pre-real-time engine.
+                if let Some(deadline) = launch.deadline() {
+                    let warn_at = deadline
+                        .saturating_sub(self.params.deadline_margin)
+                        .max(now);
+                    self.scheduled.push((
+                        warn_at,
+                        EngineEvent::DeadlineTick {
+                            ksr,
+                            launch: launch.id,
+                        },
+                    ));
+                }
+                self.ksrt[i] = Some(KernelState::new(launch, &self.gpu, now));
                 self.hooks.push(PolicyHook::KernelAdmitted(ksr));
                 Some(ksr)
             }
@@ -367,6 +428,13 @@ impl ExecutionEngine {
             now + self.params.sm_setup_time,
             EngineEvent::SetupDone { sm, epoch },
         ));
+        // Time-slicing support: the first quantum tick of this assignment.
+        // Subsequent ticks re-arm in `on_quantum_tick`; any preemption or
+        // release bumps the epoch and silences the chain.
+        if let Some(quantum) = self.params.quantum {
+            self.scheduled
+                .push((now + quantum, EngineEvent::QuantumTick { sm, epoch }));
+        }
         true
     }
 
@@ -503,6 +571,14 @@ impl ExecutionEngine {
         )
     }
 
+    /// A read-only cost view over the engine at `now`, backed by the online
+    /// remaining-time estimator. Context-aware policies (GCAPS) use it to
+    /// weigh the cost of preempting each SM against the urgency of the
+    /// kernel that wants it, without reaching into the estimator themselves.
+    pub fn cost_view(&self, now: SimTime) -> PreemptionCostView<'_> {
+        PreemptionCostView { engine: self, now }
+    }
+
     /// Changes the kernel a reserved SM will be handed to once its
     /// preemption completes (§3.4 allows this to cope with long-latency
     /// preemptions). Returns `false` if the SM is not reserved.
@@ -527,7 +603,44 @@ impl ExecutionEngine {
                 self.on_block_done(now, sm, epoch, block)
             }
             EngineEvent::SaveDone { sm, epoch } => self.on_save_done(now, sm, epoch),
+            EngineEvent::QuantumTick { sm, epoch } => self.on_quantum_tick(now, sm, epoch),
+            EngineEvent::DeadlineTick { ksr, launch } => self.on_deadline_tick(ksr, launch),
         }
+    }
+
+    fn on_quantum_tick(&mut self, now: SimTime, sm: SmId, epoch: u64) {
+        if self.sms[sm.index()].epoch != epoch {
+            return;
+        }
+        // Quanta only matter while the SM is actually executing its kernel;
+        // reserved and idle SMs have nothing for a policy to rotate.
+        if self.sms[sm.index()].state != SmState::Running {
+            return;
+        }
+        self.hooks.push(PolicyHook::QuantumExpired(sm));
+        let quantum = self
+            .params
+            .quantum
+            .expect("quantum ticks are only scheduled with a quantum configured");
+        self.scheduled
+            .push((now + quantum, EngineEvent::QuantumTick { sm, epoch }));
+    }
+
+    fn on_deadline_tick(&mut self, ksr: KsrIndex, launch: KernelLaunchId) {
+        let Some(kernel) = self.kernel(ksr) else {
+            return;
+        };
+        // The slot may have been freed and reused since the tick was
+        // scheduled; the launch id disambiguates.
+        if kernel.launch().id != launch || kernel.is_finished() {
+            return;
+        }
+        let deadline = kernel
+            .launch()
+            .deadline()
+            .expect("deadline ticks are only scheduled for launches with deadlines");
+        self.hooks
+            .push(PolicyHook::DeadlineApproaching { ksr, deadline });
     }
 
     fn on_setup_done(&mut self, now: SimTime, sm: SmId, epoch: u64) {
@@ -798,7 +911,65 @@ impl ExecutionEngine {
             debug_assert!(admitted.is_some(), "a slot was just freed");
         }
     }
+}
 
+/// Per-SM preemption-cost estimates at one instant, as seen by a
+/// scheduling policy.
+///
+/// The view answers the question at the heart of context-aware
+/// preemptive scheduling: *what would it cost, right now, to take this
+/// SM away from its current kernel?* The estimates come from
+/// [`ExecutionEngine::estimate_preemption`] — the same numbers the
+/// adaptive mechanism selector acts on — so a policy that gates its
+/// preemptions on this view is consistent with what the engine will
+/// actually do.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptionCostView<'a> {
+    engine: &'a ExecutionEngine,
+    now: SimTime,
+}
+
+impl PreemptionCostView<'_> {
+    /// The instant the view was taken at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The raw cost estimate for preempting `sm` right now (drain
+    /// latency/work from the online estimator, context-save and
+    /// deferred-restore costs from the footprint model).
+    pub fn estimate(&self, sm: SmId) -> PreemptionEstimate {
+        self.engine.estimate_preemption(self.now, sm)
+    }
+
+    /// The latency the engine's *configured* mechanism selection would
+    /// pay to preempt `sm`: the pinned mechanism's estimated latency
+    /// under [`MechanismSelection::Fixed`], or the latency of whichever
+    /// mechanism the adaptive selector would pick.
+    pub fn expected_latency(&self, sm: SmId) -> SimTime {
+        let estimate = self.estimate(sm);
+        match self.engine.selection() {
+            MechanismSelection::Fixed(m) => estimate.latency_of(m),
+            MechanismSelection::Adaptive { latency_target } => {
+                estimate.latency_of(estimate.select(latency_target))
+            }
+        }
+    }
+
+    /// The total cost (latency plus deferred/off-critical-path work) the
+    /// configured selection would spend preempting `sm`.
+    pub fn expected_total_cost(&self, sm: SmId) -> SimTime {
+        let estimate = self.estimate(sm);
+        match self.engine.selection() {
+            MechanismSelection::Fixed(m) => estimate.total_cost_of(m),
+            MechanismSelection::Adaptive { latency_target } => {
+                estimate.total_cost_of(estimate.select(latency_target))
+            }
+        }
+    }
+}
+
+impl ExecutionEngine {
     /// Checks engine-wide invariants; used by tests and the property suite.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, k) in self.ksrt.iter().enumerate() {

@@ -83,6 +83,18 @@ impl KernelState {
         &self.launch
     }
 
+    /// The absolute deadline of the launch's execution, if it has a
+    /// real-time contract.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.launch.deadline()
+    }
+
+    /// Time remaining until the deadline at `now` (zero once past it);
+    /// `None` for kernels without a deadline.
+    pub fn slack(&self, now: SimTime) -> Option<SimTime> {
+        self.launch.deadline().map(|d| d.saturating_sub(now))
+    }
+
     /// Maximum resident thread blocks per SM for this kernel.
     pub fn blocks_per_sm(&self) -> u32 {
         self.blocks_per_sm

@@ -1,7 +1,20 @@
 //! Kernel launch commands as seen by the execution engine.
 
 use gpreempt_trace::KernelSpec;
-use gpreempt_types::{CommandId, KernelLaunchId, Priority, ProcessId, SimTime};
+use gpreempt_types::{
+    CommandId, Criticality, KernelLaunchId, Priority, ProcessId, RtSpec, SimTime,
+};
+
+/// The real-time annotation of one launch: the owning process's contract
+/// plus the *absolute* deadline of the execution (replay iteration) the
+/// launch belongs to, resolved at launch time from the iteration's start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtLaunch {
+    /// The process's real-time contract.
+    pub spec: RtSpec,
+    /// Absolute deadline of the execution this launch is part of.
+    pub deadline: SimTime,
+}
 
 /// A kernel launch command issued to the execution engine by the command
 /// dispatcher.
@@ -18,10 +31,14 @@ pub struct KernelLaunch {
     pub priority: Priority,
     /// The static kernel description (grid size, footprint, block time).
     pub spec: KernelSpec,
+    /// Real-time annotation, present only for launches of processes with an
+    /// [`RtSpec`]; legacy launches carry `None` and behave exactly as
+    /// before the real-time subsystem existed.
+    pub rt: Option<RtLaunch>,
 }
 
 impl KernelLaunch {
-    /// Creates a launch command.
+    /// Creates a launch command with no real-time annotation.
     pub fn new(
         id: KernelLaunchId,
         command: CommandId,
@@ -35,7 +52,31 @@ impl KernelLaunch {
             process,
             priority,
             spec,
+            rt: None,
         }
+    }
+
+    /// Attaches the process's real-time contract, resolving the relative
+    /// deadline against `release` (the start of the execution this launch
+    /// belongs to).
+    #[must_use]
+    pub fn with_rt(mut self, spec: RtSpec, release: SimTime) -> Self {
+        self.rt = Some(RtLaunch {
+            spec,
+            deadline: spec.absolute_deadline(release),
+        });
+        self
+    }
+
+    /// The absolute deadline of this launch's execution, if it has one.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.rt.map(|rt| rt.deadline)
+    }
+
+    /// The criticality of the owning process, if it has a real-time
+    /// contract.
+    pub fn criticality(&self) -> Option<Criticality> {
+        self.rt.map(|rt| rt.spec.criticality)
     }
 }
 
@@ -80,5 +121,32 @@ mod tests {
         assert_eq!(launch.process, ProcessId::new(3));
         assert_eq!(launch.priority, Priority::HIGH);
         assert_eq!(launch.spec.n_blocks(), 16);
+        assert_eq!(launch.rt, None);
+        assert_eq!(launch.deadline(), None);
+        assert_eq!(launch.criticality(), None);
+    }
+
+    #[test]
+    fn rt_annotation_resolves_the_absolute_deadline() {
+        use gpreempt_types::{Criticality, RtSpec};
+        let spec = KernelSpec::new(
+            "k",
+            KernelFootprint::new(1_024, 0, 128),
+            16,
+            SimTime::from_micros(5),
+        );
+        let launch = KernelLaunch::new(
+            KernelLaunchId::new(1),
+            CommandId::new(2),
+            ProcessId::new(3),
+            Priority::NORMAL,
+            spec,
+        )
+        .with_rt(
+            RtSpec::implicit(SimTime::from_micros(400)).with_criticality(Criticality::High),
+            SimTime::from_micros(100),
+        );
+        assert_eq!(launch.deadline(), Some(SimTime::from_micros(500)));
+        assert_eq!(launch.criticality(), Some(Criticality::High));
     }
 }

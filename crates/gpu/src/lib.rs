@@ -23,8 +23,10 @@ pub mod framework;
 pub mod launch;
 pub mod preempt;
 
-pub use engine::{EngineEvent, EngineParams, EngineStats, ExecutionEngine, PolicyHook};
+pub use engine::{
+    EngineEvent, EngineParams, EngineStats, ExecutionEngine, PolicyHook, PreemptionCostView,
+};
 pub use estimator::{PreemptionEstimate, RemainingTimeEstimator};
 pub use framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmState, SmStatus};
-pub use launch::{KernelCompletion, KernelLaunch};
+pub use launch::{KernelCompletion, KernelLaunch, RtLaunch};
 pub use preempt::{ContextSwitchCost, MechanismSelection, PreemptionMechanism};

@@ -690,3 +690,186 @@ fn estimator_ignores_restored_partial_executions() {
         SimTime::from_micros(100)
     );
 }
+
+// ---------------------------------------------------------------------------
+// Real-time subsystem: quantum ticks, deadline ticks, cost view
+// ---------------------------------------------------------------------------
+
+/// A harness with a scheduling quantum configured.
+fn quantum_harness(quantum_us: u64) -> Harness {
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    h.engine = ExecutionEngine::new(
+        GpuConfig::default(),
+        PreemptionConfig::default(),
+        EngineParams {
+            block_time_jitter: 0.0,
+            quantum: Some(SimTime::from_micros(quantum_us)),
+            ..Default::default()
+        },
+        SimRng::new(1),
+    );
+    h
+}
+
+#[test]
+fn quantum_ticks_fire_periodically_while_running() {
+    let mut h = quantum_harness(25);
+    let k = h.kernel(2_000, 100, 0);
+    h.submit(k);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    assert!(h.assign(0, ksr));
+    // Over 130us of execution a 25us quantum fires at 25/50/75/100/125.
+    h.run_until(SimTime::from_micros(130));
+    let ticks = h
+        .hooks
+        .iter()
+        .filter(|hk| matches!(hk, PolicyHook::QuantumExpired(sm) if *sm == SmId::new(0)))
+        .count();
+    assert_eq!(ticks, 5, "expected five quantum expirations");
+    // Unassigned SMs never tick.
+    assert!(!h
+        .hooks
+        .iter()
+        .any(|hk| matches!(hk, PolicyHook::QuantumExpired(sm) if *sm != SmId::new(0))));
+}
+
+#[test]
+fn quantum_ticks_stop_after_preemption_hand_over() {
+    let mut h = quantum_harness(30);
+    let k1 = h.kernel(16, 100, 0);
+    h.submit(k1);
+    let ksr1 = h.engine.active_kernels().next().unwrap();
+    assert!(h.assign(0, ksr1));
+    let k2 = h.kernel(16, 10, 1);
+    h.submit(k2);
+    let ksr2 = h.engine.active_kernels().nth(1).unwrap();
+    // Preempt SM0 for the second kernel; the first assignment's tick chain
+    // must die with its epoch (a context switch completes in ~16us, well
+    // before the old 30us tick).
+    h.run_until(SimTime::from_micros(5));
+    assert!(h.engine.preempt_sm(h.now(), SmId::new(0), ksr2));
+    h.pump();
+    h.run_to_idle();
+    // Ticks belong to whole assignments: every recorded tick happened while
+    // some kernel was actually running on SM0 — none fired between the
+    // preemption request and the hand-over (the SM was Reserved).
+    for hook in &h.hooks {
+        if let PolicyHook::QuantumExpired(sm) = hook {
+            assert_eq!(*sm, SmId::new(0));
+        }
+    }
+}
+
+#[test]
+fn no_quantum_configured_means_no_ticks() {
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    let k = h.kernel(200, 50, 0);
+    h.submit(k);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    h.assign_all_idle(ksr);
+    h.run_to_idle();
+    assert!(!h
+        .hooks
+        .iter()
+        .any(|hk| matches!(hk, PolicyHook::QuantumExpired(_))));
+}
+
+#[test]
+fn deadline_tick_fires_margin_ahead_of_the_deadline() {
+    use gpreempt_types::RtSpec;
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    // Default margin is 50us; a 300us deadline warns at 250us.
+    let k = h
+        .kernel(2_000, 100, 0)
+        .with_rt(RtSpec::implicit(SimTime::from_micros(300)), SimTime::ZERO);
+    h.submit(k);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    h.assign_all_idle(ksr);
+    h.run_until(SimTime::from_micros(249));
+    assert!(
+        !h.hooks
+            .iter()
+            .any(|hk| matches!(hk, PolicyHook::DeadlineApproaching { .. })),
+        "tick must not fire before deadline - margin"
+    );
+    h.run_until(SimTime::from_micros(251));
+    let warned: Vec<_> = h
+        .hooks
+        .iter()
+        .filter_map(|hk| match hk {
+            PolicyHook::DeadlineApproaching { ksr, deadline } => Some((*ksr, *deadline)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(warned, vec![(ksr, SimTime::from_micros(300))]);
+}
+
+#[test]
+fn deadline_tick_is_suppressed_for_finished_kernels() {
+    use gpreempt_types::RtSpec;
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    // A short kernel with a distant deadline: it finishes long before the
+    // warning instant, so no hook may fire.
+    let k = h
+        .kernel(16, 10, 0)
+        .with_rt(RtSpec::implicit(SimTime::from_micros(5_000)), SimTime::ZERO);
+    h.submit(k);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    h.assign_all_idle(ksr);
+    h.run_to_idle();
+    assert!(!h
+        .hooks
+        .iter()
+        .any(|hk| matches!(hk, PolicyHook::DeadlineApproaching { .. })));
+    // Legacy launches (no RtSpec) never schedule deadline ticks at all.
+    let legacy = h.kernel(16, 10, 1);
+    h.submit(legacy);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    h.assign_all_idle(ksr);
+    h.run_to_idle();
+    assert!(!h
+        .hooks
+        .iter()
+        .any(|hk| matches!(hk, PolicyHook::DeadlineApproaching { .. })));
+}
+
+#[test]
+fn cost_view_matches_engine_estimates() {
+    let mut h = Harness::new(PreemptionMechanism::ContextSwitch);
+    let k = h.kernel(2_000, 100, 0);
+    h.submit(k);
+    let ksr = h.engine.active_kernels().next().unwrap();
+    h.assign_all_idle(ksr);
+    h.run_until(SimTime::from_micros(40));
+    let now = h.now();
+    let view = h.engine.cost_view(now);
+    assert_eq!(view.now(), now);
+    let sm = SmId::new(0);
+    let estimate = h.engine.estimate_preemption(now, sm);
+    assert_eq!(view.estimate(sm), estimate);
+    // Under a fixed context-switch selection the expected latency is the
+    // save time and the total cost adds the deferred restores.
+    assert_eq!(
+        view.expected_latency(sm),
+        estimate.latency_of(PreemptionMechanism::ContextSwitch)
+    );
+    assert_eq!(
+        view.expected_total_cost(sm),
+        estimate.total_cost_of(PreemptionMechanism::ContextSwitch)
+    );
+    assert!(view.expected_latency(sm) > SimTime::ZERO);
+
+    // Under adaptive selection the view reports the latency of whichever
+    // mechanism the selector would pick.
+    let mut ha = Harness::with_selection(MechanismSelection::adaptive());
+    let k = ha.kernel(2_000, 100, 0);
+    ha.submit(k);
+    let ksr = ha.engine.active_kernels().next().unwrap();
+    ha.assign_all_idle(ksr);
+    ha.run_until(SimTime::from_micros(40));
+    let now = ha.now();
+    let view = ha.engine.cost_view(now);
+    let estimate = ha.engine.estimate_preemption(now, sm);
+    let chosen = estimate.select(None);
+    assert_eq!(view.expected_latency(sm), estimate.latency_of(chosen));
+}

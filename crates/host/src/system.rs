@@ -61,7 +61,14 @@ impl HostSystem {
             .iter()
             .enumerate()
             .map(|(i, spec)| {
-                ProcessModel::new(ProcessId::from(i), spec.benchmark.clone(), spec.priority)
+                // Real-time processes derive their priority from the
+                // contract's criticality; legacy processes keep their
+                // explicitly configured priority.
+                ProcessModel::new(
+                    ProcessId::from(i),
+                    spec.benchmark.clone(),
+                    spec.effective_priority(),
+                )
             })
             .collect();
         HostSystem {

@@ -29,6 +29,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod rt;
+
+pub use rt::{RtMetrics, RtProcessMetrics};
+
 use gpreempt_types::{SimError, SimTime};
 
 /// The measured performance of one process: its isolated execution time and

@@ -1,0 +1,307 @@
+//! Real-time workload metrics: response times, deadline-miss rates and
+//! tardiness.
+//!
+//! The preemptive real-time scheduling literature (e.g. arXiv:2401.16529)
+//! evaluates GPU schedulers by how reliably tasks meet their deadlines
+//! rather than by throughput alone. This module computes those metrics from
+//! the per-execution records a simulation produces:
+//!
+//! * **response time** — how long one complete execution (replay iteration)
+//!   took from its release to its completion,
+//! * **deadline-miss rate** — the fraction of executions that finished
+//!   after `release + deadline`,
+//! * **tardiness** — by how much a late execution overshot its deadline
+//!   (zero for on-time executions); the maximum is the headline number.
+//!
+//! Processes without a real-time contract contribute response times but no
+//! misses — they have no deadline to miss — so mixed workloads degrade
+//! gracefully.
+
+use gpreempt_types::SimTime;
+
+/// The real-time metrics of one process over its completed executions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtProcessMetrics {
+    /// The relative deadline the process was held to (`None` for processes
+    /// without a real-time contract).
+    pub deadline: Option<SimTime>,
+    /// Completed executions observed.
+    pub completed: u64,
+    /// Executions that finished after their deadline (always zero without a
+    /// deadline).
+    pub missed: u64,
+    /// Sum of response times over the completed executions.
+    pub response_total: SimTime,
+    /// Largest single response time.
+    pub max_response: SimTime,
+    /// Largest overshoot past the deadline (zero when every execution met
+    /// it, or no deadline applies).
+    pub max_tardiness: SimTime,
+}
+
+impl RtProcessMetrics {
+    /// Computes the metrics of one process from its `(release, finish)`
+    /// pairs, held to the given relative deadline.
+    pub fn from_executions(
+        deadline: Option<SimTime>,
+        executions: impl IntoIterator<Item = (SimTime, SimTime)>,
+    ) -> Self {
+        let mut m = RtProcessMetrics {
+            deadline,
+            completed: 0,
+            missed: 0,
+            response_total: SimTime::ZERO,
+            max_response: SimTime::ZERO,
+            max_tardiness: SimTime::ZERO,
+        };
+        for (release, finish) in executions {
+            let response = finish.saturating_sub(release);
+            m.completed += 1;
+            m.response_total += response;
+            m.max_response = m.max_response.max(response);
+            if let Some(deadline) = deadline {
+                let tardiness = response.saturating_sub(deadline);
+                if !tardiness.is_zero() {
+                    m.missed += 1;
+                    m.max_tardiness = m.max_tardiness.max(tardiness);
+                }
+            }
+        }
+        m
+    }
+
+    /// Mean response time over the completed executions (zero when none
+    /// completed).
+    pub fn mean_response(&self) -> SimTime {
+        if self.completed == 0 {
+            SimTime::ZERO
+        } else {
+            self.response_total / self.completed
+        }
+    }
+
+    /// Fraction of executions that missed their deadline, in `[0, 1]`.
+    /// A process with a deadline but **zero completed executions** counts
+    /// as fully missing (rate 1.0): it starved, which is the worst possible
+    /// real-time outcome, not a vacuous success. Processes without a
+    /// deadline always report 0.0.
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadline.is_none() {
+            return 0.0;
+        }
+        if self.completed == 0 {
+            return 1.0;
+        }
+        self.missed as f64 / self.completed as f64
+    }
+
+    /// Whether every completed execution met its deadline (and at least one
+    /// completed, when a deadline applies).
+    pub fn all_met(&self) -> bool {
+        self.miss_rate() == 0.0
+    }
+}
+
+/// The real-time metrics of a whole workload run: one
+/// [`RtProcessMetrics`] per process, plus workload-level aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtMetrics {
+    per_process: Vec<RtProcessMetrics>,
+}
+
+impl RtMetrics {
+    /// Assembles the workload metrics from per-process records.
+    pub fn new(per_process: Vec<RtProcessMetrics>) -> Self {
+        RtMetrics { per_process }
+    }
+
+    /// The per-process metrics, in process order.
+    pub fn per_process(&self) -> &[RtProcessMetrics] {
+        &self.per_process
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.per_process.len()
+    }
+
+    /// Whether the metrics cover no processes.
+    pub fn is_empty(&self) -> bool {
+        self.per_process.is_empty()
+    }
+
+    /// Completed executions across every process.
+    pub fn completed(&self) -> u64 {
+        self.per_process.iter().map(|p| p.completed).sum()
+    }
+
+    /// The `(missed, total)` execution counts over every process with a
+    /// deadline — the single place the starved-process rule lives: a
+    /// deadline process with zero completions contributes one synthetic
+    /// fully-missed execution.
+    fn deadline_counts(&self) -> (u64, u64) {
+        let mut missed = 0u64;
+        let mut total = 0u64;
+        for p in &self.per_process {
+            if p.deadline.is_none() {
+                continue;
+            }
+            if p.completed == 0 {
+                missed += 1;
+                total += 1;
+            } else {
+                missed += p.missed;
+                total += p.completed;
+            }
+        }
+        (missed, total)
+    }
+
+    /// Missed executions across every process with a deadline. Starved
+    /// deadline processes (zero completions) count one synthetic miss so
+    /// the workload-level rate reflects them.
+    pub fn missed(&self) -> u64 {
+        self.deadline_counts().0
+    }
+
+    /// The workload-level deadline-miss rate: missed executions over all
+    /// executions of deadline-carrying processes (starved ones contribute a
+    /// synthetic fully-missed execution). 0.0 when no process has a
+    /// deadline.
+    pub fn miss_rate(&self) -> f64 {
+        let (missed, total) = self.deadline_counts();
+        if total == 0 {
+            0.0
+        } else {
+            missed as f64 / total as f64
+        }
+    }
+
+    /// Mean response time across every completed execution of every
+    /// process.
+    pub fn mean_response(&self) -> SimTime {
+        let completed = self.completed();
+        if completed == 0 {
+            return SimTime::ZERO;
+        }
+        let total: SimTime = self.per_process.iter().map(|p| p.response_total).sum();
+        total / completed
+    }
+
+    /// The largest overshoot past any deadline in the workload.
+    pub fn max_tardiness(&self) -> SimTime {
+        self.per_process
+            .iter()
+            .map(|p| p.max_tardiness)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Whether every deadline in the workload was met.
+    pub fn all_met(&self) -> bool {
+        self.per_process.iter().all(RtProcessMetrics::all_met)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn on_time_executions_have_zero_miss_rate() {
+        let p = RtProcessMetrics::from_executions(
+            Some(us(100)),
+            vec![(us(0), us(80)), (us(80), us(170)), (us(170), us(270))],
+        );
+        assert_eq!(p.completed, 3);
+        assert_eq!(p.missed, 0);
+        assert_eq!(p.miss_rate(), 0.0);
+        assert!(p.all_met());
+        assert_eq!(p.mean_response(), us(90)); // (80 + 90 + 100) / 3
+        assert_eq!(p.max_response, us(100));
+        assert_eq!(p.max_tardiness, SimTime::ZERO);
+    }
+
+    #[test]
+    fn late_executions_count_misses_and_tardiness() {
+        let p = RtProcessMetrics::from_executions(
+            Some(us(100)),
+            vec![(us(0), us(90)), (us(90), us(240)), (us(240), us(350))],
+        );
+        // Response times: 90 (met), 150 (missed by 50), 110 (missed by 10).
+        assert_eq!(p.completed, 3);
+        assert_eq!(p.missed, 2);
+        assert!((p.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.max_tardiness, us(50));
+        assert!(!p.all_met());
+    }
+
+    #[test]
+    fn no_deadline_means_no_misses() {
+        let p = RtProcessMetrics::from_executions(None, vec![(us(0), us(1_000_000))]);
+        assert_eq!(p.miss_rate(), 0.0);
+        assert!(p.all_met());
+        assert_eq!(p.max_tardiness, SimTime::ZERO);
+        assert_eq!(p.mean_response(), us(1_000_000));
+    }
+
+    #[test]
+    fn starved_deadline_process_counts_as_fully_missed() {
+        let starved = RtProcessMetrics::from_executions(Some(us(100)), vec![]);
+        assert_eq!(starved.completed, 0);
+        assert_eq!(starved.miss_rate(), 1.0);
+        assert!(!starved.all_met());
+        assert_eq!(starved.mean_response(), SimTime::ZERO);
+
+        // A starved process *without* a deadline is vacuously fine.
+        let legacy = RtProcessMetrics::from_executions(None, vec![]);
+        assert_eq!(legacy.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn workload_aggregates_combine_processes() {
+        let m = RtMetrics::new(vec![
+            RtProcessMetrics::from_executions(
+                Some(us(100)),
+                vec![(us(0), us(50)), (us(50), us(180))], // one miss, tardiness 30
+            ),
+            RtProcessMetrics::from_executions(Some(us(200)), vec![(us(0), us(150))]), // met
+            RtProcessMetrics::from_executions(None, vec![(us(0), us(999))]),          // no deadline
+        ]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.completed(), 4);
+        assert_eq!(m.missed(), 1);
+        // 1 miss over the 3 executions of deadline-carrying processes.
+        assert!((m.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_tardiness(), us(30));
+        assert!(!m.all_met());
+        // (50 + 130 + 150 + 999) / 4
+        assert_eq!(m.mean_response(), SimTime::from_nanos(332_250));
+    }
+
+    #[test]
+    fn starved_process_dominates_the_workload_rate() {
+        let m = RtMetrics::new(vec![
+            RtProcessMetrics::from_executions(Some(us(100)), vec![(us(0), us(50))]),
+            RtProcessMetrics::from_executions(Some(us(100)), vec![]),
+        ]);
+        assert_eq!(m.missed(), 1);
+        assert!((m.miss_rate() - 0.5).abs() < 1e-12);
+        assert!(!m.all_met());
+    }
+
+    #[test]
+    fn empty_workload_is_well_formed() {
+        let m = RtMetrics::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.miss_rate(), 0.0);
+        assert_eq!(m.mean_response(), SimTime::ZERO);
+        assert_eq!(m.max_tardiness(), SimTime::ZERO);
+        assert!(m.all_met());
+    }
+}

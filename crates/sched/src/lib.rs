@@ -9,20 +9,28 @@
 //! * [`PpqPolicy`] — preemptive priority queues, in exclusive-access and
 //!   shared-access variants (§4.2, §4.3),
 //! * [`DssPolicy`] — Dynamic Spatial Sharing, the token-based dynamic
-//!   partitioning policy (§3.4, Algorithm 1).
+//!   partitioning policy (§3.4, Algorithm 1),
+//! * [`GcapsPolicy`] — context-aware preemptive priority scheduling
+//!   (Wang et al. 2024): deadline-refined urgency plus a preemption-cost
+//!   gate fed by the engine's online estimates,
+//! * [`EdfPolicy`] — the earliest-deadline-first real-time baseline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dss;
+pub mod edf;
 pub mod fcfs;
+pub mod gcaps;
 pub mod policy;
 pub mod priority;
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use dss::DssPolicy;
+pub use edf::EdfPolicy;
 pub use fcfs::FcfsPolicy;
+pub use gcaps::GcapsPolicy;
 pub use policy::{assign_idle_sms, owned_sms, SchedulingPolicy};
 pub use priority::{NpqPolicy, PpqAccess, PpqPolicy};
 

@@ -30,6 +30,33 @@ pub trait SchedulingPolicy: std::fmt::Debug {
         engine: &mut ExecutionEngine,
     );
 
+    /// Called when the configured scheduling quantum elapses on a running
+    /// SM (only raised when
+    /// [`EngineParams::quantum`](gpreempt_gpu::EngineParams) is set).
+    ///
+    /// Default-implemented as a no-op so pre-real-time policies (FCFS, NPQ,
+    /// PPQ, DSS) stay source-compatible — and, because legacy runs schedule
+    /// no quantum events, bit-identical.
+    fn on_quantum_expired(&mut self, now: SimTime, sm: SmId, engine: &mut ExecutionEngine) {
+        let _ = (now, sm, engine);
+    }
+
+    /// Called when an active kernel's absolute deadline is within the
+    /// engine's warning margin (only raised for launches that carry an
+    /// [`RtSpec`](gpreempt_types::RtSpec)-derived deadline).
+    ///
+    /// Default-implemented as a no-op; deadline-aware policies override it
+    /// to escalate the kernel.
+    fn on_deadline_approaching(
+        &mut self,
+        now: SimTime,
+        ksr: KsrIndex,
+        deadline: SimTime,
+        engine: &mut ExecutionEngine,
+    ) {
+        let _ = (now, ksr, deadline, engine);
+    }
+
     /// Dispatches a raw hook to the specific callbacks. Policies normally do
     /// not override this.
     fn on_hook(&mut self, now: SimTime, hook: PolicyHook, engine: &mut ExecutionEngine) {
@@ -38,6 +65,10 @@ pub trait SchedulingPolicy: std::fmt::Debug {
             PolicyHook::SmIdle(sm) => self.on_sm_idle(now, sm, engine),
             PolicyHook::KernelFinished { ksr, launch } => {
                 self.on_kernel_finished(now, ksr, launch, engine)
+            }
+            PolicyHook::QuantumExpired(sm) => self.on_quantum_expired(now, sm, engine),
+            PolicyHook::DeadlineApproaching { ksr, deadline } => {
+                self.on_deadline_approaching(now, ksr, deadline, engine)
             }
         }
     }
@@ -82,6 +113,42 @@ pub fn assign_idle_sms(
         assigned += 1;
     }
     assigned
+}
+
+/// Scans the running SMs and returns the one whose current kernel carries
+/// the **greatest** eligibility key, or `None` if no kernel is eligible.
+///
+/// `key_of` maps an active kernel to its victim key — `None` marks it
+/// ineligible (e.g. it outranks the waiter). Ties keep the first (lowest-id)
+/// SM, matching the historical victim scans of the preemptive policies.
+/// This is the shared "pick the least urgent victim" idiom of
+/// [`GcapsPolicy`](crate::GcapsPolicy) and [`EdfPolicy`](crate::EdfPolicy):
+/// each policy only supplies its own ordering key.
+pub fn select_victim<K: Ord>(
+    engine: &ExecutionEngine,
+    mut key_of: impl FnMut(&ExecutionEngine, KsrIndex) -> Option<K>,
+) -> Option<SmId> {
+    let mut best: Option<(K, SmId)> = None;
+    for sm in engine.sm_ids() {
+        let status = engine.sm(sm);
+        if status.state() != gpreempt_gpu::SmState::Running {
+            continue;
+        }
+        let Some(current) = status.current_kernel() else {
+            continue;
+        };
+        let Some(key) = key_of(engine, current) else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some((best_key, _)) => key > *best_key,
+        };
+        if better {
+            best = Some((key, sm));
+        }
+    }
+    best.map(|(_, sm)| sm)
 }
 
 /// Number of SMs currently owned by `ksr`: SMs executing it that are not in

@@ -7,10 +7,11 @@
 
 use crate::benchmark::BenchmarkTrace;
 use gpreempt_sim::SimRng;
-use gpreempt_types::{GpuConfig, Priority, ProcessId, SimError};
+use gpreempt_types::{GpuConfig, Priority, ProcessId, RtSpec, SimError, SimTime};
 
 /// One process in a multiprogrammed workload: a benchmark application plus
-/// its scheduling priority.
+/// its scheduling priority and, for real-time workloads, its timing
+/// contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessSpec {
     /// The application this process runs.
@@ -18,14 +19,20 @@ pub struct ProcessSpec {
     /// Scheduling priority (all-equal for the DSS experiments, one
     /// [`Priority::HIGH`] process for the priority-queue experiments).
     pub priority: Priority,
+    /// The real-time contract, if this process has one. Legacy workloads
+    /// leave this `None` and behave exactly as before the real-time
+    /// subsystem existed.
+    pub rt: Option<RtSpec>,
 }
 
 impl ProcessSpec {
-    /// Creates a process running `benchmark` at [`Priority::NORMAL`].
+    /// Creates a process running `benchmark` at [`Priority::NORMAL`] with no
+    /// real-time contract.
     pub fn new(benchmark: BenchmarkTrace) -> Self {
         ProcessSpec {
             benchmark,
             priority: Priority::NORMAL,
+            rt: None,
         }
     }
 
@@ -34,6 +41,21 @@ impl ProcessSpec {
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Attaches a real-time contract.
+    #[must_use]
+    pub fn with_rt(mut self, rt: RtSpec) -> Self {
+        self.rt = Some(rt);
+        self
+    }
+
+    /// The priority the scheduler should actually use for this process:
+    /// derived from the real-time contract's criticality when one is
+    /// present, the explicitly configured priority otherwise (the one-line
+    /// legacy fallback).
+    pub fn effective_priority(&self) -> Priority {
+        self.rt.map_or(self.priority, |rt| rt.priority())
     }
 }
 
@@ -91,6 +113,20 @@ impl Workload {
     /// The replay target: completed executions required of every process.
     pub fn min_completions(&self) -> u32 {
         self.min_completions
+    }
+
+    /// Whether any process carries a real-time contract.
+    pub fn has_rt(&self) -> bool {
+        self.processes.iter().any(|p| p.rt.is_some())
+    }
+
+    /// The tightest (smallest) relative deadline in the workload, if any
+    /// process has one.
+    pub fn tightest_deadline(&self) -> Option<SimTime> {
+        self.processes
+            .iter()
+            .filter_map(|p| p.rt.map(|rt| rt.deadline))
+            .min()
     }
 
     /// The [`ProcessId`]s of this workload, in order.
@@ -235,6 +271,32 @@ impl WorkloadGenerator {
             .map(|_| self.random_workload(n_processes))
             .collect()
     }
+
+    /// Draws a workload of `n_processes` applications chosen uniformly at
+    /// random and attaches a real-time contract to each, produced by
+    /// `rt_of` from the process index and its benchmark (so deadlines can
+    /// scale with per-application execution times).
+    ///
+    /// The scheduling priority of each process is left at
+    /// [`Priority::NORMAL`]; real-time-aware consumers derive the effective
+    /// priority from the contract's criticality
+    /// ([`ProcessSpec::effective_priority`]).
+    pub fn realtime_workload(
+        &mut self,
+        n_processes: usize,
+        mut rt_of: impl FnMut(usize, &BenchmarkTrace) -> RtSpec,
+    ) -> Workload {
+        assert!(!self.suite.is_empty(), "empty benchmark suite");
+        self.counter += 1;
+        let mut processes = Vec::with_capacity(n_processes);
+        for i in 0..n_processes {
+            let idx = self.rng.next_index(self.suite.len());
+            let benchmark = self.suite[idx].clone();
+            let rt = rt_of(i, &benchmark);
+            processes.push(ProcessSpec::new(benchmark).with_rt(rt));
+        }
+        Workload::new(format!("rt-{}p-{}", n_processes, self.counter), processes)
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +403,55 @@ mod tests {
         let pop = g.random_population(8, 5);
         assert_eq!(pop.len(), 5);
         assert!(pop.iter().all(|w| w.len() == 8));
+    }
+
+    #[test]
+    fn rt_spec_drives_the_effective_priority() {
+        use gpreempt_types::Criticality;
+        let gpu = GpuConfig::default();
+        let legacy = ProcessSpec::new(parboil::benchmark("spmv", &gpu).unwrap())
+            .with_priority(Priority::HIGH);
+        // Legacy fallback: no contract, the explicit priority wins.
+        assert_eq!(legacy.effective_priority(), Priority::HIGH);
+
+        let rt = legacy.clone().with_rt(
+            RtSpec::implicit(SimTime::from_micros(100)).with_criticality(Criticality::Low),
+        );
+        // With a contract, the criticality mapping takes over.
+        assert_eq!(rt.effective_priority(), Priority::NORMAL);
+        assert!(rt.rt.is_some());
+    }
+
+    #[test]
+    fn realtime_workload_attaches_contracts_deterministically() {
+        use gpreempt_types::Criticality;
+        let build = || {
+            let mut g = gen();
+            g.realtime_workload(4, |i, b| {
+                let deadline = SimTime::from_micros(100 * (b.launch_count() as u64 + 1));
+                let rt = RtSpec::implicit(deadline);
+                if i == 0 {
+                    rt.with_criticality(Criticality::High)
+                } else {
+                    rt
+                }
+            })
+        };
+        let w = build();
+        assert_eq!(w.len(), 4);
+        assert!(w.has_rt());
+        assert!(w.tightest_deadline().is_some());
+        assert_eq!(
+            w.processes()[0].effective_priority(),
+            Criticality::High.priority()
+        );
+        // Deadlines scale with the drawn benchmark, and generation stays
+        // deterministic for a fixed generator seed.
+        let again = build();
+        assert_eq!(w, again);
+
+        let legacy = Workload::new("legacy", vec![]);
+        assert!(!legacy.has_rt());
+        assert_eq!(legacy.tightest_deadline(), None);
     }
 }

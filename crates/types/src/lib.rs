@@ -28,6 +28,7 @@ pub mod ids;
 pub mod kernel;
 pub mod preemption;
 pub mod priority;
+pub mod rt;
 pub mod time;
 
 pub use config::{CpuConfig, GpuConfig, PcieConfig, PreemptionConfig, SharedMemConfig, SimConfig};
@@ -38,4 +39,5 @@ pub use ids::{
 pub use kernel::{KernelClass, KernelFootprint};
 pub use preemption::{MechanismSelection, PreemptionMechanism};
 pub use priority::{Priority, TokenCount};
+pub use rt::{Criticality, RtSpec};
 pub use time::SimTime;
