@@ -9,7 +9,7 @@
 //!
 //! Options:
 //!
-//! * `--experiment fig2|priority|spatial|mechanism|realtime|all`
+//! * `--experiment fig2|priority|spatial|mechanism|realtime|saturation|all`
 //!   (default `all`)
 //! * `--scale quick|bench|paper` (default `quick`)
 //! * `--jobs N` worker threads; `0` = one per CPU (default `0`). Sweep
@@ -21,16 +21,16 @@
 //! * `--timing` with `--format table`: also print the per-scenario
 //!   wall-clock table.
 //! * `--out FILE` streams sweep records to FILE as JSON Lines. Realtime
-//!   scenarios spill in completion order the moment each finishes; the
-//!   other experiments append their report records as each experiment
-//!   completes. The file is valid (and tail-able) mid-sweep.
+//!   and saturation scenarios spill in completion order the moment each
+//!   finishes; the other experiments append their report records as each
+//!   experiment completes. The file is valid (and tail-able) mid-sweep.
 //! * `--validate` reads report JSON from stdin, checks it parses and that
 //!   `record_count` matches the records array, and exits non-zero on any
 //!   mismatch (used by the CI smoke step).
 
 use gpreempt::experiments::{
     ExperimentScale, Fig2Results, IsolatedRunCache, MechanismResults, PriorityResults,
-    RealtimeResults, SpatialResults,
+    RealtimeResults, SaturationResults, SpatialResults,
 };
 use gpreempt::sweep::{JsonlSink, SweepReport, SweepRunner, SweepTiming};
 use gpreempt::SimulatorConfig;
@@ -43,6 +43,7 @@ enum Experiment {
     Spatial,
     Mechanism,
     Realtime,
+    Saturation,
     All,
 }
 
@@ -54,7 +55,9 @@ enum Format {
 
 fn usage() {
     println!("usage: run_sweep [options]");
-    println!("  --experiment fig2|priority|spatial|mechanism|realtime|all (default all)");
+    println!(
+        "  --experiment fig2|priority|spatial|mechanism|realtime|saturation|all (default all)"
+    );
     println!("  --scale quick|bench|paper                          (default quick)");
     println!("  --jobs N          worker threads, 0 = one per CPU  (default 0)");
     println!("  --format table|json                                (default table)");
@@ -96,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Some("spatial") => Experiment::Spatial,
                     Some("mechanism") => Experiment::Mechanism,
                     Some("realtime") => Experiment::Realtime,
+                    Some("saturation") => Experiment::Saturation,
                     Some("all") => Experiment::All,
                     other => return Err(format!("unknown experiment {other:?}").into()),
                 }
@@ -198,6 +202,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // the sink itself (completion order); only the aggregated cell
         // records go through the shared report.
         let results = RealtimeResults::run_streaming(
+            &config,
+            &scale,
+            &runner,
+            &isolated_cache,
+            sink.as_ref(),
+        )?;
+        tables.push(results.render().render());
+        report.merge(results.report());
+        timing = timing.merged(results.timing().clone());
+    }
+    if matches!(experiment, Experiment::Saturation | Experiment::All) {
+        // Like realtime, the saturation harness streams its raw
+        // per-scenario points through the sink in completion order.
+        let results = SaturationResults::run_streaming(
             &config,
             &scale,
             &runner,

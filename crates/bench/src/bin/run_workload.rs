@@ -8,7 +8,8 @@
 //!
 //! Arguments are benchmark names (repeatable); options:
 //!
-//! * `--policy fcfs|npq|ppq|ppq-shared|dss|gcaps|edf` (default `dss`)
+//! * `--policy fcfs|npq|ppq|ppq-shared|dss|gcaps|edf|rr` (default `dss`;
+//!   `rr` arms the policy's default 200us quantum and rotates SMs on it)
 //! * `--mechanism context-switch|draining|adaptive[:latency_target_us]`
 //!   (default `context-switch`); `adaptive` lets the engine pick the
 //!   cheaper mechanism at each preemption, optionally subject to a
@@ -74,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Some("dss") => PolicyKind::Dss,
                     Some("gcaps") => PolicyKind::Gcaps,
                     Some("edf") => PolicyKind::Edf,
+                    Some("rr") => PolicyKind::RoundRobin,
                     other => return Err(format!("unknown policy {other:?}").into()),
                 }
             }

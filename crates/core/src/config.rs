@@ -3,10 +3,11 @@
 use gpreempt_gpu::{EngineParams, MechanismSelection, PreemptionMechanism};
 use gpreempt_host::TransferPolicy;
 use gpreempt_sched::{
-    DssPolicy, EdfPolicy, FcfsPolicy, GcapsPolicy, NpqPolicy, PpqPolicy, SchedulingPolicy,
+    DssPolicy, EdfPolicy, FcfsPolicy, GcapsPolicy, NpqPolicy, PpqPolicy, RoundRobinPolicy,
+    SchedulingPolicy,
 };
 use gpreempt_trace::Workload;
-use gpreempt_types::SimConfig;
+use gpreempt_types::{SimConfig, SimTime};
 
 /// Which scheduling policy to plug into the execution engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,11 +30,14 @@ pub enum PolicyKind {
     Gcaps,
     /// Earliest-deadline-first: the cost-blind real-time baseline.
     Edf,
+    /// Quantum-driven round-robin time slicing: FCFS placement plus SM
+    /// rotation toward starved co-runners at every quantum expiry.
+    RoundRobin,
 }
 
 impl PolicyKind {
     /// All policy kinds.
-    pub const fn all() -> [PolicyKind; 7] {
+    pub const fn all() -> [PolicyKind; 8] {
         [
             PolicyKind::Fcfs,
             PolicyKind::Npq,
@@ -42,6 +46,7 @@ impl PolicyKind {
             PolicyKind::Dss,
             PolicyKind::Gcaps,
             PolicyKind::Edf,
+            PolicyKind::RoundRobin,
         ]
     }
 
@@ -55,6 +60,7 @@ impl PolicyKind {
             PolicyKind::Dss => "DSS",
             PolicyKind::Gcaps => "GCAPS",
             PolicyKind::Edf => "EDF",
+            PolicyKind::RoundRobin => "RR",
         }
     }
 
@@ -67,7 +73,19 @@ impl PolicyKind {
                 | PolicyKind::Dss
                 | PolicyKind::Gcaps
                 | PolicyKind::Edf
+                | PolicyKind::RoundRobin
         )
+    }
+
+    /// The scheduling quantum the simulator arms when the configuration
+    /// leaves [`EngineParams::quantum`] unset. Only the time-slicing
+    /// round-robin policy needs one; every other policy runs quantum-free,
+    /// which keeps their event streams byte-identical to earlier releases.
+    pub const fn default_quantum(self) -> Option<SimTime> {
+        match self {
+            PolicyKind::RoundRobin => Some(SimTime::from_micros(200)),
+            _ => None,
+        }
     }
 
     /// Whether the policy reads the deadline annotations of real-time
@@ -86,6 +104,7 @@ impl PolicyKind {
             PolicyKind::Dss => Box::new(DssPolicy::equal_share(n_sms, workload.len())),
             PolicyKind::Gcaps => Box::new(GcapsPolicy::new()),
             PolicyKind::Edf => Box::new(EdfPolicy::new()),
+            PolicyKind::RoundRobin => Box::new(RoundRobinPolicy::new()),
         }
     }
 
@@ -101,7 +120,7 @@ impl PolicyKind {
             | PolicyKind::PpqShared
             | PolicyKind::Gcaps
             | PolicyKind::Edf => TransferPolicy::Priority,
-            PolicyKind::Fcfs | PolicyKind::Dss => TransferPolicy::Fcfs,
+            PolicyKind::Fcfs | PolicyKind::Dss | PolicyKind::RoundRobin => TransferPolicy::Fcfs,
         }
     }
 }
@@ -208,7 +227,21 @@ mod tests {
         assert!(PolicyKind::Gcaps.is_deadline_aware());
         assert!(PolicyKind::Edf.is_deadline_aware());
         assert!(!PolicyKind::PpqExclusive.is_deadline_aware());
-        assert_eq!(PolicyKind::all().len(), 7);
+        assert_eq!(PolicyKind::RoundRobin.label(), "RR");
+        assert!(PolicyKind::RoundRobin.is_preemptive());
+        assert!(!PolicyKind::RoundRobin.is_deadline_aware());
+        assert_eq!(PolicyKind::all().len(), 8);
+    }
+
+    #[test]
+    fn only_round_robin_arms_a_default_quantum() {
+        for kind in PolicyKind::all() {
+            if kind == PolicyKind::RoundRobin {
+                assert_eq!(kind.default_quantum(), Some(SimTime::from_micros(200)));
+            } else {
+                assert_eq!(kind.default_quantum(), None);
+            }
+        }
     }
 
     #[test]
@@ -225,6 +258,10 @@ mod tests {
             TransferPolicy::Priority
         );
         assert_eq!(PolicyKind::Edf.transfer_policy(), TransferPolicy::Priority);
+        assert_eq!(
+            PolicyKind::RoundRobin.transfer_policy(),
+            TransferPolicy::Fcfs
+        );
     }
 
     #[test]

@@ -136,6 +136,26 @@ impl Default for ExperimentScale {
     }
 }
 
+/// Two-sided 97.5 % Student-t critical values for 1–10 degrees of freedom;
+/// the small replicate counts the sweep harnesses use (3 seeds → df = 2 →
+/// 4.303) are far from the normal regime, where z = 1.96 would understate
+/// the interval by more than 2×.
+const T_975: [f64; 10] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+];
+
+/// Half-width of the 95 % confidence interval of the mean, using the
+/// Student-t critical value for the sample's degrees of freedom (normal
+/// 1.96 beyond df = 10); zero for fewer than two samples.
+pub fn ci95(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let df = values.len() - 1;
+    let t = T_975.get(df - 1).copied().unwrap_or(1.96);
+    t * gpreempt_sim::stats::stddev(values) / (values.len() as f64).sqrt()
+}
+
 /// Cache of per-benchmark isolated execution times (the denominator of every
 /// normalized metric). Isolated times do not depend on the scheduling policy
 /// or the preemption mechanism, so one cache is shared by every experiment.
@@ -410,7 +430,8 @@ pub fn simulator_with_mechanism(
     Simulator::new(config.clone().with_mechanism(mechanism))
 }
 
-/// Arithmetic mean of an iterator of values; 0.0 when empty.
+/// Arithmetic mean of an iterator of values; NaN when empty (rendered as
+/// `-` in tables and `null` in JSON).
 pub fn mean_of<I: IntoIterator<Item = f64>>(values: I) -> f64 {
     let v: Vec<f64> = values.into_iter().collect();
     gpreempt_sim::stats::mean(&v)
@@ -473,7 +494,7 @@ mod tests {
     #[test]
     fn mean_helper() {
         assert_eq!(mean_of([1.0, 3.0]), 2.0);
-        assert_eq!(mean_of(std::iter::empty()), 0.0);
+        assert!(mean_of(std::iter::empty()).is_nan());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::report::TextTable;
 use crate::simulator::SimulationRun;
 use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
+use gpreempt_sim::stats::fmt_stat;
 use gpreempt_types::{SimError, SimTime};
 use std::collections::HashMap;
 
@@ -348,12 +349,12 @@ impl MechanismResults {
                 table.add_row(vec![
                     size.to_string(),
                     cfg.label().to_string(),
-                    format!("{:.2}", self.mean_over(size, cfg, |o| o.antt)),
-                    format!("{:.2}", self.mean_over(size, cfg, |o| o.stp)),
-                    format!("{:.2}", self.mean_over(size, cfg, |o| o.fairness)),
-                    format!("{lat:.2}"),
+                    fmt_stat(self.mean_over(size, cfg, |o| o.antt), 2),
+                    fmt_stat(self.mean_over(size, cfg, |o| o.stp), 2),
+                    fmt_stat(self.mean_over(size, cfg, |o| o.fairness), 2),
+                    fmt_stat(lat, 2),
                     format!("{drain}/{cs}"),
-                    format!("{err:.2}"),
+                    fmt_stat(err, 2),
                 ]);
             }
         }

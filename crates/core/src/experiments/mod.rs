@@ -29,12 +29,13 @@ pub mod fig2;
 pub mod mechanism;
 pub mod priority;
 pub mod realtime;
+pub mod saturation;
 pub mod spatial;
 pub mod table1;
 
 pub use common::{
-    config_fingerprint, isolated_times_via, isolated_times_with_cache, simulator_with_mechanism,
-    ExperimentScale, IsolatedRunCache, IsolatedTimes,
+    ci95, config_fingerprint, isolated_times_via, isolated_times_with_cache,
+    simulator_with_mechanism, ExperimentScale, IsolatedRunCache, IsolatedTimes,
 };
 pub use fig2::{Fig2Results, Fig2Timeline};
 pub use mechanism::{MechanismConfig, MechanismOutcome, MechanismRecord, MechanismResults};
@@ -42,6 +43,10 @@ pub use priority::{PriorityConfig, PriorityOutcome, PriorityRecord, PriorityResu
 pub use realtime::{
     LatencyTarget, RealtimeCell, RealtimeCellKey, RealtimePoint, RealtimeResults,
     LATENCY_TARGETS_US, N_SEEDS, REALTIME_POLICIES, UTILIZATIONS,
+};
+pub use saturation::{
+    SaturationCell, SaturationCellKey, SaturationPoint, SaturationResults, SATURATION_BACKLOG_CAP,
+    SATURATION_MECHANISMS, SATURATION_POLICIES, SATURATION_RHOS,
 };
 pub use spatial::{SpatialConfig, SpatialOutcome, SpatialRecord, SpatialResults};
 pub use table1::{Table1, Table1Row};

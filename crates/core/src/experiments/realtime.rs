@@ -23,7 +23,9 @@
 //! of the 95 % confidence interval.
 
 use crate::config::{PolicyKind, SimulatorConfig};
-use crate::experiments::common::{isolated_times_with_cache, ExperimentScale, IsolatedRunCache};
+use crate::experiments::common::{
+    ci95, isolated_times_with_cache, ExperimentScale, IsolatedRunCache,
+};
 use crate::report::TextTable;
 use crate::simulator::SimulationRun;
 use crate::sweep::{
@@ -148,26 +150,6 @@ impl RealtimeCell {
                 .collect::<Vec<_>>(),
         )
     }
-}
-
-/// Two-sided 97.5 % Student-t critical values for 1–10 degrees of freedom;
-/// the small replicate counts this harness uses (`N_SEEDS = 3` → df = 2 →
-/// 4.303) are far from the normal regime, where z = 1.96 would understate
-/// the interval by more than 2×.
-const T_975: [f64; 10] = [
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-];
-
-/// Half-width of the 95 % confidence interval of the mean, using the
-/// Student-t critical value for the sample's degrees of freedom (normal
-/// 1.96 beyond df = 10); zero for fewer than two samples.
-fn ci95(values: &[f64]) -> f64 {
-    if values.len() < 2 {
-        return 0.0;
-    }
-    let df = values.len() - 1;
-    let t = T_975.get(df - 1).copied().unwrap_or(1.96);
-    t * stats::stddev(values) / (values.len() as f64).sqrt()
 }
 
 /// The full real-time experiment.
@@ -439,10 +421,18 @@ impl RealtimeResults {
                 format!("{:.2}", cell.key.utilization),
                 cell.key.policy.label().to_string(),
                 cell.key.target.label(),
-                format!("{miss:.3} +/- {miss_ci:.3}"),
-                format!("{resp:.1} +/- {resp_ci:.1}"),
+                format!(
+                    "{} +/- {}",
+                    stats::fmt_stat(miss, 3),
+                    stats::fmt_stat(miss_ci, 3)
+                ),
+                format!(
+                    "{} +/- {}",
+                    stats::fmt_stat(resp, 1),
+                    stats::fmt_stat(resp_ci, 1)
+                ),
                 format!("{:.1}", cell.max_tardiness_us()),
-                format!("{:.1}", cell.mean_preemptions()),
+                stats::fmt_stat(cell.mean_preemptions(), 1),
             ]
         }));
         table

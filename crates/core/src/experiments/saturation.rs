@@ -1,0 +1,524 @@
+//! The saturation sweep: an open-arrival "GPU as a service" under swept
+//! offered load, located on the latency–throughput curve.
+//!
+//! Every process releases independent service requests from a Poisson
+//! arrival process instead of replaying back to back. The offered load
+//! `ρ` fixes the mean inter-arrival gap at `isolated_time × size / ρ`:
+//! at `ρ = 1` the workload requests exactly the GPU's aggregate service
+//! capacity, below it the system is underloaded, above it no schedule can
+//! keep up. Each `(ρ, policy, mechanism)` cell runs for a fixed
+//! simulated horizon (overloaded services never reach a completion
+//! target) with [`N_SEEDS`] derived engine-RNG streams, and is condensed
+//! into SLO metrics: p50/p99/p99.9 response time, shed rate, queue depth
+//! and goodput.
+//!
+//! The headline result is the **knee**: below a critical ρ the p99 stays
+//! finite and flat and nothing is shed; above it the backlog grows until
+//! the bounded queue sheds load and the tail latency departs super-linearly
+//! ([`SaturationResults::knee_rho`]).
+
+use crate::config::{PolicyKind, SimulatorConfig};
+use crate::experiments::common::{
+    ci95, isolated_times_with_cache, ExperimentScale, IsolatedRunCache,
+};
+use crate::report::TextTable;
+use crate::simulator::SimulationRun;
+use crate::sweep::{
+    JsonlSink, Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming,
+};
+use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
+use gpreempt_sim::stats;
+use gpreempt_trace::{ProcessSpec, Workload};
+use gpreempt_types::{ArrivalProcess, SimError};
+
+/// The offered-load axis (fraction of aggregate service capacity).
+pub const SATURATION_RHOS: [f64; 4] = [0.4, 0.8, 1.3, 2.0];
+
+/// The policies the sweep compares: the FCFS baseline and the
+/// quantum-driven round-robin time slicer.
+pub const SATURATION_POLICIES: [PolicyKind; 2] = [PolicyKind::Fcfs, PolicyKind::RoundRobin];
+
+/// The preemption-mechanism axis.
+pub const SATURATION_MECHANISMS: [PreemptionMechanism; 2] = [
+    PreemptionMechanism::ContextSwitch,
+    PreemptionMechanism::Draining,
+];
+
+/// Engine-RNG replicates per cell (the arrival streams derive from the
+/// engine seed, so each replicate draws different Poisson gaps).
+pub const N_SEEDS: usize = 3;
+
+/// Backlog bound per process. Deliberately shallow so overload turns into
+/// visible shedding within the sweep horizon rather than an ever-deeper
+/// queue.
+pub const SATURATION_BACKLOG_CAP: u32 = 4;
+
+/// Simulated horizon per run: `isolated_time × HORIZON_ISO_FACTOR × size`.
+pub const HORIZON_ISO_FACTOR: f64 = 12.0;
+
+/// The identity of one cell of the sweep (everything except the seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationCellKey {
+    /// Workload name.
+    pub workload: String,
+    /// Number of co-scheduled service processes.
+    pub size: usize,
+    /// Offered load as a fraction of capacity.
+    pub rho: f64,
+    /// The policy under test.
+    pub policy: PolicyKind,
+    /// The pinned preemption mechanism.
+    pub mechanism: PreemptionMechanism,
+}
+
+/// The outcome of one scenario (one seed of one cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationPoint {
+    /// Requests released across the workload.
+    pub released: u64,
+    /// Requests shed at the admission gate.
+    pub shed: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Workload-level shed rate in `[0, 1]`.
+    pub shed_rate: f64,
+    /// Pooled median response time (µs); NaN when nothing completed.
+    pub p50_us: f64,
+    /// Pooled p99 response time (µs).
+    pub p99_us: f64,
+    /// Pooled p99.9 response time (µs).
+    pub p999_us: f64,
+    /// Mean over processes of the time-weighted mean backlog depth.
+    pub mean_queue_depth: f64,
+    /// Deepest backlog any process reached.
+    pub max_queue_depth: u32,
+    /// Completed requests per second of simulated time.
+    pub throughput_per_sec: f64,
+    /// Preemptions the policy requested.
+    pub preemptions: u64,
+}
+
+/// One cell of the sweep: a [`SaturationCellKey`] plus statistics over its
+/// seed replicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationCell {
+    /// The cell identity.
+    pub key: SaturationCellKey,
+    /// Per-seed outcomes, in replicate order.
+    pub points: Vec<SaturationPoint>,
+}
+
+impl SaturationCell {
+    fn stat(&self, f: impl Fn(&SaturationPoint) -> f64) -> (f64, f64) {
+        let values: Vec<f64> = self.points.iter().map(f).collect();
+        (stats::mean(&values), ci95(&values))
+    }
+
+    /// Mean and 95 % CI half-width of the p99 response time (µs).
+    pub fn p99_us(&self) -> (f64, f64) {
+        self.stat(|p| p.p99_us)
+    }
+
+    /// Mean and CI of the median response time (µs).
+    pub fn p50_us(&self) -> (f64, f64) {
+        self.stat(|p| p.p50_us)
+    }
+
+    /// Mean and CI of the shed rate.
+    pub fn shed_rate(&self) -> (f64, f64) {
+        self.stat(|p| p.shed_rate)
+    }
+
+    /// Mean and CI of the goodput (completions per second).
+    pub fn throughput(&self) -> (f64, f64) {
+        self.stat(|p| p.throughput_per_sec)
+    }
+
+    /// Mean time-weighted queue depth across replicates.
+    pub fn mean_queue_depth(&self) -> f64 {
+        self.stat(|p| p.mean_queue_depth).0
+    }
+}
+
+/// The full saturation experiment.
+#[derive(Debug, Clone)]
+pub struct SaturationResults {
+    cells: Vec<SaturationCell>,
+    seed: u64,
+    timing: SweepTiming,
+}
+
+impl SaturationResults {
+    /// Runs the experiment at the given scale on a single worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run(config: &SimulatorConfig, scale: &ExperimentScale) -> Result<Self, SimError> {
+        Self::run_with(config, scale, &SweepRunner::sequential())
+    }
+
+    /// Runs the experiment on `runner`'s workers; results are bit-identical
+    /// for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_with(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+    ) -> Result<Self, SimError> {
+        Self::run_streaming(config, scale, runner, &IsolatedRunCache::new(), None)
+    }
+
+    /// The full streaming form: isolated times come from (and feed) the
+    /// shared `cache`, every scenario is folded into a [`SaturationPoint`]
+    /// on its worker, and — when `sink` is given — each point is appended
+    /// to the JSONL sink the moment it completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation or sink I/O error.
+    pub fn run_streaming(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        sink: Option<&JsonlSink>,
+    ) -> Result<Self, SimError> {
+        // One service benchmark, replicated per process: the first of the
+        // scale's pool (deterministic order). The arrival gaps are derived
+        // from its isolated time, so measure that first.
+        let suite = scale.suite(config);
+        let benchmark = suite
+            .first()
+            .ok_or_else(|| SimError::invalid_workload("saturation sweep needs a benchmark"))?;
+        let probe = Workload::new(
+            "saturation-probe",
+            vec![ProcessSpec::new(benchmark.clone())],
+        );
+        let (isolated, iso_timing) =
+            isolated_times_with_cache(runner, config, std::iter::once(&probe), cache)?;
+        let iso = isolated.times_for(&probe)?[0];
+
+        let mut cell_keys: Vec<SaturationCellKey> = Vec::new();
+        let mut plan = SweepPlan::new(config.clone()).with_seed(scale.seed);
+        for &size in &scale.workload_sizes {
+            let horizon = iso.scale(HORIZON_ISO_FACTOR * size as f64);
+            for &rho in &SATURATION_RHOS {
+                // Aggregate offered rate = size / gap; capacity ≈ 1 / iso.
+                let mean_gap = iso.scale(size as f64 / rho);
+                let processes: Vec<ProcessSpec> = (0..size)
+                    .map(|_| {
+                        ProcessSpec::new(benchmark.clone())
+                            .with_arrival(ArrivalProcess::Poisson { mean_gap })
+                            .with_backlog_cap(SATURATION_BACKLOG_CAP)
+                    })
+                    .collect();
+                // The replay target is unreachable on purpose: the horizon
+                // is the only stop condition.
+                let workload = Workload::new(format!("sat-{size}p-rho{rho:.2}"), processes)
+                    .with_min_completions(u32::MAX);
+                for &policy in &SATURATION_POLICIES {
+                    for &mechanism in &SATURATION_MECHANISMS {
+                        let key = SaturationCellKey {
+                            workload: workload.name().to_string(),
+                            size,
+                            rho,
+                            policy,
+                            mechanism,
+                        };
+                        for replicate in 0..N_SEEDS {
+                            plan.push(
+                                Scenario::new(
+                                    "saturation",
+                                    format!("{} {mechanism:?} s{replicate}", policy.label()),
+                                    workload.clone(),
+                                    policy,
+                                )
+                                .with_selection(MechanismSelection::Fixed(mechanism))
+                                .with_horizon(horizon),
+                            );
+                        }
+                        cell_keys.push(key);
+                    }
+                }
+            }
+        }
+        // Independent arrival + jitter streams per replicate.
+        plan.assign_derived_seeds();
+
+        let fold =
+            |_scenario: &Scenario, run: SimulationRun| -> Result<SaturationPoint, SimError> {
+                let slo = run.slo_metrics();
+                let per = slo.per_process();
+                let mean_queue_depth = stats::mean(
+                    &per.iter()
+                        .map(|p| p.counts.mean_queue_depth)
+                        .collect::<Vec<_>>(),
+                );
+                let max_queue_depth = per
+                    .iter()
+                    .map(|p| p.counts.max_queue_depth)
+                    .max()
+                    .unwrap_or(0);
+                Ok(SaturationPoint {
+                    released: slo.released(),
+                    shed: slo.shed(),
+                    completed: slo.completed(),
+                    shed_rate: slo.shed_rate(),
+                    p50_us: slo.p50_us(),
+                    p99_us: slo.p99_us(),
+                    p999_us: slo.p999_us(),
+                    mean_queue_depth,
+                    max_queue_depth,
+                    throughput_per_sec: slo.throughput_per_sec(),
+                    preemptions: run.engine_stats().preemptions,
+                })
+            };
+        let tap = |scenario: &Scenario, point: &SaturationPoint| -> Result<(), SimError> {
+            let Some(sink) = sink else { return Ok(()) };
+            sink.append(&point_record(
+                scenario.workload.name(),
+                &scenario.label,
+                scenario.size(),
+                point,
+            ))
+        };
+        let results = runner.run_fold_tap(&plan, &fold, &tap)?;
+        let timing = iso_timing.merged(results.timing(&plan));
+
+        let mut points = results.into_values().into_iter();
+        let cells = cell_keys
+            .into_iter()
+            .map(|key| SaturationCell {
+                key,
+                points: (0..N_SEEDS)
+                    .map(|_| points.next().expect("one point per scenario"))
+                    .collect(),
+            })
+            .collect();
+
+        Ok(SaturationResults {
+            cells,
+            seed: scale.seed,
+            timing,
+        })
+    }
+
+    /// The per-cell results, in enumeration order.
+    pub fn cells(&self) -> &[SaturationCell] {
+        &self.cells
+    }
+
+    /// Wall-clock timing of the underlying sweep (isolated + main phase).
+    pub fn timing(&self) -> &SweepTiming {
+        &self.timing
+    }
+
+    /// The cells of one `(size, policy, mechanism)` combination, in
+    /// ascending-ρ order (the enumeration order).
+    pub fn curve(
+        &self,
+        size: usize,
+        policy: PolicyKind,
+        mechanism: PreemptionMechanism,
+    ) -> Vec<&SaturationCell> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.key.size == size && c.key.policy == policy && c.key.mechanism == mechanism
+            })
+            .collect()
+    }
+
+    /// The smallest swept ρ at which one `(size, policy, mechanism)` curve
+    /// saturates: mean shed rate above 2 %, or mean p99 more than 3× the
+    /// p99 of the lowest-ρ cell. `None` when the curve never saturates
+    /// within the sweep (or has no finite baseline).
+    pub fn knee_rho(
+        &self,
+        size: usize,
+        policy: PolicyKind,
+        mechanism: PreemptionMechanism,
+    ) -> Option<f64> {
+        let curve = self.curve(size, policy, mechanism);
+        let base_p99 = curve.iter().map(|c| c.p99_us().0).find(|p| p.is_finite())?;
+        curve
+            .iter()
+            .find(|c| c.shed_rate().0 > 0.02 || c.p99_us().0 > 3.0 * base_p99)
+            .map(|c| c.key.rho)
+    }
+
+    /// Whether every swept `(size, policy, mechanism)` curve exhibits the
+    /// latency–throughput knee: sub-critical load completes with a finite,
+    /// shed-free tail, and some higher swept ρ saturates.
+    pub fn every_curve_has_knee(&self) -> bool {
+        let mut combos: Vec<(usize, PolicyKind, PreemptionMechanism)> = self
+            .cells
+            .iter()
+            .map(|c| (c.key.size, c.key.policy, c.key.mechanism))
+            .collect();
+        combos.dedup();
+        !combos.is_empty()
+            && combos.into_iter().all(|(size, policy, mechanism)| {
+                let curve = self.curve(size, policy, mechanism);
+                let Some(first) = curve.first() else {
+                    return false;
+                };
+                let healthy_below = first.p99_us().0.is_finite() && first.shed_rate().0 < 0.01;
+                let knee = self.knee_rho(size, policy, mechanism);
+                healthy_below && knee.is_some_and(|rho| rho > first.key.rho)
+            })
+    }
+
+    /// The machine-readable report: one record per cell, carrying
+    /// mean ± CI of each SLO metric plus the replicate count.
+    pub fn report(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.seed);
+        for cell in &self.cells {
+            let (p50, p50_ci) = cell.p50_us();
+            let (p99, p99_ci) = cell.p99_us();
+            let (shed, shed_ci) = cell.shed_rate();
+            let (thru, thru_ci) = cell.throughput();
+            report.push(
+                SweepRecord::new(
+                    "saturation",
+                    &cell.key.workload,
+                    format!("{} {:?}", cell.key.policy.label(), cell.key.mechanism),
+                    cell.key.size,
+                )
+                .with_value("rho", cell.key.rho)
+                .with_value("p50_us", p50)
+                .with_value("p50_us_ci95", p50_ci)
+                .with_value("p99_us", p99)
+                .with_value("p99_us_ci95", p99_ci)
+                .with_value("shed_rate", shed)
+                .with_value("shed_rate_ci95", shed_ci)
+                .with_value("throughput_per_sec", thru)
+                .with_value("throughput_per_sec_ci95", thru_ci)
+                .with_value("mean_queue_depth", cell.mean_queue_depth())
+                .with_value("n_seeds", cell.points.len() as f64),
+            );
+        }
+        report
+    }
+
+    /// Renders the sweep as a table: one row per cell. Latency columns of
+    /// cells that completed nothing render as `-` (NaN sentinel), never a
+    /// fake zero.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "procs".into(),
+            "rho".into(),
+            "policy".into(),
+            "mechanism".into(),
+            "p50 (us)".into(),
+            "p99 (us)".into(),
+            "shed rate".into(),
+            "goodput (req/s)".into(),
+            "queue depth".into(),
+        ])
+        .with_title(format!(
+            "Saturation sweep: SLO percentiles by offered load x policy x mechanism \
+             (mean +/- 95% CI over {N_SEEDS} seeds)"
+        ));
+        table.extend_rows(self.cells.iter().map(|cell| {
+            let (p50, p50_ci) = cell.p50_us();
+            let (p99, p99_ci) = cell.p99_us();
+            let (shed, shed_ci) = cell.shed_rate();
+            let (thru, _) = cell.throughput();
+            vec![
+                cell.key.size.to_string(),
+                format!("{:.2}", cell.key.rho),
+                cell.key.policy.label().to_string(),
+                format!("{:?}", cell.key.mechanism),
+                format!(
+                    "{} +/- {}",
+                    stats::fmt_stat(p50, 1),
+                    stats::fmt_stat(p50_ci, 1)
+                ),
+                format!(
+                    "{} +/- {}",
+                    stats::fmt_stat(p99, 1),
+                    stats::fmt_stat(p99_ci, 1)
+                ),
+                format!(
+                    "{} +/- {}",
+                    stats::fmt_stat(shed, 3),
+                    stats::fmt_stat(shed_ci, 3)
+                ),
+                stats::fmt_stat(thru, 1),
+                stats::fmt_stat(cell.mean_queue_depth(), 2),
+            ]
+        }));
+        table
+    }
+}
+
+/// The per-scenario record streamed to the JSONL sink: one seed's raw
+/// outcome, identified by workload and scenario label.
+fn point_record(workload: &str, label: &str, size: usize, point: &SaturationPoint) -> SweepRecord {
+    SweepRecord::new("saturation", workload, label, size)
+        .with_value("released", point.released as f64)
+        .with_value("shed", point.shed as f64)
+        .with_value("completed", point.completed as f64)
+        .with_value("shed_rate", point.shed_rate)
+        .with_value("p50_us", point.p50_us)
+        .with_value("p99_us", point.p99_us)
+        .with_value("p999_us", point.p999_us)
+        .with_value("mean_queue_depth", point.mean_queue_depth)
+        .with_value("max_queue_depth", point.max_queue_depth as f64)
+        .with_value("throughput_per_sec", point.throughput_per_sec)
+        .with_value("preemptions", point.preemptions as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_locates_the_latency_throughput_knee() {
+        let config = SimulatorConfig::default();
+        let scale = ExperimentScale::quick().with_sizes(vec![2]);
+        let results = SaturationResults::run(&config, &scale).unwrap();
+        assert_eq!(
+            results.cells().len(),
+            SATURATION_RHOS.len() * SATURATION_POLICIES.len() * SATURATION_MECHANISMS.len()
+        );
+
+        for &policy in &SATURATION_POLICIES {
+            for &mechanism in &SATURATION_MECHANISMS {
+                let curve = results.curve(2, policy, mechanism);
+                assert_eq!(curve.len(), SATURATION_RHOS.len());
+                let low = curve.first().unwrap();
+                let high = curve.last().unwrap();
+                // Sub-critical load: finite tail, nothing shed.
+                assert!(
+                    low.p99_us().0.is_finite(),
+                    "{policy:?}/{mechanism:?} low-load p99 must be finite"
+                );
+                assert_eq!(
+                    low.shed_rate().0,
+                    0.0,
+                    "{policy:?}/{mechanism:?} must not shed at rho {}",
+                    low.key.rho
+                );
+                // Overload: the bounded backlog sheds, or the tail departs.
+                assert!(
+                    high.shed_rate().0 > 0.0 || high.p99_us().0 > 3.0 * low.p99_us().0,
+                    "{policy:?}/{mechanism:?} must saturate at rho {}",
+                    high.key.rho
+                );
+            }
+        }
+        assert!(results.every_curve_has_knee());
+
+        // Every row of the rendered table must be well-formed even if some
+        // cell completed nothing (NaN -> "-", not a panic or a fake 0).
+        let table = results.render();
+        assert!(table.render().contains("rho"));
+        assert_eq!(results.report().records().len(), results.cells().len());
+    }
+}

@@ -114,14 +114,23 @@ impl TextTable {
     }
 }
 
-/// Formats a ratio as the paper prints them (e.g. `"15.6x"`).
+/// Formats a ratio as the paper prints them (e.g. `"15.6x"`). Non-finite
+/// values (the empty-input statistic sentinel) render as `-`.
 pub fn times(value: f64) -> String {
-    format!("{value:.2}x")
+    if value.is_finite() {
+        format!("{value:.2}x")
+    } else {
+        "-".to_string()
+    }
 }
 
-/// Formats a fraction as a percentage.
+/// Formats a fraction as a percentage. Non-finite values render as `-`.
 pub fn percent(value: f64) -> String {
-    format!("{:.1}%", value * 100.0)
+    if value.is_finite() {
+        format!("{:.1}%", value * 100.0)
+    } else {
+        "-".to_string()
+    }
 }
 
 /// Formats a simulated time in microseconds.
@@ -181,5 +190,7 @@ mod tests {
         assert_eq!(times(15.63), "15.63x");
         assert_eq!(percent(0.123), "12.3%");
         assert_eq!(micros(SimTime::from_micros(5)), "5.00us");
+        assert_eq!(times(f64::NAN), "-");
+        assert_eq!(percent(f64::NAN), "-");
     }
 }

@@ -4,8 +4,12 @@ use crate::config::{PolicyKind, SimulatorConfig};
 use gpreempt_gpu::{
     EngineEvent, EngineStats, ExecutionEngine, KernelCompletion, KernelLaunch, PolicyHook,
 };
-use gpreempt_host::{HostEvent, HostSystem, IterationRecord, LaunchRequest};
-use gpreempt_metrics::{ProcessPerformance, RtMetrics, RtProcessMetrics, WorkloadMetrics};
+use gpreempt_host::{
+    ArrivalStats, HostEvent, HostSystem, IterationRecord, LaunchRequest, ReleaseRequest,
+};
+use gpreempt_metrics::{
+    ArrivalCounts, ProcessPerformance, RtMetrics, RtProcessMetrics, SloMetrics, WorkloadMetrics,
+};
 use gpreempt_sched::SchedulingPolicy;
 use gpreempt_sim::EventQueue;
 use gpreempt_trace::{BenchmarkTrace, ProcessSpec, Workload};
@@ -32,6 +36,7 @@ struct DrainScratch {
     launches: Vec<LaunchRequest>,
     iterations: Vec<IterationRecord>,
     hooks: Vec<PolicyHook>,
+    releases: Vec<ReleaseRequest>,
 }
 
 /// The result of simulating one workload under one policy.
@@ -45,6 +50,7 @@ pub struct SimulationRun {
     kernel_completions: Vec<KernelCompletion>,
     engine_stats: EngineStats,
     events_processed: u64,
+    arrival_stats: Vec<ArrivalStats>,
 }
 
 impl SimulationRun {
@@ -89,6 +95,47 @@ impl SimulationRun {
         self.events_processed
     }
 
+    /// End-of-run arrival accounting of each process (indexed by process
+    /// id): released / admitted / shed counts and the backlog-depth
+    /// integral, all zero-inert for closed-loop processes.
+    pub fn arrival_stats(&self) -> &[ArrivalStats] {
+        &self.arrival_stats
+    }
+
+    /// Condenses the run into service-level-objective metrics: per-request
+    /// response-time percentiles (p50/p99/p99.9), shed rates, queue depths
+    /// and goodput. Meaningful for open-arrival workloads; for closed-loop
+    /// runs the response time equals the turnaround and nothing is ever
+    /// shed.
+    pub fn slo_metrics(&self) -> SloMetrics {
+        let horizon_ns = self.end_time.as_nanos();
+        let processes = self
+            .arrival_stats
+            .iter()
+            .zip(&self.iterations)
+            .map(|(stats, records)| {
+                let mean_depth = if horizon_ns == 0 {
+                    0.0
+                } else {
+                    stats.depth_integral_ns as f64 / horizon_ns as f64
+                };
+                let counts = ArrivalCounts {
+                    released: stats.released,
+                    admitted: stats.admitted,
+                    shed: stats.shed,
+                    mean_queue_depth: mean_depth,
+                    max_queue_depth: stats.max_depth,
+                };
+                let responses: Vec<f64> = records
+                    .iter()
+                    .map(|r| r.response_time().as_micros_f64())
+                    .collect();
+                (counts, responses)
+            })
+            .collect();
+        SloMetrics::new(self.end_time, processes)
+    }
+
     /// Average turnaround time of the completed executions of one process.
     /// Zero when the process completed no executions (starvation), which
     /// [`metrics`](Self::metrics) reports as NTT = ∞ / progress = 0.
@@ -112,7 +159,10 @@ impl SimulationRun {
     /// times, deadline-miss rate and max tardiness — holding each process
     /// to the relative deadline of its [`RtSpec`](gpreempt_types::RtSpec)
     /// in `workload` (processes without a contract contribute response
-    /// times but can miss nothing).
+    /// times but can miss nothing). Responses are measured from the
+    /// **release** of each execution, so an open-arrival iteration that
+    /// waited in the backlog is charged its queueing delay (for closed
+    /// loops release and start coincide).
     ///
     /// `workload` must be the workload this run simulated; each process's
     /// completed executions are matched to its spec by process index.
@@ -129,7 +179,7 @@ impl SimulationRun {
             .map(|(spec, records)| {
                 RtProcessMetrics::from_executions(
                     spec.rt.map(|rt| rt.deadline),
-                    records.iter().map(|r| (r.started, r.finished)),
+                    records.iter().map(|r| (r.released, r.finished)),
                 )
             })
             .collect();
@@ -246,19 +296,32 @@ impl Simulator {
             .config
             .transfer_policy
             .unwrap_or_else(|| policy.transfer_policy());
-        let mut host = HostSystem::new(workload, self.config.machine.pcie.clone(), transfer_policy);
+        let mut host = HostSystem::new(workload, self.config.machine.pcie.clone(), transfer_policy)
+            .with_seed(self.config.seed);
+        // Time-slicing policies need a quantum; when the configuration does
+        // not set one explicitly, arm the policy's default. Every other
+        // policy leaves it `None`, so no quantum events exist and legacy
+        // runs stay byte-identical.
+        let mut engine_params = self.config.engine;
+        if engine_params.quantum.is_none() {
+            engine_params.quantum = policy.default_quantum();
+        }
         let mut engine = ExecutionEngine::new(
             self.config.machine.gpu.clone(),
             self.config.machine.preemption,
-            self.config.engine,
+            engine_params,
             gpreempt_sim::SimRng::new(self.config.seed),
         );
         let mut policy_impl: Box<dyn SchedulingPolicy> =
             policy.build(workload, self.config.machine.gpu.n_sms);
         // Pre-size the event queue from the replay target so steady-state
-        // scheduling rarely grows the heap.
-        let mut queue: EventQueue<Event> =
-            EventQueue::with_capacity(workload.min_completions() as usize * workload.len());
+        // scheduling rarely grows the heap. Horizon-capped runs use a huge
+        // replay target as "never finish", so clamp the guess.
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(
+            (workload.min_completions() as usize)
+                .saturating_mul(workload.len())
+                .min(16_384),
+        );
 
         let mut iterations: Vec<Vec<IterationRecord>> = vec![Vec::new(); workload.len()];
         let mut kernel_completions: Vec<KernelCompletion> = Vec::new();
@@ -332,6 +395,7 @@ impl Simulator {
             kernel_completions,
             engine_stats: engine.stats(),
             events_processed: queue.processed(),
+            arrival_stats: host.arrival_stats(end_time),
         })
     }
 
@@ -437,6 +501,26 @@ impl Simulator {
             for record in scratch.iterations.drain(..) {
                 iterations[record.process.index()].push(record);
             }
+            // Open-arrival releases: the host raises admission requests and
+            // the policy answers (admit / shed / defer). Closed-loop
+            // workloads never produce any, so this stays out of their hot
+            // path.
+            host.drain_release_requests_into(&mut scratch.releases);
+            for i in 0..scratch.releases.len() {
+                progressed = true;
+                let req = scratch.releases[i];
+                let process = &host.processes()[req.process.index()];
+                let decision = policy.on_release_requested(
+                    now,
+                    req.process,
+                    process.backlog(),
+                    process.backlog_cap(),
+                    engine,
+                );
+                host.resolve_release(now, req, decision);
+            }
+            scratch.releases.clear();
+
             host.drain_launches_into(&mut scratch.launches);
             for i in 0..scratch.launches.len() {
                 progressed = true;
@@ -488,7 +572,10 @@ impl Simulator {
         let launch = KernelLaunch::new(id, req.command, req.process, req.priority, spec);
         match process_spec.rt {
             Some(rt) => {
-                let release = host.processes()[req.process.index()].iteration_start();
+                // Deadlines are anchored at the release of the execution,
+                // not its start: a backlogged open-arrival iteration has
+                // already burnt queueing time against its deadline.
+                let release = host.processes()[req.process.index()].released();
                 launch.with_rt(rt, release)
             }
             None => launch,

@@ -228,7 +228,11 @@ impl SweepRunner {
             config = config.with_seed(seed);
         }
         let wall = Instant::now();
-        let run = Simulator::new(config).run(&scenario.workload, scenario.policy)?;
+        let sim = Simulator::new(config);
+        let run = match scenario.horizon {
+            Some(horizon) => sim.run_until(&scenario.workload, scenario.policy, horizon)?,
+            None => sim.run(&scenario.workload, scenario.policy)?,
+        };
         let events = run.events_processed();
         let value = fold(scenario, run)?;
         tap(scenario, &value)?;

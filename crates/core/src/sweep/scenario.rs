@@ -4,6 +4,7 @@ use crate::config::PolicyKind;
 use crate::simulator::SimulationRun;
 use gpreempt_gpu::MechanismSelection;
 use gpreempt_trace::Workload;
+use gpreempt_types::SimTime;
 use std::time::Duration;
 
 /// A fully-specified simulation: the workload, the scheduling policy, and
@@ -35,6 +36,12 @@ pub struct Scenario {
     /// fills this with a stream derived from the plan seed and the
     /// scenario id.
     pub seed: Option<u64>,
+    /// Simulated-time horizon; when set, the scenario runs via
+    /// [`Simulator::run_until`](crate::Simulator::run_until) and stops at
+    /// the horizon even if the replay target was not met. Open-arrival
+    /// saturation sweeps need this: an overloaded service never reaches a
+    /// completion target.
+    pub horizon: Option<SimTime>,
 }
 
 impl Scenario {
@@ -54,6 +61,7 @@ impl Scenario {
             policy,
             selection: None,
             seed: None,
+            horizon: None,
         }
     }
 
@@ -68,6 +76,14 @@ impl Scenario {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Caps the scenario at a simulated-time horizon (fixed-duration run
+    /// instead of a replay-target run).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
         self
     }
 

@@ -20,6 +20,6 @@ pub mod system;
 pub mod transfer;
 
 pub use dispatcher::{Command, CommandDispatcher, CommandKind};
-pub use process::{IterationRecord, ProcessModel, ProcessState};
-pub use system::{HostEvent, HostSystem, LaunchRequest};
+pub use process::{ArrivalStats, IterationRecord, ProcessModel, ProcessState};
+pub use system::{HostEvent, HostSystem, LaunchRequest, ReleaseRequest};
 pub use transfer::{StartedTransfer, TransferEngine, TransferPolicy};

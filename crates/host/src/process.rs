@@ -1,8 +1,8 @@
 //! Host-side model of one process replaying its application trace.
 
 use gpreempt_trace::{BenchmarkTrace, TraceOp};
-use gpreempt_types::{CommandId, Priority, ProcessId, SimTime};
-use std::collections::HashSet;
+use gpreempt_types::{ArrivalProcess, CommandId, Priority, ProcessId, SimTime};
+use std::collections::{HashSet, VecDeque};
 
 /// What a process is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +14,9 @@ pub enum ProcessState {
     WaitingSync,
     /// Ready to process the next trace operation.
     Ready,
+    /// Open-arrival process with no released work: waiting for the next
+    /// release timer. Closed-loop processes never enter this state.
+    Idle,
 }
 
 /// A completed execution (one replay iteration) of a process's application.
@@ -23,6 +26,10 @@ pub struct IterationRecord {
     pub process: ProcessId,
     /// Which replay iteration this was (0-based).
     pub iteration: u32,
+    /// When the iteration was released (requested). Equal to `started` for
+    /// closed-loop processes; earlier than `started` for open-arrival
+    /// iterations that waited in the backlog.
+    pub released: SimTime,
     /// When the iteration started.
     pub started: SimTime,
     /// When the iteration finished (last command completed).
@@ -30,10 +37,35 @@ pub struct IterationRecord {
 }
 
 impl IterationRecord {
-    /// The turnaround time of this execution.
+    /// The turnaround time of this execution (finish − start).
     pub fn turnaround(&self) -> SimTime {
         self.finished.saturating_sub(self.started)
     }
+
+    /// The response time of this execution (finish − release): what a
+    /// service client observes. Equal to [`turnaround`](Self::turnaround)
+    /// for closed-loop processes.
+    pub fn response_time(&self) -> SimTime {
+        self.finished.saturating_sub(self.released)
+    }
+}
+
+/// End-of-run arrival accounting of one process: how many iterations were
+/// released / admitted / shed, and the backlog-depth trace reduced to a
+/// time-weighted integral plus the maximum observed depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArrivalStats {
+    /// Release-timer firings (including the initial release at start).
+    pub released: u64,
+    /// Releases admitted into the backlog (or started immediately).
+    pub admitted: u64,
+    /// Releases dropped by load shedding (policy decision or backlog cap).
+    pub shed: u64,
+    /// Integral of backlog depth over time, in depth × nanoseconds; divide
+    /// by the observation horizon for the time-weighted mean queue depth.
+    pub depth_integral_ns: u128,
+    /// Largest backlog depth ever observed.
+    pub max_depth: u32,
 }
 
 /// The host-side state of one process: its trace cursor, outstanding GPU
@@ -49,10 +81,23 @@ pub struct ProcessModel {
     iteration: u32,
     iteration_start: SimTime,
     completions: u32,
+    // --- open-arrival state; inert for closed-loop processes ---
+    arrival: ArrivalProcess,
+    backlog_cap: u32,
+    /// Release time of the currently running iteration.
+    released: SimTime,
+    /// Release times of admitted-but-not-started iterations, oldest first.
+    backlog: VecDeque<SimTime>,
+    /// Position within the current burst (Bursty arrivals only).
+    burst_pos: u32,
+    stats: ArrivalStats,
+    /// Last time the depth integral was brought up to date.
+    depth_updated: SimTime,
 }
 
 impl ProcessModel {
-    /// Creates the model for process `id` replaying `trace`.
+    /// Creates the model for process `id` replaying `trace` in the legacy
+    /// closed-loop mode.
     pub fn new(id: ProcessId, trace: BenchmarkTrace, priority: Priority) -> Self {
         ProcessModel {
             id,
@@ -64,7 +109,22 @@ impl ProcessModel {
             iteration: 0,
             iteration_start: SimTime::ZERO,
             completions: 0,
+            arrival: ArrivalProcess::ClosedLoop,
+            backlog_cap: gpreempt_types::DEFAULT_BACKLOG_CAP,
+            released: SimTime::ZERO,
+            backlog: VecDeque::new(),
+            burst_pos: 0,
+            stats: ArrivalStats::default(),
+            depth_updated: SimTime::ZERO,
         }
+    }
+
+    /// Sets the arrival process and backlog cap (a cap of 0 is raised to 1).
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalProcess, backlog_cap: u32) -> Self {
+        self.arrival = arrival;
+        self.backlog_cap = backlog_cap.max(1);
+        self
     }
 
     /// The process id.
@@ -100,6 +160,121 @@ impl ProcessModel {
     /// When the current iteration started.
     pub fn iteration_start(&self) -> SimTime {
         self.iteration_start
+    }
+
+    /// When the current iteration was released (equals
+    /// [`iteration_start`](Self::iteration_start) for closed-loop
+    /// processes).
+    pub fn released(&self) -> SimTime {
+        self.released
+    }
+
+    /// The arrival process driving this model's releases.
+    pub fn arrival(&self) -> ArrivalProcess {
+        self.arrival
+    }
+
+    /// The backlog bound: releases beyond it are shed.
+    pub fn backlog_cap(&self) -> u32 {
+        self.backlog_cap
+    }
+
+    /// Released-but-not-started iterations currently queued.
+    pub fn backlog(&self) -> u32 {
+        self.backlog.len() as u32
+    }
+
+    /// Whether the process is idle, waiting for its next release.
+    pub fn is_idle(&self) -> bool {
+        self.state == ProcessState::Idle
+    }
+
+    /// Arrival accounting with the depth integral extended to `horizon`
+    /// (pass the run's end time).
+    pub fn arrival_stats(&self, horizon: SimTime) -> ArrivalStats {
+        let mut stats = self.stats;
+        let dt = horizon.saturating_sub(self.depth_updated);
+        stats.depth_integral_ns += self.backlog.len() as u128 * dt.as_nanos() as u128;
+        stats
+    }
+
+    /// Brings the depth integral up to date at `now`. Must be called before
+    /// every backlog mutation.
+    fn update_depth(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.depth_updated);
+        self.stats.depth_integral_ns += self.backlog.len() as u128 * dt.as_nanos() as u128;
+        self.depth_updated = now;
+    }
+
+    /// Counts one release-timer firing.
+    pub fn note_release(&mut self) {
+        self.stats.released += 1;
+    }
+
+    /// Counts one shed release.
+    pub fn note_shed(&mut self) {
+        self.stats.shed += 1;
+    }
+
+    /// Admits a release into the backlog. Returns `false` (and counts a
+    /// shed) when the backlog is at its cap — the hard bound holds no
+    /// matter what the policy answered.
+    pub fn enqueue_release(&mut self, now: SimTime, released: SimTime) -> bool {
+        if self.backlog.len() as u32 >= self.backlog_cap {
+            self.stats.shed += 1;
+            return false;
+        }
+        self.update_depth(now);
+        self.backlog.push_back(released);
+        self.stats.admitted += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.backlog.len() as u32);
+        true
+    }
+
+    /// Starts the admitted release on an idle process: the new iteration
+    /// begins immediately at `now`.
+    pub fn begin_release(&mut self, now: SimTime, released: SimTime) {
+        debug_assert_eq!(self.state, ProcessState::Idle);
+        self.stats.admitted += 1;
+        self.released = released;
+        self.iteration_start = now;
+        self.state = ProcessState::Ready;
+    }
+
+    /// Stamps the release time of the just-started iteration (used when an
+    /// open-arrival iteration is started from the backlog, whose release
+    /// predates the start).
+    pub fn set_released(&mut self, released: SimTime) {
+        self.released = released;
+    }
+
+    /// Pops the oldest queued release to start the next iteration, updating
+    /// the depth trace. Returns its release time.
+    pub fn pop_queued_release(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.backlog.is_empty() {
+            return None;
+        }
+        self.update_depth(now);
+        self.backlog.pop_front()
+    }
+
+    /// Parks an open-arrival process that has no released work.
+    pub fn enter_idle(&mut self) {
+        debug_assert!(self.arrival.is_open());
+        self.state = ProcessState::Idle;
+    }
+
+    /// Advances the burst cursor for Bursty arrivals and reports whether
+    /// the *next* gap is within the current burst.
+    pub fn next_burst_gap_is_intra(&mut self, burst_len: u32) -> bool {
+        let len = burst_len.max(1);
+        self.burst_pos += 1;
+        if self.burst_pos < len {
+            true
+        } else {
+            self.burst_pos = 0;
+            false
+        }
     }
 
     /// Commands issued to the GPU that have not completed yet.
@@ -160,12 +335,14 @@ impl ProcessModel {
         let record = IterationRecord {
             process: self.id,
             iteration: self.iteration,
+            released: self.released,
             started: self.iteration_start,
             finished: now,
         };
         self.completions += 1;
         self.iteration += 1;
         self.iteration_start = now;
+        self.released = now;
         self.pc = 0;
         self.state = ProcessState::Ready;
         debug_assert!(

@@ -3,8 +3,12 @@
 use crate::dispatcher::{Command, CommandDispatcher, CommandKind};
 use crate::process::{IterationRecord, ProcessModel, ProcessState};
 use crate::transfer::{TransferEngine, TransferPolicy};
+use gpreempt_sim::SimRng;
 use gpreempt_trace::{TraceOp, Workload};
-use gpreempt_types::{CommandId, PcieConfig, Priority, ProcessId, SimTime, StreamId};
+use gpreempt_types::{
+    AdmissionDecision, ArrivalProcess, CommandId, PcieConfig, Priority, ProcessId, SimTime,
+    StreamId,
+};
 use std::collections::HashMap;
 
 /// Events the host model schedules for itself; the simulator owns the event
@@ -21,6 +25,33 @@ pub enum HostEvent {
         /// The transfer command that completed.
         command: CommandId,
     },
+    /// An open-arrival release timer fired: the process requests its next
+    /// iteration. Firing also schedules the following release, so the timer
+    /// chain runs for the whole simulation.
+    Release {
+        /// The releasing process.
+        process: ProcessId,
+    },
+    /// A deferred admission retry ([`AdmissionDecision::Defer`]): re-raises
+    /// the release request *without* advancing the release-timer chain.
+    ReleaseRetry {
+        /// The releasing process.
+        process: ProcessId,
+        /// The original release time (kept so response-time accounting
+        /// charges the deferral delay to the request).
+        released: SimTime,
+    },
+}
+
+/// A pending open-arrival release awaiting an admission decision. The
+/// simulator drains these, consults the scheduling policy and answers via
+/// [`HostSystem::resolve_release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseRequest {
+    /// The releasing process.
+    pub process: ProcessId,
+    /// When the request was originally released.
+    pub released: SimTime,
 }
 
 /// A kernel launch the host wants executed; the simulator forwards it to the
@@ -51,12 +82,19 @@ pub struct HostSystem {
     scheduled: Vec<(SimTime, HostEvent)>,
     launches: Vec<LaunchRequest>,
     iterations: Vec<IterationRecord>,
+    release_requests: Vec<ReleaseRequest>,
+    /// Per-process RNG streams for stochastic arrival gaps. Empty slots for
+    /// closed-loop processes (never drawn from).
+    arrival_rngs: Vec<SimRng>,
 }
 
 impl HostSystem {
-    /// Builds the host model for a workload.
+    /// Builds the host model for a workload. Stochastic arrival gaps draw
+    /// from per-process streams derived from `seed = 0`; use
+    /// [`with_seed`](Self::with_seed) (before [`start`](Self::start)) to
+    /// tie them to the simulation seed.
     pub fn new(workload: &Workload, pcie: PcieConfig, transfer_policy: TransferPolicy) -> Self {
-        let processes = workload
+        let processes: Vec<ProcessModel> = workload
             .processes()
             .iter()
             .enumerate()
@@ -69,8 +107,10 @@ impl HostSystem {
                     spec.benchmark.clone(),
                     spec.effective_priority(),
                 )
+                .with_arrival(spec.arrival, spec.backlog_cap)
             })
             .collect();
+        let arrival_rngs = Self::derive_rngs(0, processes.len());
         HostSystem {
             processes,
             dispatcher: CommandDispatcher::new(),
@@ -80,7 +120,25 @@ impl HostSystem {
             scheduled: Vec::new(),
             launches: Vec::new(),
             iterations: Vec::new(),
+            release_requests: Vec::new(),
+            arrival_rngs,
         }
+    }
+
+    /// Re-derives the per-process arrival RNG streams from `seed`. Call
+    /// before [`start`](Self::start); a no-op for closed-loop workloads
+    /// (their streams are never drawn from).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.arrival_rngs = Self::derive_rngs(seed, self.processes.len());
+        self
+    }
+
+    fn derive_rngs(seed: u64, n: usize) -> Vec<SimRng> {
+        let root = SimRng::new(seed);
+        // The salt offset decorrelates arrival draws from the engine's
+        // block-jitter streams, which derive directly from process ids.
+        (0..n).map(|i| root.derive(0xA221_u64 + i as u64)).collect()
     }
 
     /// The per-process models (read-only).
@@ -123,10 +181,120 @@ impl HostSystem {
         out.append(&mut self.iterations);
     }
 
-    /// Starts every process at `now` (usually zero).
+    /// Moves the open-arrival releases awaiting an admission decision into
+    /// `out`. The simulator consults the policy for each and answers via
+    /// [`resolve_release`](Self::resolve_release). Appends; both buffers
+    /// keep their capacity.
+    pub fn drain_release_requests_into(&mut self, out: &mut Vec<ReleaseRequest>) {
+        out.append(&mut self.release_requests);
+    }
+
+    /// End-of-run arrival accounting for every process, with depth
+    /// integrals extended to `horizon`.
+    pub fn arrival_stats(&self, horizon: SimTime) -> Vec<crate::process::ArrivalStats> {
+        self.processes
+            .iter()
+            .map(|p| p.arrival_stats(horizon))
+            .collect()
+    }
+
+    /// Starts every process at `now` (usually zero). Open-arrival processes
+    /// take their first release immediately (counted and admitted without
+    /// consulting the policy — the system is empty) and arm their release
+    /// timer.
     pub fn start(&mut self, now: SimTime) {
         for pid in 0..self.processes.len() {
+            if self.processes[pid].arrival().is_open() {
+                self.processes[pid].note_release();
+                let p = &mut self.processes[pid];
+                p.set_released(now);
+                // Count the initial admission so released == admitted + shed
+                // holds from the first record on.
+                p.enqueue_release(now, now);
+                let _ = p.pop_queued_release(now);
+                self.schedule_next_release(now, ProcessId::from(pid));
+            }
             self.advance(now, ProcessId::from(pid));
+        }
+    }
+
+    /// Draws the gap to the next release of `pid` and schedules the timer.
+    /// Gaps are clamped to at least 1 ns so degenerate specs (e.g. a
+    /// zero-gap burst tail) cannot wedge simulated time.
+    fn schedule_next_release(&mut self, now: SimTime, pid: ProcessId) {
+        let arrival = self.processes[pid.index()].arrival();
+        let gap = match arrival {
+            ArrivalProcess::ClosedLoop => return,
+            ArrivalProcess::Periodic { period } => period,
+            ArrivalProcess::Sporadic { period, jitter } => {
+                let j = if jitter.is_finite() && jitter > 0.0 {
+                    jitter
+                } else {
+                    0.0
+                };
+                let u = self.arrival_rngs[pid.index()].next_unit();
+                period.scale(1.0 + u * j)
+            }
+            ArrivalProcess::Poisson { mean_gap } => {
+                // Inverse-CDF exponential draw; (1 - u) keeps ln's argument
+                // in (0, 1].
+                let u = self.arrival_rngs[pid.index()].next_unit();
+                mean_gap.scale(-(1.0 - u).ln())
+            }
+            ArrivalProcess::Bursty {
+                burst_len,
+                burst_gap,
+                idle_gap,
+            } => {
+                if self.processes[pid.index()].next_burst_gap_is_intra(burst_len) {
+                    burst_gap
+                } else {
+                    idle_gap
+                }
+            }
+        };
+        let gap = gap.max(SimTime::from_nanos(1));
+        self.scheduled
+            .push((now + gap, HostEvent::Release { process: pid }));
+    }
+
+    /// Applies the policy's admission decision to a drained release
+    /// request.
+    pub fn resolve_release(
+        &mut self,
+        now: SimTime,
+        req: ReleaseRequest,
+        decision: AdmissionDecision,
+    ) {
+        let pid = req.process;
+        match decision {
+            AdmissionDecision::Admit => {
+                if self.processes[pid.index()].is_idle() {
+                    self.processes[pid.index()].begin_release(now, req.released);
+                    self.advance(now, pid);
+                } else {
+                    // Busy: queue behind the running iteration. The model
+                    // enforces the backlog cap itself, so a policy cannot
+                    // overfill the queue by always admitting.
+                    let _ = self.processes[pid.index()].enqueue_release(now, req.released);
+                }
+            }
+            AdmissionDecision::Shed => self.processes[pid.index()].note_shed(),
+            AdmissionDecision::Defer(delay) => {
+                if delay.is_zero() {
+                    // A zero deferral would respin the same request at the
+                    // same timestamp forever; treat it as shedding.
+                    self.processes[pid.index()].note_shed();
+                } else {
+                    self.scheduled.push((
+                        now + delay,
+                        HostEvent::ReleaseRetry {
+                            process: pid,
+                            released: req.released,
+                        },
+                    ));
+                }
+            }
         }
     }
 
@@ -152,6 +320,18 @@ impl HostSystem {
                     ));
                 }
                 self.command_completed(now, command);
+            }
+            HostEvent::Release { process } => {
+                self.processes[process.index()].note_release();
+                self.release_requests.push(ReleaseRequest {
+                    process,
+                    released: now,
+                });
+                self.schedule_next_release(now, process);
+            }
+            HostEvent::ReleaseRetry { process, released } => {
+                self.release_requests
+                    .push(ReleaseRequest { process, released });
             }
         }
     }
@@ -191,9 +371,22 @@ impl HostSystem {
                 None => {
                     // End of trace: the trailing synchronisation guarantees
                     // no outstanding commands remain, so the iteration is
-                    // complete. Replay immediately.
+                    // complete. Closed-loop processes replay immediately;
+                    // open-arrival processes start the oldest queued release
+                    // or go idle until the next timer.
                     let record = self.processes[pid.index()].complete_iteration(now);
                     self.iterations.push(record);
+                    if self.processes[pid.index()].arrival().is_open() {
+                        match self.processes[pid.index()].pop_queued_release(now) {
+                            Some(released) => {
+                                self.processes[pid.index()].set_released(released);
+                            }
+                            None => {
+                                self.processes[pid.index()].enter_idle();
+                                return;
+                            }
+                        }
+                    }
                 }
                 Some(TraceOp::CpuPhase { duration }) => {
                     self.processes[pid.index()].enter_cpu_phase();
@@ -399,6 +592,192 @@ mod tests {
         assert!(host.transfer_engine().completed() >= 4);
         assert!(host.transfer_engine().bytes_moved() >= 4 * 64 * 1024);
         assert!(host.transfer_engine().busy_time() > SimTime::ZERO);
+    }
+
+    /// Drives an open-arrival host alone until `until` (simulated),
+    /// acknowledging launches after `kernel_time` and answering every
+    /// release request with the default rule (admit below the cap, shed at
+    /// it) — the same behaviour the policy trait defaults to.
+    fn run_host_open(host: &mut HostSystem, kernel_time: SimTime, until: SimTime) -> SimTime {
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Host(HostEvent),
+            KernelDone(CommandId),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut scheduled = Vec::new();
+        let mut launches = Vec::new();
+        let mut releases = Vec::new();
+        host.start(SimTime::ZERO);
+        loop {
+            loop {
+                host.drain_scheduled_into(&mut scheduled);
+                for (t, e) in scheduled.drain(..) {
+                    q.schedule(t, Ev::Host(e));
+                }
+                host.drain_launches_into(&mut launches);
+                for l in launches.drain(..) {
+                    q.schedule_after(kernel_time, Ev::KernelDone(l.command));
+                }
+                host.drain_release_requests_into(&mut releases);
+                if releases.is_empty() {
+                    break;
+                }
+                let now = q.now();
+                for req in releases.drain(..) {
+                    let p = &host.processes()[req.process.index()];
+                    let decision = if p.backlog() >= p.backlog_cap() {
+                        AdmissionDecision::Shed
+                    } else {
+                        AdmissionDecision::Admit
+                    };
+                    host.resolve_release(now, req, decision);
+                }
+            }
+            match q.peek_time() {
+                Some(t) if t <= until => {
+                    let (t, ev) = q.pop().unwrap();
+                    match ev {
+                        Ev::Host(e) => host.handle(t, e),
+                        Ev::KernelDone(c) => host.kernel_completed(t, c),
+                    }
+                }
+                _ => return q.now(),
+            }
+        }
+    }
+
+    #[test]
+    fn backlog_grows_while_an_iteration_is_still_running() {
+        // Service time (~100us CPU + 150us kernel) far exceeds the 100us
+        // period: releases queue behind the running iteration, so later
+        // iterations carry a release earlier than their start.
+        let spec = ProcessSpec::new(toy_trace(100, 0, 1))
+            .with_arrival(ArrivalProcess::Periodic {
+                period: SimTime::from_micros(100),
+            })
+            .with_backlog_cap(3);
+        let w = Workload::new("open", vec![spec]).with_min_completions(1);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let end = run_host_open(
+            &mut host,
+            SimTime::from_micros(150),
+            SimTime::from_millis(2),
+        );
+
+        let mut iters = Vec::new();
+        host.drain_iterations_into(&mut iters);
+        assert!(iters.len() >= 3, "several iterations complete");
+        assert!(
+            iters.iter().any(|r| r.released < r.started),
+            "a queued release must predate its start"
+        );
+        assert!(
+            iters.iter().any(|r| r.response_time() > r.turnaround()),
+            "queueing delay must show up in the response time"
+        );
+        // Iterations drain back to back: each next start is the previous
+        // finish (no idle gap while the backlog is non-empty).
+        for pair in iters.windows(2) {
+            assert!(pair[1].started >= pair[0].finished);
+        }
+
+        let stats = host.arrival_stats(end)[0];
+        assert!(
+            stats.released > stats.admitted,
+            "overload outruns admission"
+        );
+        assert!(stats.shed > 0, "the bounded backlog must shed");
+        assert_eq!(stats.released, stats.admitted + stats.shed);
+        assert!(stats.max_depth <= 3, "the cap bounds the backlog");
+        assert!(stats.depth_integral_ns > 0, "the queue was non-empty");
+    }
+
+    #[test]
+    fn zero_period_degenerates_to_closed_loop() {
+        // A zero period cannot be a timer; the spec documents it as
+        // closed-loop replay and the host must not schedule any releases.
+        let spec = ProcessSpec::new(toy_trace(10, 0, 1)).with_arrival(ArrivalProcess::Periodic {
+            period: SimTime::ZERO,
+        });
+        assert!(spec.arrival.is_closed_loop());
+        let w = Workload::new("degenerate", vec![spec]).with_min_completions(1);
+        assert!(!w.has_open_arrivals());
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let end = run_host(&mut host, SimTime::from_micros(20), 3);
+
+        let stats = host.arrival_stats(end)[0];
+        assert_eq!(stats.released, 0, "closed loops release nothing");
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.max_depth, 0);
+        assert_eq!(stats.depth_integral_ns, 0);
+        let mut iters = Vec::new();
+        host.drain_iterations_into(&mut iters);
+        assert!(iters.iter().all(|r| r.released == r.started));
+    }
+
+    #[test]
+    fn cap_of_one_sheds_everything_that_queues() {
+        let spec = ProcessSpec::new(toy_trace(50, 0, 1))
+            .with_arrival(ArrivalProcess::Periodic {
+                period: SimTime::from_micros(60),
+            })
+            .with_backlog_cap(1);
+        let w = Workload::new("cap1", vec![spec]).with_min_completions(1);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        let end = run_host_open(
+            &mut host,
+            SimTime::from_micros(200),
+            SimTime::from_millis(3),
+        );
+        let stats = host.arrival_stats(end)[0];
+        assert!(stats.shed >= 2, "cap 1 under overload must shed repeatedly");
+        assert!(stats.max_depth <= 1);
+        assert_eq!(stats.released, stats.admitted + stats.shed);
+    }
+
+    #[test]
+    fn deferred_release_retries_with_its_original_release_time() {
+        let spec = ProcessSpec::new(toy_trace(10, 0, 1)).with_arrival(ArrivalProcess::Periodic {
+            period: SimTime::from_micros(50),
+        });
+        let w = Workload::new("defer", vec![spec]).with_min_completions(1);
+        let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
+        host.start(SimTime::ZERO);
+        // Fire the first timer release directly.
+        host.handle(
+            SimTime::from_micros(50),
+            HostEvent::Release {
+                process: ProcessId::new(0),
+            },
+        );
+        let mut releases = Vec::new();
+        host.drain_release_requests_into(&mut releases);
+        assert_eq!(releases.len(), 1);
+        assert_eq!(releases[0].released, SimTime::from_micros(50));
+        // Defer it 10us: the retry must carry the original release time so
+        // the deferral delay is charged to the request's response time.
+        host.resolve_release(
+            SimTime::from_micros(50),
+            releases[0],
+            AdmissionDecision::Defer(SimTime::from_micros(10)),
+        );
+        let mut sched = Vec::new();
+        host.drain_scheduled_into(&mut sched);
+        let (at, retry) = sched
+            .iter()
+            .find(|(_, e)| matches!(e, HostEvent::ReleaseRetry { .. }))
+            .expect("a retry must be scheduled");
+        assert_eq!(*at, SimTime::from_micros(60));
+        host.handle(*at, *retry);
+        releases.clear();
+        host.drain_release_requests_into(&mut releases);
+        assert_eq!(releases.len(), 1);
+        assert_eq!(
+            releases[0].released,
+            SimTime::from_micros(50),
+            "the retry keeps the original release stamp"
+        );
     }
 
     #[test]

@@ -30,8 +30,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod rt;
+pub mod slo;
 
 pub use rt::{RtMetrics, RtProcessMetrics};
+pub use slo::{ArrivalCounts, SloMetrics, SloProcessMetrics};
 
 use gpreempt_types::{SimError, SimTime};
 

@@ -1,0 +1,271 @@
+//! Service-level-objective metrics for open-arrival workloads.
+//!
+//! A GPU offered as a service is judged the way any online service is: by
+//! the tail of its response-time distribution and by how much offered load
+//! it absorbs before shedding. This module condenses the per-request
+//! records of an open-arrival run into those numbers:
+//!
+//! * **latency percentiles** — p50/p99/p99.9 of release-to-completion
+//!   response time (the SLO quantities; NaN when nothing completed, which
+//!   the report layer renders as `-`),
+//! * **shed rate** — the fraction of released requests dropped at the
+//!   admission gate (bounded backlog or policy decision),
+//! * **queue depth** — time-weighted mean and peak backlog, the leading
+//!   indicator of saturation,
+//! * **goodput** — completed requests per second of simulated time.
+//!
+//! Closed-loop processes degrade gracefully: their release machinery is
+//! inert (zero released/admitted/shed counts, an always-empty queue), and
+//! their response times equal their turnarounds.
+
+use gpreempt_sim::stats::percentile;
+use gpreempt_types::SimTime;
+
+/// The admission-side counters of one process, as observed by the host's
+/// release machinery. A plain bag of scalars so the metrics crate stays
+/// independent of the host model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArrivalCounts {
+    /// Requests released by the arrival process (zero for closed-loop
+    /// processes, whose release machinery is inert).
+    pub released: u64,
+    /// Requests admitted past the gate (started or queued).
+    pub admitted: u64,
+    /// Requests dropped by load shedding.
+    pub shed: u64,
+    /// Time-weighted mean backlog depth over the simulated horizon.
+    pub mean_queue_depth: f64,
+    /// Largest backlog depth ever reached.
+    pub max_queue_depth: u32,
+}
+
+/// The SLO metrics of one process over its completed requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloProcessMetrics {
+    /// Admission-side counters.
+    pub counts: ArrivalCounts,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Median response time in microseconds (NaN when nothing completed).
+    pub p50_us: f64,
+    /// 99th-percentile response time in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile response time in microseconds.
+    pub p999_us: f64,
+    /// Mean response time in microseconds.
+    pub mean_us: f64,
+    /// Worst response time in microseconds.
+    pub max_us: f64,
+}
+
+impl SloProcessMetrics {
+    /// Computes one process's metrics from its admission counters and the
+    /// response times (release → completion) of its completed requests, in
+    /// microseconds. Latency statistics of an empty slice are NaN, never a
+    /// fake zero.
+    pub fn from_responses(counts: ArrivalCounts, responses_us: &[f64]) -> Self {
+        let completed = responses_us.len() as u64;
+        let mean_us = gpreempt_sim::stats::mean(responses_us);
+        let max_us = responses_us.iter().copied().fold(f64::NAN, f64::max);
+        SloProcessMetrics {
+            counts,
+            completed,
+            p50_us: percentile(responses_us, 50.0),
+            p99_us: percentile(responses_us, 99.0),
+            p999_us: percentile(responses_us, 99.9),
+            mean_us,
+            max_us,
+        }
+    }
+
+    /// Fraction of released requests that were shed, in `[0, 1]` (zero when
+    /// nothing was released).
+    pub fn shed_rate(&self) -> f64 {
+        if self.counts.released == 0 {
+            0.0
+        } else {
+            self.counts.shed as f64 / self.counts.released as f64
+        }
+    }
+
+    /// Whether the process's p99 stayed at or below `slo`, with at least one
+    /// completion to attest it. A NaN p99 (nothing completed) fails any SLO.
+    pub fn meets_p99(&self, slo: SimTime) -> bool {
+        self.p99_us <= slo.as_micros_f64()
+    }
+}
+
+/// The SLO metrics of a whole open-arrival run: per-process breakdown plus
+/// workload-level aggregates pooled over every completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloMetrics {
+    per_process: Vec<SloProcessMetrics>,
+    horizon: SimTime,
+    released: u64,
+    shed: u64,
+    completed: u64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+impl SloMetrics {
+    /// Assembles the workload metrics: one `(counts, response times in µs)`
+    /// pair per process, plus the simulated horizon the run covered (used
+    /// for goodput).
+    pub fn new(horizon: SimTime, processes: Vec<(ArrivalCounts, Vec<f64>)>) -> Self {
+        let mut pooled: Vec<f64> = Vec::new();
+        let mut per_process = Vec::with_capacity(processes.len());
+        let (mut released, mut shed) = (0u64, 0u64);
+        for (counts, responses) in &processes {
+            per_process.push(SloProcessMetrics::from_responses(*counts, responses));
+            released += counts.released;
+            shed += counts.shed;
+            pooled.extend_from_slice(responses);
+        }
+        SloMetrics {
+            per_process,
+            horizon,
+            released,
+            shed,
+            completed: pooled.len() as u64,
+            p50_us: percentile(&pooled, 50.0),
+            p99_us: percentile(&pooled, 99.0),
+            p999_us: percentile(&pooled, 99.9),
+        }
+    }
+
+    /// The per-process metrics, in process order.
+    pub fn per_process(&self) -> &[SloProcessMetrics] {
+        &self.per_process
+    }
+
+    /// The simulated horizon the run covered.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Total requests released across the workload.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Total requests shed across the workload.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Total requests completed across the workload.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Workload-level shed rate in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.released as f64
+        }
+    }
+
+    /// Median response time pooled over every completed request, in
+    /// microseconds (NaN when nothing completed).
+    pub fn p50_us(&self) -> f64 {
+        self.p50_us
+    }
+
+    /// Pooled 99th-percentile response time in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99_us
+    }
+
+    /// Pooled 99.9th-percentile response time in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.p999_us
+    }
+
+    /// Completed requests per second of simulated time (goodput). NaN for a
+    /// zero horizon.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.horizon.as_micros_f64() / 1e6;
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(released: u64, admitted: u64, shed: u64) -> ArrivalCounts {
+        ArrivalCounts {
+            released,
+            admitted,
+            shed,
+            mean_queue_depth: 0.5,
+            max_queue_depth: 3,
+        }
+    }
+
+    #[test]
+    fn percentiles_over_a_known_distribution() {
+        let responses: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let m = SloProcessMetrics::from_responses(counts(100, 100, 0), &responses);
+        assert_eq!(m.completed, 100);
+        assert!((m.p50_us - 50.5).abs() < 1e-9);
+        assert!((m.p99_us - 99.01).abs() < 1e-9);
+        assert!(m.p999_us > m.p99_us && m.p999_us <= 100.0);
+        assert!((m.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(m.max_us, 100.0);
+        assert_eq!(m.shed_rate(), 0.0);
+        assert!(m.meets_p99(SimTime::from_micros(100)));
+        assert!(!m.meets_p99(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn empty_process_is_nan_latency_not_zero() {
+        let m = SloProcessMetrics::from_responses(counts(5, 0, 5), &[]);
+        assert_eq!(m.completed, 0);
+        assert!(m.p50_us.is_nan());
+        assert!(m.p99_us.is_nan());
+        assert!(m.mean_us.is_nan());
+        assert!(m.max_us.is_nan());
+        assert_eq!(m.shed_rate(), 1.0);
+        assert!(
+            !m.meets_p99(SimTime::from_millis(1_000)),
+            "a process that completed nothing attests no SLO"
+        );
+    }
+
+    #[test]
+    fn workload_aggregates_pool_all_responses() {
+        let m = SloMetrics::new(
+            SimTime::from_millis(2),
+            vec![
+                (counts(3, 3, 0), vec![100.0, 200.0, 300.0]),
+                (counts(4, 3, 1), vec![400.0]),
+            ],
+        );
+        assert_eq!(m.released(), 7);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.completed(), 4);
+        assert!((m.shed_rate() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((m.p50_us() - 250.0).abs() < 1e-9);
+        assert!(m.p99_us() > 390.0);
+        // 4 completions over 2ms of simulated time.
+        assert!((m.throughput_per_sec() - 2000.0).abs() < 1e-6);
+        assert_eq!(m.per_process().len(), 2);
+    }
+
+    #[test]
+    fn zero_released_and_zero_horizon_are_graceful() {
+        let m = SloMetrics::new(SimTime::ZERO, vec![(ArrivalCounts::default(), vec![])]);
+        assert_eq!(m.shed_rate(), 0.0);
+        assert!(m.p50_us().is_nan());
+        assert!(m.throughput_per_sec().is_nan());
+    }
+}

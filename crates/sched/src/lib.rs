@@ -13,7 +13,9 @@
 //! * [`GcapsPolicy`] — context-aware preemptive priority scheduling
 //!   (Wang et al. 2024): deadline-refined urgency plus a preemption-cost
 //!   gate fed by the engine's online estimates,
-//! * [`EdfPolicy`] — the earliest-deadline-first real-time baseline.
+//! * [`EdfPolicy`] — the earliest-deadline-first real-time baseline,
+//! * [`RoundRobinPolicy`] — quantum-driven time slicing: FCFS placement
+//!   plus SM rotation toward starved co-runners on every quantum tick.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,6 +26,7 @@ pub mod fcfs;
 pub mod gcaps;
 pub mod policy;
 pub mod priority;
+pub mod rr;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -33,6 +36,7 @@ pub use fcfs::FcfsPolicy;
 pub use gcaps::GcapsPolicy;
 pub use policy::{assign_idle_sms, owned_sms, SchedulingPolicy};
 pub use priority::{NpqPolicy, PpqAccess, PpqPolicy};
+pub use rr::RoundRobinPolicy;
 
 #[cfg(test)]
 mod proptests;

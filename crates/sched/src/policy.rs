@@ -1,7 +1,7 @@
 //! The scheduling-policy interface.
 
 use gpreempt_gpu::{ExecutionEngine, KsrIndex, PolicyHook};
-use gpreempt_types::{KernelLaunchId, SimTime, SmId};
+use gpreempt_types::{AdmissionDecision, KernelLaunchId, ProcessId, SimTime, SmId};
 
 /// A scheduling policy plugged into the hardware scheduling framework
 /// (§3.3/§3.4 of the paper).
@@ -55,6 +55,33 @@ pub trait SchedulingPolicy: std::fmt::Debug {
         engine: &mut ExecutionEngine,
     ) {
         let _ = (now, ksr, deadline, engine);
+    }
+
+    /// Called when an open-arrival release requests admission: `backlog` is
+    /// the process's current queue of released-but-not-started iterations
+    /// and `backlog_cap` its hard bound. The policy may admit the release,
+    /// shed it, or defer the decision ([`AdmissionDecision::Defer`]) under
+    /// transient overload.
+    ///
+    /// Default-implemented as "admit while below the cap, shed at it" —
+    /// the pure bounded-queue behaviour, so existing policies gain
+    /// load-shedding without code changes. Closed-loop workloads never
+    /// raise this hook. The host enforces `backlog_cap` regardless of the
+    /// answer, so an over-eager policy cannot overfill the queue.
+    fn on_release_requested(
+        &mut self,
+        now: SimTime,
+        process: ProcessId,
+        backlog: u32,
+        backlog_cap: u32,
+        engine: &ExecutionEngine,
+    ) -> AdmissionDecision {
+        let _ = (now, process, engine);
+        if backlog >= backlog_cap {
+            AdmissionDecision::Shed
+        } else {
+            AdmissionDecision::Admit
+        }
     }
 
     /// Dispatches a raw hook to the specific callbacks. Policies normally do

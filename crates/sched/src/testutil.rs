@@ -67,11 +67,38 @@ impl PolicyHarness {
         Self::new_boxed(Box::new(policy), selection)
     }
 
+    /// Like [`new`](Self::new) but with a scheduling quantum armed, for
+    /// time-slicing policies.
+    pub fn with_quantum<P: SchedulingPolicy + 'static>(
+        policy: P,
+        mechanism: PreemptionMechanism,
+        quantum: SimTime,
+    ) -> Self {
+        let params = EngineParams {
+            block_time_jitter: 0.0,
+            quantum: Some(quantum),
+            ..Default::default()
+        };
+        Self::with_params(
+            Box::new(policy),
+            MechanismSelection::Fixed(mechanism),
+            params,
+        )
+    }
+
     pub fn new_boxed(policy: Box<dyn SchedulingPolicy>, selection: MechanismSelection) -> Self {
         let params = EngineParams {
             block_time_jitter: 0.0,
             ..Default::default()
         };
+        Self::with_params(policy, selection, params)
+    }
+
+    pub fn with_params(
+        policy: Box<dyn SchedulingPolicy>,
+        selection: MechanismSelection,
+        params: EngineParams,
+    ) -> Self {
         let preemption = PreemptionConfig {
             selection,
             ..Default::default()

@@ -2,10 +2,12 @@
 
 use std::fmt;
 
-/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+/// Arithmetic mean of a slice. Returns NaN for an empty slice so that an
+/// absent statistic is distinguishable from a genuine zero (the JSON writer
+/// maps non-finite values to `null`, and tables render them as `-`).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     values.iter().sum::<f64>() / values.len() as f64
 }
@@ -50,11 +52,11 @@ pub fn stddev(values: &[f64]) -> f64 {
     var.sqrt()
 }
 
-/// Linear-interpolated percentile (`p` in `[0, 100]`). Returns 0.0 for an
+/// Linear-interpolated percentile (`p` in `[0, 100]`). Returns NaN for an
 /// empty slice. The input does not need to be sorted.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -87,12 +89,21 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 /// assert_eq!(s.count(), 3);
 /// assert_eq!(s.mean(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Identical to [`Summary::new`]. A derived `Default` would seed
+    /// `min`/`max` at 0.0 instead of ±∞, so `Summary::default()` followed by
+    /// `record(5.0)` would report `min == 0.0`.
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -127,28 +138,28 @@ impl Summary {
         self.sum
     }
 
-    /// Arithmetic mean (0.0 when empty).
+    /// Arithmetic mean (NaN when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.sum / self.count as f64
         }
     }
 
-    /// Minimum sample (0.0 when empty).
+    /// Minimum sample (NaN when empty).
     pub fn min(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.min
         }
     }
 
-    /// Maximum sample (0.0 when empty).
+    /// Maximum sample (NaN when empty).
     pub fn max(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.max
         }
@@ -166,15 +177,26 @@ impl Summary {
     }
 }
 
+/// Formats a statistic for a table cell: `-` when the value is non-finite
+/// (the empty-input sentinel), otherwise the value at the given precision.
+/// Keeps absent statistics visually distinct from a genuine zero.
+pub fn fmt_stat(value: f64, precision: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.precision$}")
+    } else {
+        "-".to_string()
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.4} min={:.4} max={:.4}",
+            "n={} mean={} min={} max={}",
             self.count,
-            self.mean(),
-            self.min(),
-            self.max()
+            fmt_stat(self.mean(), 4),
+            fmt_stat(self.min(), 4),
+            fmt_stat(self.max(), 4)
         )
     }
 }
@@ -203,7 +225,7 @@ mod tests {
 
     #[test]
     fn mean_of_values() {
-        assert_eq!(mean(&[]), 0.0);
+        assert!(mean(&[]).is_nan());
         assert_eq!(mean(&[2.0]), 2.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
     }
@@ -236,16 +258,45 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 100.0), 4.0);
         assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(percentile(&[], 50.0).is_nan());
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn empty_summary_is_nan_not_zero() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    /// `Summary::default()` must behave exactly like `Summary::new()`: the
+    /// derived impl seeded min/max at 0.0, so `default()` + `record(5.0)`
+    /// reported min = 0.0.
+    #[test]
+    fn default_summary_is_identical_to_new() {
+        assert_eq!(Summary::default(), Summary::new());
+        let mut d = Summary::default();
+        d.record(5.0);
+        assert_eq!(d.min(), 5.0);
+        assert_eq!(d.max(), 5.0);
+        let mut n = Summary::new();
+        n.record(5.0);
+        assert_eq!(d, n);
+    }
+
+    #[test]
+    fn fmt_stat_renders_dash_for_non_finite() {
+        assert_eq!(fmt_stat(1.25, 2), "1.25");
+        assert_eq!(fmt_stat(f64::NAN, 2), "-");
+        assert_eq!(fmt_stat(f64::INFINITY, 2), "-");
+        assert_eq!(Summary::new().to_string(), "n=0 mean=- min=- max=-");
     }
 
     #[test]
     fn summary_accumulates() {
         let mut s = Summary::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), 0.0);
-        assert_eq!(s.max(), 0.0);
         s.record(1.0);
         s.record(5.0);
         s.record(f64::NAN); // ignored

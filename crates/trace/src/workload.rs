@@ -7,7 +7,7 @@
 
 use crate::benchmark::BenchmarkTrace;
 use gpreempt_sim::SimRng;
-use gpreempt_types::{GpuConfig, Priority, ProcessId, RtSpec, SimError, SimTime};
+use gpreempt_types::{ArrivalProcess, GpuConfig, Priority, ProcessId, RtSpec, SimError, SimTime};
 
 /// One process in a multiprogrammed workload: a benchmark application plus
 /// its scheduling priority and, for real-time workloads, its timing
@@ -23,6 +23,13 @@ pub struct ProcessSpec {
     /// leave this `None` and behave exactly as before the real-time
     /// subsystem existed.
     pub rt: Option<RtSpec>,
+    /// When this process releases its iterations. Legacy workloads use
+    /// [`ArrivalProcess::ClosedLoop`] and behave exactly as before the
+    /// open-arrival subsystem existed.
+    pub arrival: ArrivalProcess,
+    /// Bound on released-but-not-started iterations for open arrivals;
+    /// releases beyond it are shed. Ignored for closed-loop processes.
+    pub backlog_cap: u32,
 }
 
 impl ProcessSpec {
@@ -33,6 +40,8 @@ impl ProcessSpec {
             benchmark,
             priority: Priority::NORMAL,
             rt: None,
+            arrival: ArrivalProcess::ClosedLoop,
+            backlog_cap: gpreempt_types::DEFAULT_BACKLOG_CAP,
         }
     }
 
@@ -47,6 +56,31 @@ impl ProcessSpec {
     #[must_use]
     pub fn with_rt(mut self, rt: RtSpec) -> Self {
         self.rt = Some(rt);
+        self
+    }
+
+    /// Sets the arrival process (how iterations are released).
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Open arrival driven by the real-time contract: periodic releases
+    /// every `rt.period`. Requires a prior [`with_rt`](Self::with_rt);
+    /// without one this is a no-op (stays closed-loop).
+    #[must_use]
+    pub fn with_periodic_arrival(mut self) -> Self {
+        if let Some(rt) = self.rt {
+            self.arrival = ArrivalProcess::Periodic { period: rt.period };
+        }
+        self
+    }
+
+    /// Sets the backlog bound for open arrivals.
+    #[must_use]
+    pub fn with_backlog_cap(mut self, cap: u32) -> Self {
+        self.backlog_cap = cap.max(1);
         self
     }
 
@@ -118,6 +152,11 @@ impl Workload {
     /// Whether any process carries a real-time contract.
     pub fn has_rt(&self) -> bool {
         self.processes.iter().any(|p| p.rt.is_some())
+    }
+
+    /// Whether any process releases work on a timer (open arrivals).
+    pub fn has_open_arrivals(&self) -> bool {
+        self.processes.iter().any(|p| p.arrival.is_open())
     }
 
     /// The tightest (smallest) relative deadline in the workload, if any

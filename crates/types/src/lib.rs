@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -31,6 +32,7 @@ pub mod priority;
 pub mod rt;
 pub mod time;
 
+pub use arrival::{AdmissionDecision, ArrivalProcess, DEFAULT_BACKLOG_CAP};
 pub use config::{CpuConfig, GpuConfig, PcieConfig, PreemptionConfig, SharedMemConfig, SimConfig};
 pub use error::{ConfigError, SimError};
 pub use ids::{
