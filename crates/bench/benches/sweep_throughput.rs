@@ -7,12 +7,14 @@
 //! * **criterion** (default): one benchmark per worker count over a fixed
 //!   quick-scale plan, with `Throughput::Elements` set to the plan's total
 //!   simulation events, so the report reads in events/sec.
-//! * **smoke** (`GPREEMPT_SWEEP_SMOKE=1`): runs the plan at `--jobs 1` and
-//!   `--jobs 2` (best of three each), writes a machine-readable
-//!   `BENCH_sweep.json` artifact — events/sec, wall clock, peak
-//!   runs-resident bound — to `GPREEMPT_BENCH_JSON` (default
-//!   `BENCH_sweep.json`), and **exits non-zero if jobs=2 is slower than
-//!   jobs=1**. CI runs this mode.
+//! * **smoke** (`GPREEMPT_SWEEP_SMOKE=1`): runs the plan sequentially in
+//!   **rebuild** mode (fresh `SimWorkspace` per scenario, the pre-arena
+//!   behaviour) and **reuse** mode (one arena for the whole stream), plus
+//!   `--jobs 2` reuse, best of three each. Writes a machine-readable
+//!   `BENCH_sweep.json` artifact — events/sec, scenarios/sec, wall clock,
+//!   peak runs-resident bound — to `GPREEMPT_BENCH_JSON` (default
+//!   `BENCH_sweep.json`), and **exits non-zero if reuse is slower than
+//!   rebuild, or jobs=2 slower than jobs=1**. CI runs this mode.
 
 use criterion::{criterion_group, Criterion, Throughput};
 use gpreempt::experiments::ExperimentScale;
@@ -45,9 +47,10 @@ fn plan() -> SweepPlan {
 }
 
 /// Streams the plan once, returning (wall clock, total simulation events).
-fn run_once(plan: &SweepPlan, jobs: usize) -> (Duration, u64) {
+fn run_once(plan: &SweepPlan, jobs: usize, reuse: bool) -> (Duration, u64) {
     let started = Instant::now();
     let folded = SweepRunner::new(jobs)
+        .with_reuse(reuse)
         .run_fold(plan, &|_, run| Ok(run.events_processed()))
         .expect("sweep failed");
     (started.elapsed(), folded.events_total())
@@ -55,11 +58,14 @@ fn run_once(plan: &SweepPlan, jobs: usize) -> (Duration, u64) {
 
 fn bench_sweep_throughput(c: &mut Criterion) {
     let plan = plan();
-    let (_, events) = run_once(&plan, 1); // warm + count events
+    let (_, events) = run_once(&plan, 1, true); // warm + count events
     let mut group = c.benchmark_group("sweep/run_fold");
     group.throughput(Throughput::Elements(events));
+    group.bench_function("jobs1-rebuild", |b| b.iter(|| run_once(&plan, 1, false)));
     for jobs in [1usize, 2, 4] {
-        group.bench_function(format!("jobs{jobs}"), |b| b.iter(|| run_once(&plan, jobs)));
+        group.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| run_once(&plan, jobs, true))
+        });
     }
     group.finish();
 }
@@ -67,11 +73,11 @@ fn bench_sweep_throughput(c: &mut Criterion) {
 criterion_group!(benches, bench_sweep_throughput);
 
 /// Best-of-`n` streaming runs at one worker count.
-fn best_of(plan: &SweepPlan, jobs: usize, n: usize) -> (Duration, u64) {
+fn best_of(plan: &SweepPlan, jobs: usize, reuse: bool, n: usize) -> (Duration, u64) {
     let mut best = Duration::MAX;
     let mut events = 0;
     for _ in 0..n {
-        let (wall, ev) = run_once(plan, jobs);
+        let (wall, ev) = run_once(plan, jobs, reuse);
         if wall < best {
             best = wall;
         }
@@ -80,7 +86,7 @@ fn best_of(plan: &SweepPlan, jobs: usize, n: usize) -> (Duration, u64) {
     (best, events)
 }
 
-fn mode_value(jobs: usize, wall: Duration, events: u64) -> Value {
+fn mode_value(jobs: usize, wall: Duration, events: u64, scenarios: usize) -> Value {
     let secs = wall.as_secs_f64();
     Value::object([
         ("jobs", Value::from(jobs as u64)),
@@ -94,6 +100,14 @@ fn mode_value(jobs: usize, wall: Duration, events: u64) -> Value {
                 0.0
             }),
         ),
+        (
+            "scenarios_per_sec",
+            Value::from(if secs > 0.0 {
+                scenarios as f64 / secs
+            } else {
+                0.0
+            }),
+        ),
         // Streaming bound: at most one SimulationRun body per worker is
         // resident at any moment.
         ("peak_runs_resident", Value::from(jobs as u64)),
@@ -103,14 +117,23 @@ fn mode_value(jobs: usize, wall: Duration, events: u64) -> Value {
 fn smoke() {
     let plan = plan();
     let scenarios = plan.len();
-    let (wall1, events) = best_of(&plan, 1, 3);
-    let (wall2, _) = best_of(&plan, 2, 3);
+    // Rebuild: fresh workspace per scenario — the pre-arena baseline.
+    let (wall_rebuild, events) = best_of(&plan, 1, false, 3);
+    // Reuse: one arena services the worker's whole scenario stream.
+    let (wall1, _) = best_of(&plan, 1, true, 3);
+    let (wall2, _) = best_of(&plan, 2, true, 3);
     let report = Value::object([
         ("bench", Value::from("sweep_throughput")),
         ("scale", Value::from("quick")),
         ("scenarios", Value::from(scenarios)),
-        ("jobs1", mode_value(1, wall1, events)),
-        ("jobs2", mode_value(2, wall2, events)),
+        ("rebuild", mode_value(1, wall_rebuild, events, scenarios)),
+        ("reuse", mode_value(1, wall1, events, scenarios)),
+        ("jobs1", mode_value(1, wall1, events, scenarios)),
+        ("jobs2", mode_value(2, wall2, events, scenarios)),
+        (
+            "speedup_reuse",
+            Value::from(wall_rebuild.as_secs_f64() / wall1.as_secs_f64().max(1e-9)),
+        ),
         (
             "speedup_jobs2",
             Value::from(wall1.as_secs_f64() / wall2.as_secs_f64().max(1e-9)),
@@ -119,19 +142,28 @@ fn smoke() {
     let path = std::env::var("GPREEMPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     std::fs::write(&path, report.to_json()).expect("write bench artifact");
     println!(
-        "sweep_throughput smoke: {scenarios} scenarios, jobs1 {:.1?} vs jobs2 {:.1?} ({:.0} vs {:.0} events/s) -> {path}",
+        "sweep_throughput smoke: {scenarios} scenarios, rebuild {:.1?} vs reuse {:.1?} \
+         ({:.1} vs {:.1} scenarios/s), jobs2 {:.1?} -> {path}",
+        wall_rebuild,
         wall1,
+        scenarios as f64 / wall_rebuild.as_secs_f64().max(1e-9),
+        scenarios as f64 / wall1.as_secs_f64().max(1e-9),
         wall2,
-        events as f64 / wall1.as_secs_f64().max(1e-9),
-        events as f64 / wall2.as_secs_f64().max(1e-9),
     );
+    // "Slower" with a noise margin: shared CI runners jitter by a few
+    // percent, and these gates exist to catch structural regressions, not
+    // scheduler weather.
+    const TOLERANCE: f64 = 1.15;
+    if wall1.as_secs_f64() > wall_rebuild.as_secs_f64() * TOLERANCE {
+        eprintln!(
+            "FAIL: workspace reuse ({wall1:.1?}) is slower than per-scenario \
+             rebuild ({wall_rebuild:.1?})"
+        );
+        std::process::exit(1);
+    }
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    // "Slower" with a noise margin: shared CI runners jitter by a few
-    // percent, and this gate exists to catch parallelism regressions, not
-    // scheduler weather.
-    const TOLERANCE: f64 = 1.15;
     if wall2.as_secs_f64() > wall1.as_secs_f64() * TOLERANCE {
         if cpus < 2 {
             // A second worker cannot win on a single hardware thread; the

@@ -36,6 +36,13 @@ use gpreempt::sweep::{JsonlSink, SweepReport, SweepRunner, SweepTiming};
 use gpreempt::SimulatorConfig;
 use std::io::Read as _;
 
+// Per-scenario allocation accounting for `--timing`: every allocation on a
+// worker thread is charged to the scenario it was running. The forwarding
+// allocator costs one thread-local increment per allocation — noise next
+// to the allocation itself.
+#[global_allocator]
+static ALLOC: gpreempt::sim::CountingAlloc = gpreempt::sim::CountingAlloc::new();
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Experiment {
     Fig2,

@@ -45,8 +45,9 @@ pub use realtime::{
     LATENCY_TARGETS_US, N_SEEDS, REALTIME_POLICIES, UTILIZATIONS,
 };
 pub use saturation::{
-    SaturationCell, SaturationCellKey, SaturationPoint, SaturationResults, SATURATION_BACKLOG_CAP,
-    SATURATION_MECHANISMS, SATURATION_POLICIES, SATURATION_RHOS,
+    ArrivalFamily, SaturationCell, SaturationCellKey, SaturationPoint, SaturationResults,
+    SATURATION_ARRIVALS, SATURATION_BACKLOG_CAP, SATURATION_MECHANISMS, SATURATION_POLICIES,
+    SATURATION_RHOS,
 };
 pub use spatial::{SpatialConfig, SpatialOutcome, SpatialRecord, SpatialResults};
 pub use table1::{Table1, Table1Row};

@@ -44,7 +44,7 @@ pub mod simulator;
 pub mod sweep;
 
 pub use config::{PolicyKind, SimulatorConfig};
-pub use simulator::{SimulationRun, Simulator};
+pub use simulator::{SimWorkspace, SimulationRun, Simulator};
 pub use sweep::{Scenario, SweepPlan, SweepReport, SweepRunner};
 
 // Re-export the workspace crates so downstream users only need one

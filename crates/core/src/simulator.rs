@@ -10,8 +10,9 @@ use gpreempt_host::{
 use gpreempt_metrics::{
     ArrivalCounts, ProcessPerformance, RtMetrics, RtProcessMetrics, SloMetrics, WorkloadMetrics,
 };
-use gpreempt_sched::SchedulingPolicy;
+use gpreempt_sched::{ReleaseInfo, SchedulingPolicy};
 use gpreempt_sim::EventQueue;
+use gpreempt_trace::TraceOp;
 use gpreempt_trace::{BenchmarkTrace, ProcessSpec, Workload};
 use gpreempt_types::{KernelLaunchId, ProcessId, SimError, SimTime};
 
@@ -37,6 +38,35 @@ struct DrainScratch {
     iterations: Vec<IterationRecord>,
     hooks: Vec<PolicyHook>,
     releases: Vec<ReleaseRequest>,
+    /// Per-process lower bound on one iteration's service, rebuilt at the
+    /// start of every run (admission feasibility checks read it per
+    /// release).
+    min_service: Vec<SimTime>,
+}
+
+/// The reusable arena of one simulation worker: host model, execution
+/// engine, event queue and drain scratch.
+///
+/// Construct one workspace per worker (or thread) and pass it to
+/// [`Simulator::run_with`] for every scenario of that worker's stream: the
+/// first run builds the components and every later run `reset`s them in
+/// place, reusing the process models, dispatcher queues, KSRT slab, per-SM
+/// state, event heap and scratch vectors the previous scenarios grew.
+/// Results are byte-identical to the rebuild-per-run
+/// [`Simulator::run`] path; only the allocation behaviour differs.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    host: Option<HostSystem>,
+    engine: Option<ExecutionEngine>,
+    queue: EventQueue<Event>,
+    scratch: DrainScratch,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace; the first run populates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The result of simulating one workload under one policy.
@@ -259,7 +289,26 @@ impl Simulator {
     /// or if the event budget is exhausted before the replay target is met
     /// (which indicates starvation or a livelock).
     pub fn run(&self, workload: &Workload, policy: PolicyKind) -> Result<SimulationRun, SimError> {
-        self.run_inner(workload, policy, None)
+        let mut ws = SimWorkspace::new();
+        self.run_inner(&mut ws, workload, policy, None)
+    }
+
+    /// Simulates `workload` under `policy` like [`run`](Self::run), reusing
+    /// the caller's [`SimWorkspace`] instead of constructing the host,
+    /// engine and event queue from scratch. Drive a worker's whole scenario
+    /// stream through one workspace to keep steady-state scenario turnover
+    /// allocation-flat; the result is byte-identical to [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        ws: &mut SimWorkspace,
+        workload: &Workload,
+        policy: PolicyKind,
+    ) -> Result<SimulationRun, SimError> {
+        self.run_inner(ws, workload, policy, None)
     }
 
     /// Simulates `workload` under `policy` until every process met the
@@ -280,11 +329,29 @@ impl Simulator {
         policy: PolicyKind,
         deadline: SimTime,
     ) -> Result<SimulationRun, SimError> {
-        self.run_inner(workload, policy, Some(deadline))
+        let mut ws = SimWorkspace::new();
+        self.run_inner(&mut ws, workload, policy, Some(deadline))
+    }
+
+    /// Horizon-capped counterpart of [`run_with`](Self::run_with): exactly
+    /// [`run_until`](Self::run_until), but reusing the caller's workspace.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_until`](Self::run_until).
+    pub fn run_until_with(
+        &self,
+        ws: &mut SimWorkspace,
+        workload: &Workload,
+        policy: PolicyKind,
+        deadline: SimTime,
+    ) -> Result<SimulationRun, SimError> {
+        self.run_inner(ws, workload, policy, Some(deadline))
     }
 
     fn run_inner(
         &self,
+        ws: &mut SimWorkspace,
         workload: &Workload,
         policy: PolicyKind,
         deadline: Option<SimTime>,
@@ -296,8 +363,25 @@ impl Simulator {
             .config
             .transfer_policy
             .unwrap_or_else(|| policy.transfer_policy());
-        let mut host = HostSystem::new(workload, self.config.machine.pcie.clone(), transfer_policy)
-            .with_seed(self.config.seed);
+        // Reinitialise the workspace's host in place when it has one (the
+        // reset is observationally identical to a fresh construction but
+        // reuses the process models, dispatcher queues and drain buffers);
+        // build it on the first run.
+        let host = match ws.host.as_mut() {
+            Some(host) => {
+                host.reset(
+                    workload,
+                    self.config.machine.pcie.clone(),
+                    transfer_policy,
+                    self.config.seed,
+                );
+                host
+            }
+            None => ws.host.insert(
+                HostSystem::new(workload, self.config.machine.pcie.clone(), transfer_policy)
+                    .with_seed(self.config.seed),
+            ),
+        };
         // Time-slicing policies need a quantum; when the configuration does
         // not set one explicitly, arm the policy's default. Every other
         // policy leaves it `None`, so no quantum events exist and legacy
@@ -306,18 +390,31 @@ impl Simulator {
         if engine_params.quantum.is_none() {
             engine_params.quantum = policy.default_quantum();
         }
-        let mut engine = ExecutionEngine::new(
-            self.config.machine.gpu.clone(),
-            self.config.machine.preemption,
-            engine_params,
-            gpreempt_sim::SimRng::new(self.config.seed),
-        );
+        let engine = match ws.engine.as_mut() {
+            Some(engine) => {
+                engine.reset(
+                    self.config.machine.gpu.clone(),
+                    self.config.machine.preemption,
+                    engine_params,
+                    gpreempt_sim::SimRng::new(self.config.seed),
+                );
+                engine
+            }
+            None => ws.engine.insert(ExecutionEngine::new(
+                self.config.machine.gpu.clone(),
+                self.config.machine.preemption,
+                engine_params,
+                gpreempt_sim::SimRng::new(self.config.seed),
+            )),
+        };
         let mut policy_impl: Box<dyn SchedulingPolicy> =
             policy.build(workload, self.config.machine.gpu.n_sms);
         // Pre-size the event queue from the replay target so steady-state
         // scheduling rarely grows the heap. Horizon-capped runs use a huge
         // replay target as "never finish", so clamp the guess.
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(
+        let queue = &mut ws.queue;
+        queue.reset();
+        queue.reserve(
             (workload.min_completions() as usize)
                 .saturating_mul(workload.len())
                 .min(16_384),
@@ -326,28 +423,43 @@ impl Simulator {
         let mut iterations: Vec<Vec<IterationRecord>> = vec![Vec::new(); workload.len()];
         let mut kernel_completions: Vec<KernelCompletion> = Vec::new();
         let mut next_launch_id: u64 = 0;
-        let mut scratch = DrainScratch::default();
+        let scratch = &mut ws.scratch;
+        scratch.min_service.clear();
+        scratch.min_service.extend(
+            workload
+                .processes()
+                .iter()
+                .map(|spec| Self::min_iteration_service(&spec.benchmark)),
+        );
         let target = workload.min_completions();
 
         host.start(SimTime::ZERO);
+        // `all_completed_at_least` scans every process; completions only move
+        // when drain surfaces iteration records, so the loop re-checks the
+        // target only after drains that reported one (true here so a
+        // zero-target run terminates immediately).
+        let mut completions_dirty = true;
         Self::drain(
-            &mut host,
-            &mut engine,
+            host,
+            engine,
             policy_impl.as_mut(),
-            &mut queue,
+            queue,
             workload,
             &mut iterations,
             &mut kernel_completions,
             &mut next_launch_id,
-            &mut scratch,
+            scratch,
             SimTime::ZERO,
         );
 
         let end_time;
         loop {
-            if host.all_completed_at_least(target) {
-                end_time = Self::latest_needed_completion(&iterations, target);
-                break;
+            if completions_dirty {
+                completions_dirty = false;
+                if host.all_completed_at_least(target) {
+                    end_time = Self::latest_needed_completion(&iterations, target);
+                    break;
+                }
             }
             if let Some(d) = deadline {
                 // Stop at the deadline: no further event at or before it.
@@ -372,16 +484,16 @@ impl Simulator {
                 Event::Host(e) => host.handle(now, e),
                 Event::Engine(e) => engine.handle(now, e),
             }
-            Self::drain(
-                &mut host,
-                &mut engine,
+            completions_dirty |= Self::drain(
+                host,
+                engine,
                 policy_impl.as_mut(),
-                &mut queue,
+                queue,
                 workload,
                 &mut iterations,
                 &mut kernel_completions,
                 &mut next_launch_id,
-                &mut scratch,
+                scratch,
                 now,
             );
         }
@@ -397,6 +509,25 @@ impl Simulator {
             events_processed: queue.processed(),
             arrival_stats: host.arrival_stats(end_time),
         })
+    }
+
+    /// Lower bound on the service one iteration of `trace` needs: every CPU
+    /// phase in full, plus at least one thread-block wave per kernel launch
+    /// (transfers and queueing are ignored, keeping the bound optimistic).
+    /// Feasibility shedding compares a release's absolute deadline against
+    /// this bound.
+    fn min_iteration_service(trace: &BenchmarkTrace) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for op in trace.ops() {
+            match op {
+                TraceOp::CpuPhase { duration } => total += *duration,
+                TraceOp::Launch { kernel, .. } => {
+                    total += trace.kernels()[*kernel].mean_block_time()
+                }
+                _ => {}
+            }
+        }
+        total
     }
 
     /// The single-process FCFS workload an isolated-execution measurement
@@ -489,7 +620,8 @@ impl Simulator {
         next_launch_id: &mut u64,
         scratch: &mut DrainScratch,
         now: SimTime,
-    ) {
+    ) -> bool {
+        let mut completed_iterations = false;
         loop {
             let mut progressed = false;
 
@@ -499,6 +631,7 @@ impl Simulator {
             }
             host.drain_iterations_into(&mut scratch.iterations);
             for record in scratch.iterations.drain(..) {
+                completed_iterations = true;
                 iterations[record.process.index()].push(record);
             }
             // Open-arrival releases: the host raises admission requests and
@@ -510,9 +643,17 @@ impl Simulator {
                 progressed = true;
                 let req = scratch.releases[i];
                 let process = &host.processes()[req.process.index()];
+                let release = ReleaseInfo {
+                    released: req.released,
+                    deadline: workload.processes()[req.process.index()]
+                        .rt
+                        .map(|rt| req.released + rt.deadline),
+                    min_service: scratch.min_service[req.process.index()],
+                };
                 let decision = policy.on_release_requested(
                     now,
                     req.process,
+                    release,
                     process.backlog(),
                     process.backlog_cap(),
                     engine,
@@ -552,6 +693,7 @@ impl Simulator {
                 break;
             }
         }
+        completed_iterations
     }
 
     /// Translates a host launch request into an execution-engine launch

@@ -1,8 +1,9 @@
 //! Parallel, deterministic execution of a [`SweepPlan`].
 
 use crate::report::TextTable;
-use crate::simulator::{SimulationRun, Simulator};
+use crate::simulator::{SimWorkspace, SimulationRun, Simulator};
 use crate::sweep::{FoldedScenario, Scenario, ScenarioResult, SweepPlan};
+use gpreempt_sim::thread_allocations;
 use gpreempt_types::SimError;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -33,6 +34,7 @@ pub type ScenarioTap<'a, T> = dyn Fn(&Scenario, &T) -> Result<(), SimError> + Sy
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRunner {
     jobs: usize,
+    reuse: bool,
 }
 
 impl SweepRunner {
@@ -46,12 +48,26 @@ impl SweepRunner {
         } else {
             jobs
         };
-        SweepRunner { jobs }
+        SweepRunner { jobs, reuse: true }
     }
 
     /// A single-threaded runner (the historical harness behaviour).
     pub fn sequential() -> Self {
-        SweepRunner { jobs: 1 }
+        SweepRunner::new(1)
+    }
+
+    /// Controls workspace reuse across the scenarios a worker runs.
+    ///
+    /// On by default: each worker keeps one [`SimWorkspace`] arena for its
+    /// whole scenario stream. `false` rebuilds the workspace from scratch
+    /// per scenario — the pre-arena behaviour, kept as the baseline leg of
+    /// the rebuild-vs-reuse benchmark. Results are identical either way
+    /// (reset is observationally a fresh construction); only allocation
+    /// traffic and wall clock differ.
+    #[must_use]
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
     }
 
     /// The configured worker count.
@@ -85,6 +101,7 @@ impl SweepRunner {
                     run: o.value,
                     wall: o.wall,
                     events: o.events,
+                    allocs: o.allocs,
                 })
                 .collect(),
             total_wall: folded.total_wall,
@@ -138,8 +155,12 @@ impl SweepRunner {
 
         let workers = self.jobs.min(scenarios.len()).max(1);
         if workers <= 1 {
+            let mut ws = SimWorkspace::new();
             for (i, scenario) in scenarios.iter().enumerate() {
-                let outcome = Self::execute(plan, scenario, fold, tap);
+                if !self.reuse {
+                    ws = SimWorkspace::new();
+                }
+                let outcome = Self::execute(plan, scenario, &mut ws, fold, tap);
                 let failed = outcome.is_err();
                 slots[i] = Some(outcome);
                 if failed {
@@ -156,6 +177,12 @@ impl SweepRunner {
                         let failed = &failed;
                         scope.spawn(move || {
                             let mut local = Vec::new();
+                            // One arena per worker: every scenario this
+                            // worker pulls reuses the same host/engine/queue
+                            // allocations. Scenarios are self-contained, so
+                            // reuse cannot leak state between them (the
+                            // jobs=N ≡ jobs=1 regression pins this).
+                            let mut ws = SimWorkspace::new();
                             // Stop pulling new scenarios once any worker has
                             // recorded a failure; in-flight scenarios still
                             // finish. Indices are handed out in id order, so
@@ -167,7 +194,10 @@ impl SweepRunner {
                                 let Some(scenario) = scenarios.get(i) else {
                                     break;
                                 };
-                                let outcome = Self::execute(plan, scenario, fold, tap);
+                                if !self.reuse {
+                                    ws = SimWorkspace::new();
+                                }
+                                let outcome = Self::execute(plan, scenario, &mut ws, fold, tap);
                                 if outcome.is_err() {
                                     failed.store(true, Ordering::Relaxed);
                                 }
@@ -211,12 +241,15 @@ impl SweepRunner {
     }
 
     /// Runs one scenario — the plan's base configuration plus the
-    /// scenario's overrides, simulated from a fresh engine — folds the
-    /// finished run (dropping its body), and hands the fold output to the
-    /// tap.
+    /// scenario's overrides, simulated through the worker's reusable
+    /// [`SimWorkspace`] arena — folds the finished run (dropping its body),
+    /// and hands the fold output to the tap. Allocation counts are the
+    /// worker thread's delta across simulate + fold + tap (zero unless the
+    /// process installed [`gpreempt_sim::CountingAlloc`]).
     fn execute<T>(
         plan: &SweepPlan,
         scenario: &Scenario,
+        ws: &mut SimWorkspace,
         fold: &ScenarioFold<'_, T>,
         tap: &ScenarioTap<'_, T>,
     ) -> Result<FoldedScenario<T>, SimError> {
@@ -228,10 +261,13 @@ impl SweepRunner {
             config = config.with_seed(seed);
         }
         let wall = Instant::now();
+        let allocs_before = thread_allocations();
         let sim = Simulator::new(config);
         let run = match scenario.horizon {
-            Some(horizon) => sim.run_until(&scenario.workload, scenario.policy, horizon)?,
-            None => sim.run(&scenario.workload, scenario.policy)?,
+            Some(horizon) => {
+                sim.run_until_with(ws, &scenario.workload, scenario.policy, horizon)?
+            }
+            None => sim.run_with(ws, &scenario.workload, scenario.policy)?,
         };
         let events = run.events_processed();
         let value = fold(scenario, run)?;
@@ -241,6 +277,7 @@ impl SweepRunner {
             value,
             wall: wall.elapsed(),
             events,
+            allocs: thread_allocations() - allocs_before,
         })
     }
 }
@@ -304,7 +341,7 @@ impl SweepResults {
             plan,
             self.results
                 .iter()
-                .map(|r| (r.scenario_id, r.wall, r.events)),
+                .map(|r| (r.scenario_id, r.wall, r.events, r.allocs)),
         )
     }
 }
@@ -374,7 +411,7 @@ impl<T> FoldedResults<T> {
             plan,
             self.outcomes
                 .iter()
-                .map(|o| (o.scenario_id, o.wall, o.events)),
+                .map(|o| (o.scenario_id, o.wall, o.events, o.allocs)),
         )
     }
 }
@@ -385,10 +422,10 @@ fn timing_of(
     jobs: usize,
     total: Duration,
     plan: &SweepPlan,
-    per_scenario: impl Iterator<Item = (usize, Duration, u64)>,
+    per_scenario: impl Iterator<Item = (usize, Duration, u64, u64)>,
 ) -> SweepTiming {
     let entries: Vec<TimingEntry> = per_scenario
-        .map(|(id, wall, events)| {
+        .map(|(id, wall, events, allocs)| {
             let s = &plan.scenarios()[id];
             TimingEntry {
                 group: s.group.clone(),
@@ -396,6 +433,7 @@ fn timing_of(
                 label: s.label.clone(),
                 wall,
                 events,
+                allocs,
             }
         })
         .collect();
@@ -421,6 +459,9 @@ pub struct TimingEntry {
     pub wall: Duration,
     /// Simulation events it processed.
     pub events: u64,
+    /// Allocation events charged to it (zero unless the process installed
+    /// [`gpreempt_sim::CountingAlloc`] as the global allocator).
+    pub allocs: u64,
 }
 
 /// Wall-clock summary of an executed sweep (or several merged phases).
@@ -492,6 +533,12 @@ impl SweepTiming {
         )
     }
 
+    /// Total allocation events across every scenario (zero without a
+    /// counting allocator installed).
+    pub fn allocs_total(&self) -> u64 {
+        self.entries.iter().map(|e| e.allocs).sum()
+    }
+
     /// Renders the per-scenario wall-clock table, streaming rows straight
     /// from the timing entries.
     pub fn render(&self) -> TextTable {
@@ -501,6 +548,7 @@ impl SweepTiming {
             "config".into(),
             "wall (ms)".into(),
             "events".into(),
+            "allocs".into(),
         ])
         .with_title("Per-scenario wall clock");
         table.extend_rows(self.entries.iter().map(|e| {
@@ -510,6 +558,7 @@ impl SweepTiming {
                 e.label.clone(),
                 format!("{:.3}", e.wall.as_secs_f64() * 1e3),
                 e.events.to_string(),
+                e.allocs.to_string(),
             ]
         }));
         table
@@ -567,6 +616,14 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn rebuild_results_match_reuse() {
+        let plan = tiny_plan(4);
+        let reuse = SweepRunner::new(2).run(&plan).unwrap();
+        let rebuild = SweepRunner::new(2).with_reuse(false).run(&plan).unwrap();
+        assert_eq!(fingerprint(&reuse), fingerprint(&rebuild));
     }
 
     #[test]

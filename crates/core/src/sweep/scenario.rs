@@ -106,6 +106,9 @@ pub struct ScenarioResult {
     /// Simulation events the scenario processed (drives the sweep's
     /// events/sec throughput accounting).
     pub events: u64,
+    /// Allocation events charged to this scenario on its worker thread
+    /// (zero unless the process installed a counting allocator).
+    pub allocs: u64,
 }
 
 /// The outcome of one scenario under a streaming fold: whatever the fold
@@ -121,4 +124,7 @@ pub struct FoldedScenario<T> {
     pub wall: Duration,
     /// Simulation events the scenario processed.
     pub events: u64,
+    /// Allocation events charged to this scenario on its worker thread
+    /// (zero unless the process installed a counting allocator).
+    pub allocs: u64,
 }

@@ -6,9 +6,18 @@
 //! code submits kernel launches, feeds back the [`EngineEvent`]s the engine
 //! asked to have scheduled, and dispatches the [`PolicyHook`]s the engine
 //! raises to whatever scheduling policy is plugged in.
+//!
+//! All hot state lives in slab/arena storage sized by the SM count: the
+//! KSRT is a generational slab (stale [`KsrIndex`] handles can never alias
+//! a reused slot), the SMST is split into hot and cold parallel arrays so
+//! scheduler scans stay on contiguous cache lines, and [`reset`]
+//! (ExecutionEngine::reset) rewinds everything without freeing, so one
+//! engine allocation can service an entire scenario stream.
 
 use crate::estimator::{PreemptionEstimate, RemainingTimeEstimator};
-use crate::framework::{KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmState, SmStatus};
+use crate::framework::{
+    KernelState, KsrIndex, PreemptedBlock, ResidentBlock, SmCold, SmHot, SmState, SmStatus,
+};
 use crate::launch::{KernelCompletion, KernelLaunch};
 use crate::preempt::{ContextSwitchCost, MechanismSelection, PreemptionMechanism};
 use gpreempt_sim::SimRng;
@@ -191,6 +200,31 @@ impl EngineStats {
     }
 }
 
+/// One slab entry of the KSRT. The slot is live exactly when `state` is
+/// `Some`; the generation counts occupancies so stale handles miss. The
+/// entry also pools the previous occupant's PTBQ storage and caches the
+/// per-block restore cost (fixed per launch: it depends only on the GPU,
+/// the preemption config and the kernel footprint), keeping it off the
+/// block-issue hot path.
+#[derive(Debug, Clone)]
+struct KsrSlot {
+    gen: u32,
+    state: Option<KernelState>,
+    restore: SimTime,
+    spare_ptbq: VecDeque<PreemptedBlock>,
+}
+
+impl KsrSlot {
+    fn new() -> Self {
+        KsrSlot {
+            gen: 0,
+            state: None,
+            restore: SimTime::ZERO,
+            spare_ptbq: VecDeque::new(),
+        }
+    }
+}
+
 /// The GPU execution engine model.
 #[derive(Debug)]
 pub struct ExecutionEngine {
@@ -198,8 +232,9 @@ pub struct ExecutionEngine {
     preemption_cfg: PreemptionConfig,
     params: EngineParams,
     rng: SimRng,
-    sms: Vec<SmStatus>,
-    ksrt: Vec<Option<KernelState>>,
+    sm_hot: Vec<SmHot>,
+    sm_cold: Vec<SmCold>,
+    ksrt: Vec<KsrSlot>,
     estimator: RemainingTimeEstimator,
     waiting_admission: VecDeque<KernelLaunch>,
     scheduled: Vec<(SimTime, EngineEvent)>,
@@ -225,8 +260,9 @@ impl ExecutionEngine {
             preemption_cfg,
             params,
             rng,
-            sms: vec![SmStatus::new(); n],
-            ksrt: vec![None; n],
+            sm_hot: vec![SmHot::new(); n],
+            sm_cold: (0..n).map(|_| SmCold::new()).collect(),
+            ksrt: (0..n).map(|_| KsrSlot::new()).collect(),
             estimator: RemainingTimeEstimator::new(n),
             waiting_admission: VecDeque::new(),
             scheduled: Vec::new(),
@@ -234,6 +270,57 @@ impl ExecutionEngine {
             hooks: Vec::new(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// Rewinds the engine to the state [`new`](Self::new) would produce for
+    /// these arguments, but keeps every allocation: the SMST arrays, the
+    /// KSRT slab (including pooled PTBQ storage), the estimator slots and
+    /// the drain buffers all retain their capacity. Pairs with
+    /// `EventQueue::reset` so one engine services a whole scenario stream
+    /// with no per-scenario churn. Slot generations restart at zero, so a
+    /// reused engine is observationally identical to a fresh one.
+    pub fn reset(
+        &mut self,
+        gpu: GpuConfig,
+        preemption_cfg: PreemptionConfig,
+        params: EngineParams,
+        rng: SimRng,
+    ) {
+        let n = gpu.n_sms as usize;
+        self.gpu = gpu;
+        self.preemption_cfg = preemption_cfg;
+        self.params = params;
+        self.rng = rng;
+        self.sm_hot.clear();
+        self.sm_hot.resize(n, SmHot::new());
+        if self.sm_cold.len() > n {
+            self.sm_cold.truncate(n);
+        }
+        for cold in &mut self.sm_cold {
+            cold.reset();
+        }
+        while self.sm_cold.len() < n {
+            self.sm_cold.push(SmCold::new());
+        }
+        if self.ksrt.len() > n {
+            self.ksrt.truncate(n);
+        }
+        for slot in &mut self.ksrt {
+            slot.gen = 0;
+            slot.restore = SimTime::ZERO;
+            if let Some(state) = slot.state.take() {
+                slot.spare_ptbq = state.into_ptbq();
+            }
+        }
+        while self.ksrt.len() < n {
+            self.ksrt.push(KsrSlot::new());
+        }
+        self.estimator.reset(n);
+        self.waiting_admission.clear();
+        self.scheduled.clear();
+        self.completions.clear();
+        self.hooks.clear();
+        self.stats = EngineStats::default();
     }
 
     /// The GPU configuration the engine was built with.
@@ -266,33 +353,43 @@ impl ExecutionEngine {
     /// # Panics
     ///
     /// Panics if `sm` is out of range.
-    pub fn sm(&self, sm: SmId) -> &SmStatus {
-        &self.sms[sm.index()]
+    pub fn sm(&self, sm: SmId) -> SmStatus<'_> {
+        SmStatus {
+            hot: &self.sm_hot[sm.index()],
+            cold: &self.sm_cold[sm.index()],
+        }
     }
 
     /// SMs that are currently idle, in SM-id order. Returns an iterator over
     /// the SM Status Table — no allocation — so policies can scan it on
     /// every hook without heap traffic.
     pub fn idle_sms(&self) -> impl Iterator<Item = SmId> + '_ {
-        self.sms
+        self.sm_hot
             .iter()
             .enumerate()
             .filter(|(_, s)| s.is_idle())
             .map(|(i, _)| SmId::new(i as u32))
     }
 
-    /// The KSRT entry at `ksr`, if that slot is occupied.
+    /// The KSRT entry at `ksr`, if that slot is occupied *by the occupancy
+    /// the handle refers to*. A handle kept across the slot's reuse resolves
+    /// to `None` — its generation no longer matches.
     pub fn kernel(&self, ksr: KsrIndex) -> Option<&KernelState> {
-        self.ksrt.get(ksr.index()).and_then(|k| k.as_ref())
+        let slot = self.ksrt.get(ksr.index())?;
+        if slot.gen != ksr.generation() {
+            return None;
+        }
+        slot.state.as_ref()
     }
 
     /// Indices of all occupied KSRT slots (the active queue), in slot order.
     /// Returns an iterator over the table — no allocation.
     pub fn active_kernels(&self) -> impl Iterator<Item = KsrIndex> + '_ {
-        self.ksrt
-            .iter()
-            .enumerate()
-            .filter_map(|(i, k)| k.as_ref().map(|_| KsrIndex(i as u32)))
+        self.ksrt.iter().enumerate().filter_map(|(i, s)| {
+            s.state
+                .as_ref()
+                .map(|_| KsrIndex::with_gen(i as u32, s.gen))
+        })
     }
 
     /// Number of kernels waiting in command buffers for a free KSRT slot.
@@ -303,9 +400,9 @@ impl ExecutionEngine {
     /// Whether the execution engine is completely empty (no active kernels,
     /// no waiting kernels, all SMs idle).
     pub fn is_empty(&self) -> bool {
-        self.ksrt.iter().all(Option::is_none)
+        self.ksrt.iter().all(|s| s.state.is_none())
             && self.waiting_admission.is_empty()
-            && self.sms.iter().all(|s| s.is_idle())
+            && self.sm_hot.iter().all(SmHot::is_idle)
     }
 
     /// Aggregate counters.
@@ -357,13 +454,18 @@ impl ExecutionEngine {
     }
 
     fn admit(&mut self, launch: KernelLaunch, now: SimTime) -> Option<KsrIndex> {
-        let slot = self.ksrt.iter().position(Option::is_none);
+        let slot = self.ksrt.iter().position(|s| s.state.is_none());
         match slot {
             Some(i) => {
                 // Seed the remaining-time estimator with the kernel's
                 // declared mean block time; observations refine it online.
                 self.estimator.reset_slot(i, launch.spec.mean_block_time());
-                let ksr = KsrIndex(i as u32);
+                // A new occupancy of the slot: bump the generation so any
+                // handle to the previous occupant stops resolving. Live
+                // slots are therefore always at generation >= 1.
+                let gen = self.ksrt[i].gen + 1;
+                self.ksrt[i].gen = gen;
+                let ksr = KsrIndex::with_gen(i as u32, gen);
                 // Real-time launches get a one-shot deadline tick,
                 // `deadline_margin` ahead of the absolute deadline (or
                 // immediately, if the deadline is closer than that). Legacy
@@ -381,7 +483,10 @@ impl ExecutionEngine {
                         },
                     ));
                 }
-                self.ksrt[i] = Some(KernelState::new(launch, &self.gpu, now));
+                self.ksrt[i].restore = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg)
+                    .restore_time_per_block(&launch.spec.footprint());
+                let ptbq = std::mem::take(&mut self.ksrt[i].spare_ptbq);
+                self.ksrt[i].state = Some(KernelState::new_pooled(launch, &self.gpu, now, ptbq));
                 self.hooks.push(PolicyHook::KernelAdmitted(ksr));
                 Some(ksr)
             }
@@ -402,7 +507,7 @@ impl ExecutionEngine {
     /// Returns `false` (and does nothing) if the SM is not idle or the
     /// kernel slot is empty or already finished.
     pub fn assign_sm(&mut self, now: SimTime, sm: SmId, ksr: KsrIndex) -> bool {
-        if !self.sms[sm.index()].is_idle() {
+        if !self.sm_hot[sm.index()].is_idle() {
             return false;
         }
         let usable = self
@@ -412,15 +517,16 @@ impl ExecutionEngine {
         if !usable {
             return false;
         }
-        let status = &mut self.sms[sm.index()];
-        status.state = SmState::Running;
-        status.current = Some(ksr);
-        status.next = None;
-        status.mechanism = None;
-        status.setting_up = true;
-        status.epoch += 1;
-        let epoch = status.epoch;
-        if let Some(k) = self.ksrt[ksr.index()].as_mut() {
+        let hot = &mut self.sm_hot[sm.index()];
+        hot.state = SmState::Running;
+        hot.current = Some(ksr);
+        hot.next = None;
+        let cold = &mut self.sm_cold[sm.index()];
+        cold.mechanism = None;
+        cold.setting_up = true;
+        cold.epoch += 1;
+        let epoch = cold.epoch;
+        if let Some(k) = self.ksrt[ksr.index()].state.as_mut() {
             k.note_assigned();
             k.note_started(now);
         }
@@ -447,19 +553,20 @@ impl ExecutionEngine {
     /// Returns `false` (and does nothing) if the SM is not in the running
     /// state.
     pub fn preempt_sm(&mut self, now: SimTime, sm: SmId, next: KsrIndex) -> bool {
-        if self.sms[sm.index()].state != SmState::Running {
+        if self.sm_hot[sm.index()].state != SmState::Running {
             return false;
         }
-        if self.sms[sm.index()].setting_up {
+        if self.sm_cold[sm.index()].setting_up {
             // The SM is still being set up for its current kernel; treat it
             // like an immediate hand-over: cancel the setup and retarget.
-            let status = &mut self.sms[sm.index()];
-            status.epoch += 1;
-            status.setting_up = false;
-            let old = status.current.take();
-            status.state = SmState::Idle;
+            let cold = &mut self.sm_cold[sm.index()];
+            cold.epoch += 1;
+            cold.setting_up = false;
+            let hot = &mut self.sm_hot[sm.index()];
+            let old = hot.current.take();
+            hot.state = SmState::Idle;
             if let Some(old_ksr) = old {
-                if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+                if let Some(k) = self.ksrt[old_ksr.index()].state.as_mut() {
                     k.note_unassigned();
                 }
             }
@@ -485,18 +592,18 @@ impl ExecutionEngine {
                 }
                 let est_latency = estimate.latency_of(chosen);
                 self.stats.adaptive_estimated_latency += est_latency;
-                self.sms[sm.index()].estimated_latency = Some(est_latency);
+                self.sm_cold[sm.index()].estimated_latency = Some(est_latency);
                 chosen
             }
         };
-        let status = &mut self.sms[sm.index()];
-        status.state = SmState::Reserved;
-        status.next = Some(next);
-        status.mechanism = Some(mechanism);
-        status.preempted_at = Some(now);
+        self.sm_hot[sm.index()].state = SmState::Reserved;
+        self.sm_hot[sm.index()].next = Some(next);
+        let cold = &mut self.sm_cold[sm.index()];
+        cold.mechanism = Some(mechanism);
+        cold.preempted_at = Some(now);
         match mechanism {
             PreemptionMechanism::Draining => {
-                if status.resident.is_empty() {
+                if cold.resident.is_empty() {
                     self.complete_preemption(now, sm);
                 }
                 // Otherwise resident blocks keep their completion events; the
@@ -508,26 +615,29 @@ impl ExecutionEngine {
                 // resident vector is drained in place so its capacity
                 // survives for the next residency (no per-preemption
                 // allocation).
-                status.epoch += 1;
-                let epoch = status.epoch;
-                status.saving = true;
-                let current = status.current.expect("running SM has a kernel");
+                cold.epoch += 1;
+                let epoch = cold.epoch;
+                cold.saving = true;
+                let current = self.sm_hot[sm.index()]
+                    .current
+                    .expect("running SM has a kernel");
                 let ExecutionEngine {
                     gpu,
                     preemption_cfg,
-                    sms,
+                    sm_cold,
                     ksrt,
                     ..
                 } = self;
-                let status = &mut sms[sm.index()];
+                let cold = &mut sm_cold[sm.index()];
                 let kernel = ksrt[current.index()]
+                    .state
                     .as_mut()
                     .expect("current kernel exists");
                 let footprint = kernel.launch().spec.footprint();
-                let n_saved = status.resident.len() as u32;
+                let n_saved = cold.resident.len() as u32;
                 let cost = ContextSwitchCost::new(gpu, preemption_cfg);
                 let save_time = cost.save_time(&footprint, n_saved);
-                for rb in status.resident.drain(..) {
+                for rb in cold.resident.drain(..) {
                     let elapsed = now - rb.issued_at;
                     let remaining = rb.duration.saturating_sub(elapsed);
                     kernel.note_block_preempted(PreemptedBlock {
@@ -551,11 +661,11 @@ impl ExecutionEngine {
     /// the engine would make. Returns [`PreemptionEstimate::ZERO`] for an SM
     /// with no current kernel.
     pub fn estimate_preemption(&self, now: SimTime, sm: SmId) -> PreemptionEstimate {
-        let status = &self.sms[sm.index()];
-        let Some(ksr) = status.current else {
+        let Some(ksr) = self.sm_hot[sm.index()].current else {
             return PreemptionEstimate::ZERO;
         };
         let footprint = self.ksrt[ksr.index()]
+            .state
             .as_ref()
             .expect("current kernel exists")
             .launch()
@@ -565,7 +675,10 @@ impl ExecutionEngine {
         PreemptionEstimate::for_elapsed(
             &self.estimator,
             ksr.index(),
-            status.resident.iter().map(|rb| now - rb.issued_at),
+            self.sm_cold[sm.index()]
+                .resident
+                .iter()
+                .map(|rb| now - rb.issued_at),
             &cost,
             &footprint,
         )
@@ -583,11 +696,11 @@ impl ExecutionEngine {
     /// preemption completes (§3.4 allows this to cope with long-latency
     /// preemptions). Returns `false` if the SM is not reserved.
     pub fn retarget_reservation(&mut self, sm: SmId, next: KsrIndex) -> bool {
-        let status = &mut self.sms[sm.index()];
-        if status.state != SmState::Reserved {
+        let hot = &mut self.sm_hot[sm.index()];
+        if hot.state != SmState::Reserved {
             return false;
         }
-        status.next = Some(next);
+        hot.next = Some(next);
         true
     }
 
@@ -609,12 +722,12 @@ impl ExecutionEngine {
     }
 
     fn on_quantum_tick(&mut self, now: SimTime, sm: SmId, epoch: u64) {
-        if self.sms[sm.index()].epoch != epoch {
+        if self.sm_cold[sm.index()].epoch != epoch {
             return;
         }
         // Quanta only matter while the SM is actually executing its kernel;
         // reserved and idle SMs have nothing for a policy to rotate.
-        if self.sms[sm.index()].state != SmState::Running {
+        if self.sm_hot[sm.index()].state != SmState::Running {
             return;
         }
         self.hooks.push(PolicyHook::QuantumExpired(sm));
@@ -631,7 +744,8 @@ impl ExecutionEngine {
             return;
         };
         // The slot may have been freed and reused since the tick was
-        // scheduled; the launch id disambiguates.
+        // scheduled; the generation already filters that, and the launch id
+        // keeps disambiguating as defence in depth.
         if kernel.launch().id != launch || kernel.is_finished() {
             return;
         }
@@ -644,23 +758,25 @@ impl ExecutionEngine {
     }
 
     fn on_setup_done(&mut self, now: SimTime, sm: SmId, epoch: u64) {
-        if self.sms[sm.index()].epoch != epoch {
+        if self.sm_cold[sm.index()].epoch != epoch {
             return;
         }
-        self.sms[sm.index()].setting_up = false;
+        self.sm_cold[sm.index()].setting_up = false;
         self.issue_blocks(now, sm);
     }
 
     fn on_block_done(&mut self, now: SimTime, sm: SmId, epoch: u64, block: ThreadBlockId) {
-        if self.sms[sm.index()].epoch != epoch {
+        let cold = &mut self.sm_cold[sm.index()];
+        if cold.epoch != epoch {
             return;
         }
-        let status = &mut self.sms[sm.index()];
-        let Some(pos) = status.resident.iter().position(|b| b.block == block) else {
+        let Some(pos) = cold.resident.iter().position(|b| b.block == block) else {
             return;
         };
-        let finished = status.resident.swap_remove(pos);
-        let Some(ksr) = status.current else { return };
+        let finished = cold.resident.swap_remove(pos);
+        let Some(ksr) = self.sm_hot[sm.index()].current else {
+            return;
+        };
         self.stats.blocks_completed += 1;
         self.stats.busy_time += finished.duration;
         // Feed the online estimator with the observed block duration.
@@ -671,6 +787,7 @@ impl ExecutionEngine {
         }
         let kernel_finished = {
             let k = self.ksrt[ksr.index()]
+                .state
                 .as_mut()
                 .expect("current kernel exists");
             k.note_block_completed();
@@ -680,12 +797,12 @@ impl ExecutionEngine {
             self.finish_kernel(now, ksr);
             return;
         }
-        match self.sms[sm.index()].state {
+        match self.sm_hot[sm.index()].state {
             SmState::Running => {
                 self.issue_blocks(now, sm);
             }
             SmState::Reserved => {
-                if self.sms[sm.index()].resident.is_empty() {
+                if self.sm_cold[sm.index()].resident.is_empty() {
                     self.complete_preemption(now, sm);
                 }
             }
@@ -694,10 +811,10 @@ impl ExecutionEngine {
     }
 
     fn on_save_done(&mut self, now: SimTime, sm: SmId, epoch: u64) {
-        if self.sms[sm.index()].epoch != epoch {
+        if self.sm_cold[sm.index()].epoch != epoch {
             return;
         }
-        self.sms[sm.index()].saving = false;
+        self.sm_cold[sm.index()].saving = false;
         self.complete_preemption(now, sm);
     }
 
@@ -709,59 +826,69 @@ impl ExecutionEngine {
     /// or the kernel has nothing left to issue. Preempted blocks are issued
     /// before fresh ones.
     fn issue_blocks(&mut self, now: SimTime, sm: SmId) {
-        let Some(ksr) = self.sms[sm.index()].current else {
+        let Some(ksr) = self.sm_hot[sm.index()].current else {
             return;
         };
-        if self.sms[sm.index()].state != SmState::Running || self.sms[sm.index()].setting_up {
+        if self.sm_hot[sm.index()].state != SmState::Running || self.sm_cold[sm.index()].setting_up
+        {
             return;
         }
-        let (footprint, blocks_per_sm, mean_block_time) = {
-            let k = self.ksrt[ksr.index()]
-                .as_ref()
-                .expect("current kernel exists");
-            (
-                k.launch().spec.footprint(),
-                k.blocks_per_sm(),
-                k.launch().spec.mean_block_time(),
-            )
-        };
         // Blocks arriving from the PTBQ were saved by a context switch, so
         // they pay the restore penalty on re-issue regardless of how future
-        // preemptions will be performed (draining never queues blocks).
-        let restore = ContextSwitchCost::new(&self.gpu, &self.preemption_cfg)
-            .restore_time_per_block(&footprint);
-        loop {
-            if self.sms[sm.index()].resident.len() as u32 >= blocks_per_sm {
-                return;
-            }
-            let taken = self.ksrt[ksr.index()]
+        // preemptions will be performed (draining never queues blocks). The
+        // penalty is fixed per launch and cached in the slot at admission.
+        let restore = self.ksrt[ksr.index()].restore;
+        let (blocks_per_sm, mean_block_time) = {
+            let k = self.ksrt[ksr.index()]
+                .state
+                .as_ref()
+                .expect("current kernel exists");
+            (k.blocks_per_sm(), k.launch().spec.mean_block_time())
+        };
+        let mut filled = true;
+        {
+            let ExecutionEngine {
+                params,
+                rng,
+                sm_cold,
+                ksrt,
+                scheduled,
+                ..
+            } = self;
+            let cold = &mut sm_cold[sm.index()];
+            let kernel = ksrt[ksr.index()]
+                .state
                 .as_mut()
-                .expect("current kernel exists")
-                .take_next_block();
-            let Some((block, restored_remaining)) = taken else {
-                break;
-            };
-            let restored = restored_remaining.is_some();
-            let duration = match restored_remaining {
-                Some(remaining) => remaining + restore,
-                None => self
-                    .rng
-                    .jittered(mean_block_time, self.params.block_time_jitter),
-            };
-            let status = &mut self.sms[sm.index()];
-            status.resident.push(ResidentBlock {
-                block,
-                issued_at: now,
-                duration,
-                restored,
-            });
-            let epoch = status.epoch;
-            self.scheduled
-                .push((now + duration, EngineEvent::BlockDone { sm, epoch, block }));
+                .expect("current kernel exists");
+            let epoch = cold.epoch;
+            loop {
+                if cold.resident.len() as u32 >= blocks_per_sm {
+                    break;
+                }
+                let Some((block, restored_remaining)) = kernel.take_next_block() else {
+                    filled = false;
+                    break;
+                };
+                let restored = restored_remaining.is_some();
+                let duration = match restored_remaining {
+                    Some(remaining) => remaining + restore,
+                    None => rng.jittered(mean_block_time, params.block_time_jitter),
+                };
+                cold.resident.push(ResidentBlock {
+                    block,
+                    issued_at: now,
+                    duration,
+                    restored,
+                });
+                scheduled.push((now + duration, EngineEvent::BlockDone { sm, epoch, block }));
+            }
+        }
+        if filled {
+            return;
         }
         // Nothing left to issue: if the SM also has no resident blocks it
         // cannot contribute to this kernel any more and becomes idle.
-        if self.sms[sm.index()].resident.is_empty() {
+        if self.sm_cold[sm.index()].resident.is_empty() {
             self.release_sm(sm);
             self.hooks.push(PolicyHook::SmIdle(sm));
         }
@@ -771,14 +898,14 @@ impl ExecutionEngine {
     /// records the request-to-hand-over latency and, when the adaptive
     /// selector made the decision, the estimate error.
     fn note_preemption_complete(&mut self, now: SimTime, sm_index: usize) {
-        let status = &mut self.sms[sm_index];
-        let Some(started) = status.preempted_at.take() else {
+        let cold = &mut self.sm_cold[sm_index];
+        let Some(started) = cold.preempted_at.take() else {
             return;
         };
         let actual = now - started;
         self.stats.preemptions_completed += 1;
         self.stats.preemption_latency_total += actual;
-        if let Some(estimated) = status.estimated_latency.take() {
+        if let Some(estimated) = cold.estimated_latency.take() {
             let error = if estimated >= actual {
                 estimated - actual
             } else {
@@ -794,14 +921,15 @@ impl ExecutionEngine {
     fn complete_preemption(&mut self, now: SimTime, sm: SmId) {
         self.note_preemption_complete(now, sm.index());
         let next = {
-            let status = &mut self.sms[sm.index()];
-            status.mechanism = None;
-            status.saving = false;
-            let old = status.current.take();
-            let next = status.next.take();
-            status.state = SmState::Idle;
+            let cold = &mut self.sm_cold[sm.index()];
+            cold.mechanism = None;
+            cold.saving = false;
+            let hot = &mut self.sm_hot[sm.index()];
+            let old = hot.current.take();
+            let next = hot.next.take();
+            hot.state = SmState::Idle;
             if let Some(old_ksr) = old {
-                if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+                if let Some(k) = self.ksrt[old_ksr.index()].state.as_mut() {
                     k.note_unassigned();
                 }
             }
@@ -818,17 +946,18 @@ impl ExecutionEngine {
 
     /// Marks the SM idle and unassigns it from its current kernel.
     fn release_sm(&mut self, sm: SmId) {
-        let status = &mut self.sms[sm.index()];
-        let old = status.current.take();
-        status.state = SmState::Idle;
-        status.next = None;
-        status.mechanism = None;
-        status.setting_up = false;
-        status.saving = false;
-        status.preempted_at = None;
-        status.estimated_latency = None;
+        let hot = &mut self.sm_hot[sm.index()];
+        let old = hot.current.take();
+        hot.state = SmState::Idle;
+        hot.next = None;
+        let cold = &mut self.sm_cold[sm.index()];
+        cold.mechanism = None;
+        cold.setting_up = false;
+        cold.saving = false;
+        cold.preempted_at = None;
+        cold.estimated_latency = None;
         if let Some(old_ksr) = old {
-            if let Some(k) = self.ksrt[old_ksr.index()].as_mut() {
+            if let Some(k) = self.ksrt[old_ksr.index()].state.as_mut() {
                 k.note_unassigned();
             }
         }
@@ -839,6 +968,7 @@ impl ExecutionEngine {
     /// waiting kernel into the freed slot.
     fn finish_kernel(&mut self, now: SimTime, ksr: KsrIndex) {
         let state = self.ksrt[ksr.index()]
+            .state
             .take()
             .expect("finishing an active kernel");
         debug_assert!(
@@ -846,48 +976,50 @@ impl ExecutionEngine {
             "kernel finished with unexecuted blocks"
         );
         self.stats.kernels_completed += 1;
-        let launch = state.launch();
+        let launch_id = state.launch().id;
         self.completions.push(KernelCompletion {
-            launch: launch.id,
-            command: launch.command,
-            process: launch.process,
+            launch: launch_id,
+            command: state.launch().command,
+            process: state.launch().process,
             started_at: state.started_at().unwrap_or(now),
             finished_at: now,
         });
         self.hooks.push(PolicyHook::KernelFinished {
             ksr,
-            launch: launch.id,
+            launch: launch_id,
         });
+        // Pool the kernel's PTBQ storage for the slot's next occupant.
+        self.ksrt[ksr.index()].spare_ptbq = state.into_ptbq();
         // Release SMs that were running this kernel (they have no resident
         // blocks left) and fix up reservations that point at it.
-        for i in 0..self.sms.len() {
+        for i in 0..self.sm_hot.len() {
             let sm_id = SmId::new(i as u32);
             let (is_current, is_reserved_for) = {
-                let s = &self.sms[i];
-                (s.current == Some(ksr), s.next == Some(ksr))
+                let h = &self.sm_hot[i];
+                (h.current == Some(ksr), h.next == Some(ksr))
             };
             if is_current {
-                match self.sms[i].state {
+                match self.sm_hot[i].state {
                     SmState::Running => {
-                        debug_assert!(self.sms[i].resident.is_empty());
+                        debug_assert!(self.sm_cold[i].resident.is_empty());
                         // Invalidate any in-flight setup events.
-                        self.sms[i].epoch += 1;
-                        self.sms[i].current = None;
-                        self.sms[i].state = SmState::Idle;
-                        self.sms[i].setting_up = false;
+                        self.sm_cold[i].epoch += 1;
+                        self.sm_hot[i].current = None;
+                        self.sm_hot[i].state = SmState::Idle;
+                        self.sm_cold[i].setting_up = false;
                         self.hooks.push(PolicyHook::SmIdle(sm_id));
                     }
                     SmState::Reserved => {
                         // The kernel being preempted finished on its own; the
                         // reservation resolves immediately.
-                        debug_assert!(self.sms[i].resident.is_empty());
+                        debug_assert!(self.sm_cold[i].resident.is_empty());
                         self.note_preemption_complete(now, i);
-                        self.sms[i].epoch += 1;
-                        self.sms[i].current = None;
-                        self.sms[i].saving = false;
-                        let next = self.sms[i].next.take();
-                        self.sms[i].state = SmState::Idle;
-                        self.sms[i].mechanism = None;
+                        self.sm_cold[i].epoch += 1;
+                        self.sm_hot[i].current = None;
+                        self.sm_cold[i].saving = false;
+                        let next = self.sm_hot[i].next.take();
+                        self.sm_hot[i].state = SmState::Idle;
+                        self.sm_cold[i].mechanism = None;
                         let assigned = match next {
                             Some(n) if n != ksr => self.assign_sm(now, sm_id, n),
                             _ => false,
@@ -902,7 +1034,7 @@ impl ExecutionEngine {
                 // The kernel this SM was reserved for no longer exists; leave
                 // the preemption running but drop the target so the SM goes
                 // idle (and raises a hook) when the preemption completes.
-                self.sms[i].next = None;
+                self.sm_hot[i].next = None;
             }
         }
         // Admit a waiting kernel into the freed slot.
@@ -972,40 +1104,44 @@ impl PreemptionCostView<'_> {
 impl ExecutionEngine {
     /// Checks engine-wide invariants; used by tests and the property suite.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, k) in self.ksrt.iter().enumerate() {
-            if let Some(k) = k {
+        for (i, slot) in self.ksrt.iter().enumerate() {
+            if let Some(k) = &slot.state {
                 if !k.check_block_accounting() {
                     return Err(format!("KSR{i}: block accounting broken"));
                 }
             }
         }
-        for (i, s) in self.sms.iter().enumerate() {
-            if let Some(ksr) = s.current {
-                if self.ksrt[ksr.index()].is_none() {
-                    return Err(format!("SM{i} points at an empty KSRT slot"));
+        for i in 0..self.sm_hot.len() {
+            let hot = &self.sm_hot[i];
+            let cold = &self.sm_cold[i];
+            if let Some(ksr) = hot.current {
+                if self.kernel(ksr).is_none() {
+                    return Err(format!("SM{i} points at an empty or stale KSRT slot"));
                 }
             }
-            if s.is_idle() && !s.resident.is_empty() {
+            if hot.is_idle() && !cold.resident.is_empty() {
                 return Err(format!("SM{i} is idle but has resident blocks"));
             }
-            if s.is_idle() && s.current.is_some() {
+            if hot.is_idle() && hot.current.is_some() {
                 return Err(format!("SM{i} is idle but owns a kernel"));
             }
             // Per-preemption mechanism bookkeeping: exactly the reserved SMs
             // carry an in-flight mechanism and a preemption start time.
-            if s.state == SmState::Reserved && (s.mechanism.is_none() || s.preempted_at.is_none()) {
+            if hot.state == SmState::Reserved
+                && (cold.mechanism.is_none() || cold.preempted_at.is_none())
+            {
                 return Err(format!("SM{i} is reserved without preemption bookkeeping"));
             }
-            if s.state != SmState::Reserved && s.mechanism.is_some() {
+            if hot.state != SmState::Reserved && cold.mechanism.is_some() {
                 return Err(format!("SM{i} carries a mechanism but is not reserved"));
             }
         }
-        for (i, k) in self.ksrt.iter().enumerate() {
-            if let Some(k) = k {
+        for (i, slot) in self.ksrt.iter().enumerate() {
+            if let Some(k) = &slot.state {
                 let assigned = self
-                    .sms
+                    .sm_hot
                     .iter()
-                    .filter(|s| s.current == Some(KsrIndex(i as u32)))
+                    .filter(|h| h.current.map(KsrIndex::index) == Some(i))
                     .count() as u32;
                 if assigned != k.assigned_sms() {
                     return Err(format!(

@@ -4,8 +4,11 @@
 //! scheduling policy can decide when and where kernels run:
 //!
 //! * the **Kernel Status Register Table** (KSRT) — one [`KernelState`] per
-//!   active kernel, indexed by [`KsrIndex`],
-//! * the **SM Status Table** (SMST) — one [`SmStatus`] per SM,
+//!   active kernel, indexed by the generational [`KsrIndex`],
+//! * the **SM Status Table** (SMST) — per-SM state split into a hot
+//!   struct-of-arrays column ([`SmHot`]: the fields every scheduler scan
+//!   touches) and cold bookkeeping ([`SmCold`]), re-stitched into the
+//!   public [`SmStatus`] view,
 //! * the **Preempted Thread Block Queues** (PTBQ) — per-kernel queues of
 //!   thread blocks that were context-switched out and wait to be re-issued.
 
@@ -14,25 +17,46 @@ use crate::preempt::PreemptionMechanism;
 use gpreempt_types::{GpuConfig, SimTime, ThreadBlockId};
 use std::collections::VecDeque;
 
-/// Index of an entry in the Kernel Status Register Table.
+/// Generational index of an entry in the Kernel Status Register Table.
+///
+/// The slot part addresses the table; the generation identifies one
+/// occupancy of that slot. Slots are reused the moment a kernel finishes,
+/// and policies as well as in-flight events hold handles across that reuse
+/// — the generation makes such stale handles resolve to `None` instead of
+/// silently aliasing the new occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct KsrIndex(pub(crate) u32);
+pub struct KsrIndex {
+    slot: u32,
+    gen: u32,
+}
 
 impl KsrIndex {
-    /// Creates an index (mainly useful in tests).
+    /// Creates a handle at generation zero (mainly useful in tests). Live
+    /// slots are always at generation one or later, so a handle built this
+    /// way never resolves to a kernel.
     pub const fn new(raw: u32) -> Self {
-        KsrIndex(raw)
+        KsrIndex { slot: raw, gen: 0 }
+    }
+
+    /// A handle for one specific occupancy of a slot.
+    pub(crate) const fn with_gen(slot: u32, gen: u32) -> Self {
+        KsrIndex { slot, gen }
     }
 
     /// The raw table index.
     pub const fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
+    }
+
+    /// The occupancy this handle refers to.
+    pub(crate) const fn generation(self) -> u32 {
+        self.gen
     }
 }
 
 impl std::fmt::Display for KsrIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "KSR{}", self.0)
+        write!(f, "KSR{}", self.slot)
     }
 }
 
@@ -63,7 +87,21 @@ pub struct KernelState {
 
 impl KernelState {
     /// Creates the state for a newly admitted kernel.
+    #[cfg(test)]
     pub(crate) fn new(launch: KernelLaunch, gpu: &GpuConfig, admitted_at: SimTime) -> Self {
+        Self::new_pooled(launch, gpu, admitted_at, VecDeque::new())
+    }
+
+    /// Creates the state for a newly admitted kernel, reusing the PTBQ
+    /// storage left behind by the slot's previous occupant so successive
+    /// launches through one slot allocate nothing.
+    pub(crate) fn new_pooled(
+        launch: KernelLaunch,
+        gpu: &GpuConfig,
+        admitted_at: SimTime,
+        mut ptbq: VecDeque<PreemptedBlock>,
+    ) -> Self {
+        ptbq.clear();
         let blocks_per_sm = launch.spec.footprint().max_blocks_per_sm(gpu).max(1);
         KernelState {
             launch,
@@ -74,8 +112,14 @@ impl KernelState {
             running: 0,
             assigned_sms: 0,
             started_at: None,
-            ptbq: VecDeque::new(),
+            ptbq,
         }
+    }
+
+    /// Consumes the state, returning its PTBQ storage for pooling.
+    pub(crate) fn into_ptbq(mut self) -> VecDeque<PreemptedBlock> {
+        self.ptbq.clear();
+        self.ptbq
     }
 
     /// The launch command this entry tracks.
@@ -249,12 +293,35 @@ pub struct ResidentBlock {
     pub restored: bool,
 }
 
-/// One entry of the SM Status Table.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SmStatus {
+/// The hot column of the SM Status Table: the fields every scheduler scan
+/// (idle search, ownership count, victim selection) reads. Kept in its own
+/// dense array so those scans touch a few contiguous cache lines instead of
+/// striding over the cold bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SmHot {
     pub(crate) state: SmState,
     pub(crate) current: Option<KsrIndex>,
     pub(crate) next: Option<KsrIndex>,
+}
+
+impl SmHot {
+    pub(crate) fn new() -> Self {
+        SmHot {
+            state: SmState::Idle,
+            current: None,
+            next: None,
+        }
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.state == SmState::Idle
+    }
+}
+
+/// The cold column of the SM Status Table: per-SM bookkeeping only touched
+/// when the SM itself acts (block issue/completion, preemption mechanics).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SmCold {
     pub(crate) mechanism: Option<PreemptionMechanism>,
     pub(crate) resident: Vec<ResidentBlock>,
     pub(crate) epoch: u64,
@@ -267,12 +334,9 @@ pub struct SmStatus {
     pub(crate) estimated_latency: Option<SimTime>,
 }
 
-impl SmStatus {
+impl SmCold {
     pub(crate) fn new() -> Self {
-        SmStatus {
-            state: SmState::Idle,
-            current: None,
-            next: None,
+        SmCold {
             mechanism: None,
             resident: Vec::new(),
             epoch: 0,
@@ -283,62 +347,79 @@ impl SmStatus {
         }
     }
 
+    /// Rewinds to the freshly-constructed state, keeping the resident-block
+    /// storage so a reused engine allocates nothing per scenario.
+    pub(crate) fn reset(&mut self) {
+        self.mechanism = None;
+        self.resident.clear();
+        self.epoch = 0;
+        self.setting_up = false;
+        self.saving = false;
+        self.preempted_at = None;
+        self.estimated_latency = None;
+    }
+}
+
+/// One entry of the SM Status Table, as seen by policies and tests: a
+/// read-only view stitching the hot scan column and the cold bookkeeping
+/// back together.
+#[derive(Debug, Clone, Copy)]
+pub struct SmStatus<'a> {
+    pub(crate) hot: &'a SmHot,
+    pub(crate) cold: &'a SmCold,
+}
+
+impl SmStatus<'_> {
     /// The SM's scheduling state.
     pub fn state(&self) -> SmState {
-        self.state
+        self.hot.state
     }
 
     /// The kernel currently owning the SM, if any.
     pub fn current_kernel(&self) -> Option<KsrIndex> {
-        self.current
+        self.hot.current
     }
 
     /// The kernel the SM is reserved for, if a preemption is in flight.
     pub fn next_kernel(&self) -> Option<KsrIndex> {
-        self.next
+        self.hot.next
     }
 
     /// Number of thread blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.resident.len()
+        self.cold.resident.len()
     }
 
     /// Whether the SM is idle.
     pub fn is_idle(&self) -> bool {
-        self.state == SmState::Idle
+        self.hot.state == SmState::Idle
     }
 
     /// Whether a preemption (of either mechanism) is in progress.
     pub fn is_preempting(&self) -> bool {
-        self.state == SmState::Reserved
+        self.hot.state == SmState::Reserved
     }
 
     /// The mechanism of the in-flight preemption, if one is in progress.
     /// Under adaptive selection this can differ from SM to SM.
     pub fn preempting_with(&self) -> Option<PreemptionMechanism> {
-        self.mechanism
+        self.cold.mechanism
     }
 
     /// When the in-flight preemption was requested, if one is in progress.
     pub fn preempted_at(&self) -> Option<SimTime> {
-        self.preempted_at
+        self.cold.preempted_at
     }
 
     /// Whether the SM is being set up for a kernel (context transfer from
     /// the SM driver).
     pub fn is_setting_up(&self) -> bool {
-        self.setting_up
+        self.cold.setting_up
     }
 
     /// Whether a context save is in progress.
     pub fn is_saving(&self) -> bool {
-        self.saving
-    }
-}
-
-impl Default for SmStatus {
-    fn default() -> Self {
-        Self::new()
+        self.cold.saving
     }
 }
 
@@ -424,8 +505,30 @@ mod tests {
     }
 
     #[test]
+    fn pooled_state_reuses_ptbq_storage() {
+        let gpu = GpuConfig::default();
+        let mut ks = KernelState::new(launch(10), &gpu, SimTime::ZERO);
+        let (b0, _) = ks.take_next_block().unwrap();
+        ks.note_block_preempted(PreemptedBlock {
+            block: b0,
+            remaining: SimTime::from_micros(4),
+        });
+        let ptbq = ks.into_ptbq();
+        assert!(ptbq.is_empty(), "pooled storage comes back cleared");
+        assert!(ptbq.capacity() >= 1, "pooled storage keeps its allocation");
+        let reused = KernelState::new_pooled(launch(5), &gpu, SimTime::ZERO, ptbq);
+        assert_eq!(reused.preempted_blocks(), 0);
+        assert_eq!(reused.blocks_to_issue(), 5);
+    }
+
+    #[test]
     fn sm_status_defaults() {
-        let sm = SmStatus::new();
+        let hot = SmHot::new();
+        let cold = SmCold::new();
+        let sm = SmStatus {
+            hot: &hot,
+            cold: &cold,
+        };
         assert!(sm.is_idle());
         assert!(!sm.is_preempting());
         assert!(!sm.is_setting_up());
@@ -442,5 +545,15 @@ mod tests {
     fn ksr_index_display() {
         assert_eq!(KsrIndex::new(3).to_string(), "KSR3");
         assert_eq!(KsrIndex::new(3).index(), 3);
+    }
+
+    #[test]
+    fn generations_disambiguate_slot_reuse() {
+        let a = KsrIndex::with_gen(3, 1);
+        let b = KsrIndex::with_gen(3, 2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(KsrIndex::new(3).generation(), 0);
+        assert_eq!(a.to_string(), "KSR3");
     }
 }

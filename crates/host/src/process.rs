@@ -127,6 +127,35 @@ impl ProcessModel {
         self
     }
 
+    /// Reinitialises the model in place for a fresh run, keeping the
+    /// backlog and outstanding-command allocations. Observationally
+    /// identical to `new(id, trace, priority).with_arrival(arrival, cap)`.
+    pub fn reset(
+        &mut self,
+        id: ProcessId,
+        trace: BenchmarkTrace,
+        priority: Priority,
+        arrival: ArrivalProcess,
+        backlog_cap: u32,
+    ) {
+        self.id = id;
+        self.priority = priority;
+        self.trace = trace;
+        self.pc = 0;
+        self.state = ProcessState::Ready;
+        self.outstanding.clear();
+        self.iteration = 0;
+        self.iteration_start = SimTime::ZERO;
+        self.completions = 0;
+        self.arrival = arrival;
+        self.backlog_cap = backlog_cap.max(1);
+        self.released = SimTime::ZERO;
+        self.backlog.clear();
+        self.burst_pos = 0;
+        self.stats = ArrivalStats::default();
+        self.depth_updated = SimTime::ZERO;
+    }
+
     /// The process id.
     pub fn id(&self) -> ProcessId {
         self.id

@@ -130,7 +130,7 @@ impl HostSystem {
     /// (their streams are never drawn from).
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.arrival_rngs = Self::derive_rngs(seed, self.processes.len());
+        self.reseed_rngs(seed);
         self
     }
 
@@ -139,6 +139,58 @@ impl HostSystem {
         // The salt offset decorrelates arrival draws from the engine's
         // block-jitter streams, which derive directly from process ids.
         (0..n).map(|i| root.derive(0xA221_u64 + i as u64)).collect()
+    }
+
+    fn reseed_rngs(&mut self, seed: u64) {
+        let root = SimRng::new(seed);
+        self.arrival_rngs.clear();
+        self.arrival_rngs
+            .extend((0..self.processes.len()).map(|i| root.derive(0xA221_u64 + i as u64)));
+    }
+
+    /// Reinitialises the host in place for a new workload, reusing every
+    /// allocation the previous run grew (process models, dispatcher
+    /// queues, drain buffers, RNG streams). The reset host is
+    /// observationally identical to one built by
+    /// `HostSystem::new(workload, pcie, transfer_policy).with_seed(seed)`.
+    pub fn reset(
+        &mut self,
+        workload: &Workload,
+        pcie: PcieConfig,
+        transfer_policy: TransferPolicy,
+        seed: u64,
+    ) {
+        let specs = workload.processes();
+        self.processes.truncate(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            if i < self.processes.len() {
+                self.processes[i].reset(
+                    ProcessId::from(i),
+                    spec.benchmark.clone(),
+                    spec.effective_priority(),
+                    spec.arrival,
+                    spec.backlog_cap,
+                );
+            } else {
+                self.processes.push(
+                    ProcessModel::new(
+                        ProcessId::from(i),
+                        spec.benchmark.clone(),
+                        spec.effective_priority(),
+                    )
+                    .with_arrival(spec.arrival, spec.backlog_cap),
+                );
+            }
+        }
+        self.dispatcher.reset();
+        self.transfer.reset(pcie, transfer_policy);
+        self.command_owner.clear();
+        self.next_command = 0;
+        self.scheduled.clear();
+        self.launches.clear();
+        self.iterations.clear();
+        self.release_requests.clear();
+        self.reseed_rngs(seed);
     }
 
     /// The per-process models (read-only).

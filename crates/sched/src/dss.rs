@@ -13,7 +13,7 @@
 //! to go into debt (negative token counts), which keeps the policy
 //! work-conserving.
 
-use crate::policy::{owned_sms, SchedulingPolicy};
+use crate::policy::SchedulingPolicy;
 use gpreempt_gpu::{ExecutionEngine, KsrIndex, SmState};
 use gpreempt_types::{KernelLaunchId, ProcessId, SimTime, SmId};
 use std::collections::HashMap;
@@ -25,6 +25,13 @@ pub struct DssPolicy {
     budgets: HashMap<ProcessId, i32>,
     /// Budget used for processes that were not explicitly configured.
     default_budget: i32,
+    /// Per-KSRT-slot owned-SM counts, rebuilt by one SMST pass per
+    /// rebalance step (`refresh_scratch`). Policy-held so the hot
+    /// rebalance loop allocates nothing.
+    scratch_owned: Vec<i32>,
+    /// Per-KSRT-slot first preemptible SM (lowest-id running SM assigned to
+    /// the slot's kernel), from the same pass.
+    scratch_victim: Vec<Option<SmId>>,
 }
 
 impl DssPolicy {
@@ -34,6 +41,8 @@ impl DssPolicy {
         DssPolicy {
             budgets,
             default_budget: default_budget.max(0),
+            scratch_owned: Vec::new(),
+            scratch_victim: Vec::new(),
         }
     }
 
@@ -53,6 +62,8 @@ impl DssPolicy {
         DssPolicy {
             budgets,
             default_budget: base.max(1),
+            scratch_owned: Vec::new(),
+            scratch_victim: Vec::new(),
         }
     }
 
@@ -64,14 +75,45 @@ impl DssPolicy {
             .unwrap_or(self.default_budget)
     }
 
+    /// Rebuilds the per-slot scratch in one pass over the SM Status Table:
+    /// how many SMs each kernel owns (assigned, or reserved for it) and the
+    /// first running SM that could be preempted from it. This replaces the
+    /// per-kernel SMST rescans (`owned_sms` per candidate per step) that
+    /// dominated the rebalance cost.
+    fn refresh_scratch(&mut self, engine: &ExecutionEngine) {
+        let n = engine.n_sms() as usize;
+        self.scratch_owned.clear();
+        self.scratch_owned.resize(n, 0);
+        self.scratch_victim.clear();
+        self.scratch_victim.resize(n, None);
+        for sm in engine.sm_ids() {
+            let s = engine.sm(sm);
+            // Ownership, matching `owned_sms`: a reservation transfers the
+            // token to the incoming kernel; otherwise the current kernel
+            // holds it.
+            let owner = s.next_kernel().or_else(|| s.current_kernel());
+            if let Some(k) = owner {
+                self.scratch_owned[k.index()] += 1;
+            }
+            if s.state() == SmState::Running {
+                if let Some(k) = s.current_kernel() {
+                    let victim = &mut self.scratch_victim[k.index()];
+                    if victim.is_none() {
+                        *victim = Some(sm);
+                    }
+                }
+            }
+        }
+    }
+
     /// The *current* token count of a kernel: its process budget minus the
-    /// SMs it currently owns (assigned or reserved for it). Kernels holding
-    /// more SMs than their budget have a negative count (debt).
+    /// SMs it currently owns (per the scratch). Kernels holding more SMs
+    /// than their budget have a negative count (debt).
     fn token_count(&self, engine: &ExecutionEngine, ksr: KsrIndex) -> i32 {
         let Some(kernel) = engine.kernel(ksr) else {
             return i32::MIN;
         };
-        self.budget(kernel.launch().process) - owned_sms(engine, ksr) as i32
+        self.budget(kernel.launch().process) - self.scratch_owned[ksr.index()]
     }
 
     /// The kernel with the highest token count that still has blocks to
@@ -99,17 +141,9 @@ impl DssPolicy {
         engine
             .active_kernels()
             .filter(|&k| k != exclude)
-            .filter(|&k| self.preemptible_sm_of(engine, k).is_some())
+            .filter(|&k| self.scratch_victim[k.index()].is_some())
             .map(|k| (k, self.token_count(engine, k)))
             .min_by_key(|&(k, c)| (c, k.index()))
-    }
-
-    /// A running (not yet reserved) SM currently assigned to `ksr`.
-    fn preemptible_sm_of(&self, engine: &ExecutionEngine, ksr: KsrIndex) -> Option<SmId> {
-        engine.sm_ids().find(|&sm| {
-            let s = engine.sm(sm);
-            s.state() == SmState::Running && s.current_kernel() == Some(ksr)
-        })
     }
 
     /// Algorithm 1: repartition the SMs among the active kernels.
@@ -131,6 +165,10 @@ impl DssPolicy {
         // upper bound that guarantees termination.
         let max_steps = (engine.n_sms() as usize + 1).pow(2);
         for _ in 0..max_steps {
+            // Each step either assigns or preempts exactly one SM, so the
+            // scratch rebuilt here stays valid for the whole step (a failed
+            // admission attempt mutates nothing).
+            self.refresh_scratch(engine);
             let Some((rich, rich_count)) = self.richest_needy(engine) else {
                 return;
             };
@@ -160,7 +198,7 @@ impl DssPolicy {
             if rich_count <= poor_count + 1 {
                 return;
             }
-            let Some(victim) = self.preemptible_sm_of(engine, poor) else {
+            let Some(victim) = self.scratch_victim[poor.index()] else {
                 return;
             };
             if !engine.preempt_sm(now, victim, rich) {

@@ -3,6 +3,38 @@
 use gpreempt_gpu::{ExecutionEngine, KsrIndex, PolicyHook};
 use gpreempt_types::{AdmissionDecision, KernelLaunchId, ProcessId, SimTime, SmId};
 
+/// Context of one open-arrival release request, handed to
+/// [`SchedulingPolicy::on_release_requested`].
+///
+/// The simulator resolves the releasing process's real-time contract into
+/// an absolute deadline and pre-computes a lower bound on the service one
+/// iteration needs, so a policy can recognise an already-infeasible release
+/// without walking the trace itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseInfo {
+    /// When the request was released.
+    pub released: SimTime,
+    /// Absolute deadline of the released iteration (release + relative
+    /// deadline), if the process carries a real-time contract.
+    pub deadline: Option<SimTime>,
+    /// Lower bound on the service the iteration still needs: the sum of its
+    /// CPU phases plus at least one thread-block wave per launched kernel.
+    /// Optimistic by construction — an iteration can never finish faster —
+    /// so shedding on it never drops a feasible release.
+    pub min_service: SimTime,
+}
+
+impl ReleaseInfo {
+    /// Whether the release can no longer meet its deadline even if admitted
+    /// and serviced at the minimum-service bound starting right `now`.
+    pub fn is_infeasible(&self, now: SimTime) -> bool {
+        match self.deadline {
+            Some(deadline) => now + self.min_service > deadline,
+            None => false,
+        }
+    }
+}
+
 /// A scheduling policy plugged into the hardware scheduling framework
 /// (§3.3/§3.4 of the paper).
 ///
@@ -63,21 +95,27 @@ pub trait SchedulingPolicy: std::fmt::Debug {
     /// shed it, or defer the decision ([`AdmissionDecision::Defer`]) under
     /// transient overload.
     ///
-    /// Default-implemented as "admit while below the cap, shed at it" —
-    /// the pure bounded-queue behaviour, so existing policies gain
-    /// load-shedding without code changes. Closed-loop workloads never
-    /// raise this hook. The host enforces `backlog_cap` regardless of the
-    /// answer, so an over-eager policy cannot overfill the queue.
+    /// Default-implemented as deadline-aware bounded queueing: a release
+    /// whose absolute deadline is already infeasible given the iteration's
+    /// minimum remaining service ([`ReleaseInfo::is_infeasible`]) is shed
+    /// outright — admitting it could only burn GPU time on a guaranteed
+    /// deadline miss — and otherwise the release is admitted while the
+    /// backlog is below the cap and shed at it. Processes without a
+    /// real-time contract keep the pure bounded-queue behaviour.
+    /// Closed-loop workloads never raise this hook. The host enforces
+    /// `backlog_cap` regardless of the answer, so an over-eager policy
+    /// cannot overfill the queue.
     fn on_release_requested(
         &mut self,
         now: SimTime,
         process: ProcessId,
+        release: ReleaseInfo,
         backlog: u32,
         backlog_cap: u32,
         engine: &ExecutionEngine,
     ) -> AdmissionDecision {
-        let _ = (now, process, engine);
-        if backlog >= backlog_cap {
+        let _ = (process, engine);
+        if release.is_infeasible(now) || backlog >= backlog_cap {
             AdmissionDecision::Shed
         } else {
             AdmissionDecision::Admit
@@ -261,6 +299,61 @@ mod tests {
         assert_eq!(
             assign_idle_sms(SimTime::ZERO, &mut e, KsrIndex::new(5), None),
             0
+        );
+    }
+
+    fn release(deadline: Option<SimTime>, min_service: SimTime) -> ReleaseInfo {
+        ReleaseInfo {
+            released: SimTime::ZERO,
+            deadline,
+            min_service,
+        }
+    }
+
+    #[test]
+    fn infeasibility_needs_a_deadline_and_too_little_slack() {
+        let now = SimTime::from_micros(100);
+        // No real-time contract: never infeasible.
+        assert!(!release(None, SimTime::from_micros(1_000)).is_infeasible(now));
+        // Deadline still reachable at the minimum-service bound.
+        let feasible = release(Some(SimTime::from_micros(150)), SimTime::from_micros(50));
+        assert!(!feasible.is_infeasible(now));
+        // One nanosecond past reachable: infeasible.
+        let late = release(
+            Some(SimTime::from_micros(150)),
+            SimTime::from_micros(50) + SimTime::from_nanos(1),
+        );
+        assert!(late.is_infeasible(now));
+    }
+
+    #[test]
+    fn default_admission_sheds_infeasible_releases() {
+        let e = engine();
+        let mut policy = crate::FcfsPolicy::new();
+        let now = SimTime::from_micros(100);
+        let p = ProcessId::new(0);
+        // Deadline already blown: shed even with a free backlog slot.
+        let blown = release(Some(SimTime::from_micros(120)), SimTime::from_micros(50));
+        assert_eq!(
+            policy.on_release_requested(now, p, blown, 0, 4, &e),
+            AdmissionDecision::Shed
+        );
+        // Feasible deadline: plain bounded queueing applies.
+        let ok = release(Some(SimTime::from_micros(200)), SimTime::from_micros(50));
+        assert_eq!(
+            policy.on_release_requested(now, p, ok, 0, 4, &e),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(
+            policy.on_release_requested(now, p, ok, 4, 4, &e),
+            AdmissionDecision::Shed,
+            "backlog at cap still sheds"
+        );
+        // No contract: admitted while below the cap, regardless of service.
+        let best_effort = release(None, SimTime::from_micros(1_000_000));
+        assert_eq!(
+            policy.on_release_requested(now, p, best_effort, 3, 4, &e),
+            AdmissionDecision::Admit
         );
     }
 }

@@ -1,0 +1,68 @@
+//! Opt-in allocation counting for harness instrumentation.
+//!
+//! Binaries and tests that want per-scenario allocation accounting install
+//! [`CountingAlloc`] as their `#[global_allocator]`; everything else pays
+//! nothing (the library never installs it). The counter is **per thread**,
+//! so parallel sweep workers charge each scenario to the worker that ran
+//! it without cross-thread noise.
+//!
+//! ```
+//! // #[global_allocator]
+//! // static ALLOC: gpreempt_sim::CountingAlloc = gpreempt_sim::CountingAlloc::new();
+//! let before = gpreempt_sim::thread_allocations();
+//! let v = vec![1, 2, 3];
+//! // With the counting allocator installed the delta would be ≥ 1;
+//! // without it both reads are 0 and the delta is 0.
+//! assert!(gpreempt_sim::thread_allocations() >= before);
+//! drop(v);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A drop-in `#[global_allocator]` that forwards every request to the
+/// system allocator while counting allocation events (fresh allocations and
+/// reallocations; frees are not counted) on the current thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Creates the allocator (const, so it can initialise a static).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+#[inline]
+fn bump() {
+    // `try_with`: the TLS slot may already be gone during thread teardown,
+    // and a global allocator must never panic.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation events counted on the current thread so far. Reads zero
+/// (forever) unless the process installed [`CountingAlloc`] as its global
+/// allocator; callers diff two reads around the region of interest.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc_count;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use alloc_count::{thread_allocations, CountingAlloc};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::Summary;

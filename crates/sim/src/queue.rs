@@ -5,16 +5,24 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-/// One scheduled entry: time, insertion sequence number and payload.
+/// One scheduled entry: ordering key and payload. The key packs the
+/// timestamp (high 64 bits) over the insertion sequence number (low 64
+/// bits), so the heap's sift comparisons are a single `u128` compare while
+/// preserving exactly the (time, insertion-order) delivery discipline.
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    key: u128,
     event: E,
+}
+
+impl<E> Entry<E> {
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -29,10 +37,7 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (and, for
         // ties, the earliest insertion) is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -91,6 +96,17 @@ impl<E> EventQueue<E> {
         self.heap.capacity()
     }
 
+    /// Grows the backing storage to hold at least `total` pending events.
+    /// Reused queues call this after [`reset`](Self::reset) to restore the
+    /// pre-sizing a fresh [`with_capacity`](Self::with_capacity) queue
+    /// would have; a no-op once the heap has plateaued.
+    pub fn reserve(&mut self, total: usize) {
+        let have = self.heap.capacity() - self.heap.len();
+        if total > have {
+            self.heap.reserve(total - have);
+        }
+    }
+
     /// Clears all pending events and rewinds the clock, sequence counter
     /// and processed count to a fresh state while **keeping the backing
     /// allocation**. Harness-internal reruns reset-and-reuse one queue
@@ -132,7 +148,8 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let key = (time.as_nanos() as u128) << 64 | seq as u128;
+        self.heap.push(Entry { key, event });
     }
 
     /// Schedules `event` after a delay relative to the current time.
@@ -143,15 +160,16 @@ impl<E> EventQueue<E> {
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "event queue time went backwards");
-        self.now = entry.time;
+        let time = entry.time();
+        debug_assert!(time >= self.now, "event queue time went backwards");
+        self.now = time;
         self.processed += 1;
-        Some((entry.time, entry.event))
+        Some((time, entry.event))
     }
 
     /// Returns the timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Removes all pending events, keeping the clock where it is.
