@@ -21,6 +21,7 @@ use gpreempt::experiments::ExperimentScale;
 use gpreempt::json::Value;
 use gpreempt::sweep::{Scenario, SweepPlan, SweepRunner};
 use gpreempt::{PolicyKind, SimulatorConfig};
+use gpreempt_sim::QueueKind;
 use std::time::{Duration, Instant};
 
 /// The timed unit: a quick-scale random population under FCFS and DSS —
@@ -48,9 +49,22 @@ fn plan() -> SweepPlan {
 
 /// Streams the plan once, returning (wall clock, total simulation events).
 fn run_once(plan: &SweepPlan, jobs: usize, reuse: bool) -> (Duration, u64) {
+    run_once_on(plan, jobs, reuse, None)
+}
+
+/// [`run_once`] with an explicit event-queue backend override.
+fn run_once_on(
+    plan: &SweepPlan,
+    jobs: usize,
+    reuse: bool,
+    queue: Option<QueueKind>,
+) -> (Duration, u64) {
+    let mut runner = SweepRunner::new(jobs).with_reuse(reuse);
+    if let Some(kind) = queue {
+        runner = runner.with_queue(kind);
+    }
     let started = Instant::now();
-    let folded = SweepRunner::new(jobs)
-        .with_reuse(reuse)
+    let folded = runner
         .run_fold(plan, &|_, run| Ok(run.events_processed()))
         .expect("sweep failed");
     (started.elapsed(), folded.events_total())
@@ -67,6 +81,13 @@ fn bench_sweep_throughput(c: &mut Criterion) {
             b.iter(|| run_once(&plan, jobs, true))
         });
     }
+    // The event-core comparison: the same sequential sweep on the heap
+    // baseline vs the calendar queue.
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        group.bench_function(format!("queue-{}", kind.label()), |b| {
+            b.iter(|| run_once_on(&plan, 1, true, Some(kind)))
+        });
+    }
     group.finish();
 }
 
@@ -74,10 +95,21 @@ criterion_group!(benches, bench_sweep_throughput);
 
 /// Best-of-`n` streaming runs at one worker count.
 fn best_of(plan: &SweepPlan, jobs: usize, reuse: bool, n: usize) -> (Duration, u64) {
+    best_of_on(plan, jobs, reuse, None, n)
+}
+
+/// [`best_of`] with an explicit event-queue backend override.
+fn best_of_on(
+    plan: &SweepPlan,
+    jobs: usize,
+    reuse: bool,
+    queue: Option<QueueKind>,
+    n: usize,
+) -> (Duration, u64) {
     let mut best = Duration::MAX;
     let mut events = 0;
     for _ in 0..n {
-        let (wall, ev) = run_once(plan, jobs, reuse);
+        let (wall, ev) = run_once_on(plan, jobs, reuse, queue);
         if wall < best {
             best = wall;
         }
@@ -122,6 +154,10 @@ fn smoke() {
     // Reuse: one arena services the worker's whole scenario stream.
     let (wall1, _) = best_of(&plan, 1, true, 3);
     let (wall2, _) = best_of(&plan, 2, true, 3);
+    // Event-queue backends head to head, sequential reuse mode: the heap
+    // baseline vs the calendar queue the simulator now defaults to.
+    let (wall_heap, _) = best_of_on(&plan, 1, true, Some(QueueKind::Heap), 3);
+    let (wall_calendar, _) = best_of_on(&plan, 1, true, Some(QueueKind::Calendar), 3);
     let report = Value::object([
         ("bench", Value::from("sweep_throughput")),
         ("scale", Value::from("quick")),
@@ -130,6 +166,11 @@ fn smoke() {
         ("reuse", mode_value(1, wall1, events, scenarios)),
         ("jobs1", mode_value(1, wall1, events, scenarios)),
         ("jobs2", mode_value(2, wall2, events, scenarios)),
+        ("queue_heap", mode_value(1, wall_heap, events, scenarios)),
+        (
+            "queue_calendar",
+            mode_value(1, wall_calendar, events, scenarios),
+        ),
         (
             "speedup_reuse",
             Value::from(wall_rebuild.as_secs_f64() / wall1.as_secs_f64().max(1e-9)),
@@ -138,17 +179,23 @@ fn smoke() {
             "speedup_jobs2",
             Value::from(wall1.as_secs_f64() / wall2.as_secs_f64().max(1e-9)),
         ),
+        (
+            "speedup_calendar",
+            Value::from(wall_heap.as_secs_f64() / wall_calendar.as_secs_f64().max(1e-9)),
+        ),
     ]);
     let path = std::env::var("GPREEMPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     std::fs::write(&path, report.to_json()).expect("write bench artifact");
     println!(
         "sweep_throughput smoke: {scenarios} scenarios, rebuild {:.1?} vs reuse {:.1?} \
-         ({:.1} vs {:.1} scenarios/s), jobs2 {:.1?} -> {path}",
+         ({:.1} vs {:.1} scenarios/s), jobs2 {:.1?}, heap {:.1?} vs calendar {:.1?} -> {path}",
         wall_rebuild,
         wall1,
         scenarios as f64 / wall_rebuild.as_secs_f64().max(1e-9),
         scenarios as f64 / wall1.as_secs_f64().max(1e-9),
         wall2,
+        wall_heap,
+        wall_calendar,
     );
     // "Slower" with a noise margin: shared CI runners jitter by a few
     // percent, and these gates exist to catch structural regressions, not
@@ -158,6 +205,13 @@ fn smoke() {
         eprintln!(
             "FAIL: workspace reuse ({wall1:.1?}) is slower than per-scenario \
              rebuild ({wall_rebuild:.1?})"
+        );
+        std::process::exit(1);
+    }
+    if wall_calendar.as_secs_f64() > wall_heap.as_secs_f64() * TOLERANCE {
+        eprintln!(
+            "FAIL: calendar queue ({wall_calendar:.1?}) is slower than the heap \
+             baseline ({wall_heap:.1?})"
         );
         std::process::exit(1);
     }

@@ -17,9 +17,13 @@
 //!   changes wall-clock time.
 //! * `--format table|json` (default `table`). JSON goes to stdout; the
 //!   wall-clock summary always goes to stderr so piped JSON stays clean.
+//! * `--queue heap|calendar` selects the event-queue backend (default
+//!   `calendar`). Results are bit-identical either way; only throughput
+//!   differs.
 //! * `--seed N` overrides the workload-generation seed of the scale.
 //! * `--timing` with `--format table`: also print the per-scenario
-//!   wall-clock table.
+//!   wall-clock table. With either format, each experiment additionally
+//!   reports its own events/sec line on stderr as it completes.
 //! * `--out FILE` streams sweep records to FILE as JSON Lines. Realtime
 //!   and saturation scenarios spill in completion order the moment each
 //!   finishes; the other experiments append their report records as each
@@ -32,6 +36,7 @@ use gpreempt::experiments::{
     ExperimentScale, Fig2Results, IsolatedRunCache, MechanismResults, PriorityResults,
     RealtimeResults, SaturationResults, SpatialResults,
 };
+use gpreempt::sim::QueueKind;
 use gpreempt::sweep::{JsonlSink, SweepReport, SweepRunner, SweepTiming};
 use gpreempt::SimulatorConfig;
 use std::io::Read as _;
@@ -68,8 +73,10 @@ fn usage() {
     println!("  --scale quick|bench|paper                          (default quick)");
     println!("  --jobs N          worker threads, 0 = one per CPU  (default 0)");
     println!("  --format table|json                                (default table)");
+    println!("  --queue heap|calendar  event-queue backend          (default calendar)");
     println!("  --seed N          workload-generation seed override");
     println!("  --timing          print the per-scenario wall-clock table");
+    println!("                    and per-experiment events/sec on stderr");
     println!("  --out FILE        stream sweep records to FILE as JSON Lines");
     println!("  --validate        validate report JSON from stdin and exit");
 }
@@ -93,6 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut jobs = 0usize;
     let mut format = Format::Table;
     let mut seed: Option<u64> = None;
+    let mut queue = QueueKind::default();
     let mut timing_table = false;
     let mut out_path: Option<String> = None;
 
@@ -121,6 +129,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     other => return Err(format!("unknown format {other:?}").into()),
                 }
             }
+            "--queue" => {
+                queue = match args.next().as_deref() {
+                    Some("heap") => QueueKind::Heap,
+                    Some("calendar") => QueueKind::Calendar,
+                    other => return Err(format!("unknown queue backend {other:?}").into()),
+                }
+            }
             "--seed" => seed = Some(args.next().ok_or("missing seed")?.parse()?),
             "--timing" => timing_table = true,
             "--validate" => return validate_stdin(),
@@ -143,7 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = SimulatorConfig::default();
-    let runner = SweepRunner::new(jobs);
+    let runner = SweepRunner::new(jobs).with_queue(queue);
     // One isolated-run cache for the whole invocation: under
     // `--experiment all` the priority, spatial, mechanism and realtime
     // experiments share the same base configuration, so each distinct
@@ -166,9 +181,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         };
+    // Per-experiment throughput, printed the moment each experiment
+    // completes so a long `--scale paper` run shows progress. Stderr, like
+    // the final summary, so piped JSON stays clean.
+    let note = |name: &str, t: &SweepTiming| {
+        if timing_table {
+            eprintln!(
+                "{name}: {} scenarios, {} events in {:.2?} ({:.0} events/s, {} queue)",
+                t.entries.len(),
+                t.events,
+                t.total,
+                t.events_per_sec(),
+                queue.label(),
+            );
+        }
+    };
 
     if matches!(experiment, Experiment::Fig2 | Experiment::All) {
         let results = Fig2Results::run_with(&config, &runner)?;
+        note("fig2", results.timing());
         tables.push(results.render().render());
         let first_new = report.len();
         report.merge(results.report());
@@ -177,6 +208,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if matches!(experiment, Experiment::Priority | Experiment::All) {
         let results = PriorityResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
+        note("priority", results.timing());
         tables.push(results.render_fig5().render());
         tables.push(results.render_fig6(false).render());
         tables.push(results.render_fig6(true).render());
@@ -187,6 +219,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if matches!(experiment, Experiment::Spatial | Experiment::All) {
         let results = SpatialResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
+        note("spatial", results.timing());
         tables.push(results.render_fig7a().render());
         tables.push(results.render_fig7b().render());
         tables.push(results.render_fig7c().render());
@@ -198,6 +231,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if matches!(experiment, Experiment::Mechanism | Experiment::All) {
         let results = MechanismResults::run_with_cache(&config, &scale, &runner, &isolated_cache)?;
+        note("mechanism", results.timing());
         tables.push(results.render().render());
         let first_new = report.len();
         report.merge(results.report());
@@ -215,6 +249,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &isolated_cache,
             sink.as_ref(),
         )?;
+        note("realtime", results.timing());
         tables.push(results.render().render());
         report.merge(results.report());
         timing = timing.merged(results.timing().clone());
@@ -229,6 +264,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &isolated_cache,
             sink.as_ref(),
         )?;
+        note("saturation", results.timing());
         tables.push(results.render().render());
         report.merge(results.report());
         timing = timing.merged(results.timing().clone());

@@ -60,6 +60,10 @@ pub struct SimWorkspace {
     engine: Option<ExecutionEngine>,
     queue: EventQueue<Event>,
     scratch: DrainScratch,
+    /// Same-timestamp cohort popped by `EventQueue::pop_batch_into`; lives
+    /// beside (not inside) `DrainScratch` so the batch can be iterated
+    /// while drains borrow the scratch.
+    batch: Vec<Event>,
 }
 
 impl SimWorkspace {
@@ -413,7 +417,7 @@ impl Simulator {
         // scheduling rarely grows the heap. Horizon-capped runs use a huge
         // replay target as "never finish", so clamp the guess.
         let queue = &mut ws.queue;
-        queue.reset();
+        queue.reset_with(engine_params.queue);
         queue.reserve(
             (workload.min_completions() as usize)
                 .saturating_mul(workload.len())
@@ -453,7 +457,15 @@ impl Simulator {
         );
 
         let end_time;
-        loop {
+        // Events that share one timestamp are popped as a batch and the
+        // per-timestamp bookkeeping (deadline peek, queue pop) is paid once
+        // per batch. When the run's stop condition fires mid-batch, the
+        // already-popped tail is left unhandled — exactly the events a
+        // one-pop-at-a-time loop would have left pending — and subtracted
+        // from the processed count below.
+        let batch = &mut ws.batch;
+        let mut unhandled_tail = 0u64;
+        'run: loop {
             if completions_dirty {
                 completions_dirty = false;
                 if host.all_completed_at_least(target) {
@@ -473,31 +485,68 @@ impl Simulator {
                     processed: queue.processed(),
                 });
             }
-            let Some((now, event)) = queue.pop() else {
+            let Some(now) = queue.pop_batch_into(batch) else {
                 return Err(SimError::internal(format!(
                     "simulation deadlocked at {} with completions {:?}",
                     queue.now(),
                     host.completions()
                 )));
             };
-            match event {
-                Event::Host(e) => host.handle(now, e),
-                Event::Engine(e) => engine.handle(now, e),
+            let before_batch = queue.processed() - batch.len() as u64;
+            for (i, &event) in batch.iter().enumerate() {
+                if i > 0 {
+                    // Re-check the stop conditions an unbatched loop would
+                    // have evaluated between these two pops. The deadline
+                    // check is skipped on purpose: the next event of the
+                    // batch is pending at `now <= deadline`, so it can
+                    // never fire here.
+                    if completions_dirty {
+                        completions_dirty = false;
+                        if host.all_completed_at_least(target) {
+                            end_time = Self::latest_needed_completion(&iterations, target);
+                            unhandled_tail = (batch.len() - i) as u64;
+                            break 'run;
+                        }
+                    }
+                    let processed = before_batch + i as u64;
+                    if processed >= self.config.max_events {
+                        return Err(SimError::EventBudgetExceeded { processed });
+                    }
+                }
+                match event {
+                    Event::Host(e) => host.handle(now, e),
+                    Event::Engine(e) => engine.handle(now, e),
+                }
+                // A drain when neither component produced output is an
+                // observable no-op, so batching pays the drain (and the
+                // completion-dirty bookkeeping behind it) only for events
+                // that actually emitted something.
+                if host.has_pending_outputs() || engine.has_pending_outputs() {
+                    completions_dirty |= Self::drain(
+                        host,
+                        engine,
+                        policy_impl.as_mut(),
+                        queue,
+                        workload,
+                        &mut iterations,
+                        &mut kernel_completions,
+                        &mut next_launch_id,
+                        scratch,
+                        now,
+                    );
+                }
             }
-            completions_dirty |= Self::drain(
-                host,
-                engine,
-                policy_impl.as_mut(),
-                queue,
-                workload,
-                &mut iterations,
-                &mut kernel_completions,
-                &mut next_launch_id,
-                scratch,
-                now,
-            );
         }
 
+        // Closed-loop runs have no legal way to schedule into the past; a
+        // clamp here means a component broke causality.
+        debug_assert!(
+            deadline.is_some() || queue.clamped() == 0,
+            "closed-loop run clamped {} past-time schedules",
+            queue.clamped()
+        );
+        let mut engine_stats = engine.stats();
+        engine_stats.events_clamped = queue.clamped();
         Ok(SimulationRun {
             workload_name: workload.name().to_string(),
             policy,
@@ -505,8 +554,8 @@ impl Simulator {
             end_time,
             iterations,
             kernel_completions,
-            engine_stats: engine.stats(),
-            events_processed: queue.processed(),
+            engine_stats,
+            events_processed: queue.processed() - unhandled_tail,
             arrival_stats: host.arrival_stats(end_time),
         })
     }

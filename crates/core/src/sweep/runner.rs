@@ -3,7 +3,8 @@
 use crate::report::TextTable;
 use crate::simulator::{SimWorkspace, SimulationRun, Simulator};
 use crate::sweep::{FoldedScenario, Scenario, ScenarioResult, SweepPlan};
-use gpreempt_sim::thread_allocations;
+use gpreempt_sim::{thread_allocations, QueueKind};
+use gpreempt_trace::TraceInterner;
 use gpreempt_types::SimError;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -26,15 +27,17 @@ pub type ScenarioTap<'a, T> = dyn Fn(&Scenario, &T) -> Result<(), SimError> + Sy
 ///
 /// Scenarios are self-contained values (workload, policy, config overrides,
 /// seed), so each simulation depends only on its scenario — never on which
-/// worker ran it or in what order. Workers pull scenario indices from one
-/// shared atomic counter (a single self-scheduling queue: an idle worker
-/// "steals" the next unclaimed scenario), and results are reassembled in
-/// scenario-id order, which makes the output of `jobs = N` bit-identical to
-/// `jobs = 1` — and to the historical hand-rolled sequential harness loops.
+/// worker ran it or in what order. Workers claim chunks of contiguous
+/// scenario ids from one shared atomic counter (a single self-scheduling
+/// queue: an idle worker "steals" the next unclaimed chunk), and results
+/// are reassembled in scenario-id order, which makes the output of
+/// `jobs = N` bit-identical to `jobs = 1` — and to the historical
+/// hand-rolled sequential harness loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRunner {
     jobs: usize,
     reuse: bool,
+    queue: Option<QueueKind>,
 }
 
 impl SweepRunner {
@@ -48,7 +51,11 @@ impl SweepRunner {
         } else {
             jobs
         };
-        SweepRunner { jobs, reuse: true }
+        SweepRunner {
+            jobs,
+            reuse: true,
+            queue: None,
+        }
     }
 
     /// A single-threaded runner (the historical harness behaviour).
@@ -70,9 +77,38 @@ impl SweepRunner {
         self
     }
 
+    /// Overrides the event-queue backend every scenario runs on, regardless
+    /// of what the plan's base configuration selects. Results are
+    /// bit-identical across backends (the queue contract pins delivery
+    /// order); this exists for the heap-vs-calendar benchmark legs and for
+    /// harness flags, so a whole sweep can be flipped without rebuilding
+    /// its plan.
+    #[must_use]
+    pub fn with_queue(mut self, kind: QueueKind) -> Self {
+        self.queue = Some(kind);
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured event-queue override, if any.
+    pub fn queue(&self) -> Option<QueueKind> {
+        self.queue
+    }
+
+    /// Scenario ids a worker claims per shared-counter increment.
+    ///
+    /// At bench scale (hundreds of tiny scenarios) single-id claiming makes
+    /// every worker bounce the counter's cache line once per scenario;
+    /// claiming a short contiguous run amortises that to once per `K`
+    /// scenarios. `K` shrinks with the worker count so the tail of a sweep
+    /// still load-balances, and degenerates to 1 for small plans — where
+    /// the old behaviour falls out unchanged.
+    fn chunk_size(len: usize, workers: usize) -> usize {
+        (len / (workers * 4)).clamp(1, 32)
     }
 
     /// Runs every scenario of the plan, **keeping every simulation run**,
@@ -156,11 +192,20 @@ impl SweepRunner {
         let workers = self.jobs.min(scenarios.len()).max(1);
         if workers <= 1 {
             let mut ws = SimWorkspace::new();
+            let mut interner = TraceInterner::new();
             for (i, scenario) in scenarios.iter().enumerate() {
                 if !self.reuse {
                     ws = SimWorkspace::new();
                 }
-                let outcome = Self::execute(plan, scenario, &mut ws, fold, tap);
+                let outcome = Self::execute(
+                    plan,
+                    scenario,
+                    self.queue,
+                    &mut ws,
+                    &mut interner,
+                    fold,
+                    tap,
+                );
                 let failed = outcome.is_err();
                 slots[i] = Some(outcome);
                 if failed {
@@ -170,6 +215,7 @@ impl SweepRunner {
         } else {
             let next = AtomicUsize::new(0);
             let failed = AtomicBool::new(false);
+            let chunk = Self::chunk_size(scenarios.len(), workers);
             let harvested = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -181,27 +227,44 @@ impl SweepRunner {
                             // worker pulls reuses the same host/engine/queue
                             // allocations. Scenarios are self-contained, so
                             // reuse cannot leak state between them (the
-                            // jobs=N ≡ jobs=1 regression pins this).
+                            // jobs=N ≡ jobs=1 regression pins this). The
+                            // intern table is per-worker for the same
+                            // reason: repeated applications across the
+                            // stream share one frozen trace without any
+                            // cross-worker synchronisation.
                             let mut ws = SimWorkspace::new();
-                            // Stop pulling new scenarios once any worker has
-                            // recorded a failure; in-flight scenarios still
-                            // finish. Indices are handed out in id order, so
-                            // the smallest failing id is always among the
-                            // executed scenarios and the reported error stays
-                            // independent of the worker count.
+                            let mut interner = TraceInterner::new();
+                            // Stop claiming new chunks once any worker has
+                            // recorded a failure; a claimed chunk always
+                            // runs to completion. Chunks are handed out in
+                            // id order, so the executed scenarios form a
+                            // prefix of the plan: the smallest failing id is
+                            // always among them and the reported error stays
+                            // independent of worker count and chunk size.
                             while !failed.load(Ordering::Relaxed) {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(scenario) = scenarios.get(i) else {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= scenarios.len() {
                                     break;
-                                };
-                                if !self.reuse {
-                                    ws = SimWorkspace::new();
                                 }
-                                let outcome = Self::execute(plan, scenario, &mut ws, fold, tap);
-                                if outcome.is_err() {
-                                    failed.store(true, Ordering::Relaxed);
+                                let end = (start + chunk).min(scenarios.len());
+                                for (i, scenario) in scenarios[start..end].iter().enumerate() {
+                                    if !self.reuse {
+                                        ws = SimWorkspace::new();
+                                    }
+                                    let outcome = Self::execute(
+                                        plan,
+                                        scenario,
+                                        self.queue,
+                                        &mut ws,
+                                        &mut interner,
+                                        fold,
+                                        tap,
+                                    );
+                                    if outcome.is_err() {
+                                        failed.store(true, Ordering::Relaxed);
+                                    }
+                                    local.push((start + i, outcome));
                                 }
-                                local.push((i, outcome));
                             }
                             local
                         })
@@ -244,12 +307,14 @@ impl SweepRunner {
     /// scenario's overrides, simulated through the worker's reusable
     /// [`SimWorkspace`] arena — folds the finished run (dropping its body),
     /// and hands the fold output to the tap. Allocation counts are the
-    /// worker thread's delta across simulate + fold + tap (zero unless the
-    /// process installed [`gpreempt_sim::CountingAlloc`]).
+    /// worker thread's delta across intern + simulate + fold + tap (zero
+    /// unless the process installed [`gpreempt_sim::CountingAlloc`]).
     fn execute<T>(
         plan: &SweepPlan,
         scenario: &Scenario,
+        queue: Option<QueueKind>,
         ws: &mut SimWorkspace,
+        interner: &mut TraceInterner,
         fold: &ScenarioFold<'_, T>,
         tap: &ScenarioTap<'_, T>,
     ) -> Result<FoldedScenario<T>, SimError> {
@@ -260,14 +325,21 @@ impl SweepRunner {
         if let Some(seed) = scenario.seed {
             config = config.with_seed(seed);
         }
+        if let Some(kind) = queue {
+            config.engine.queue = kind;
+        }
         let wall = Instant::now();
         let allocs_before = thread_allocations();
+        // Intern the scenario's traces through the worker's table: every
+        // structurally repeated application across the stream replays one
+        // shared kernel table and op list instead of its own copy. The
+        // interned workload compares equal to the original, so results are
+        // unchanged.
+        let workload = scenario.workload.interned(interner);
         let sim = Simulator::new(config);
         let run = match scenario.horizon {
-            Some(horizon) => {
-                sim.run_until_with(ws, &scenario.workload, scenario.policy, horizon)?
-            }
-            None => sim.run_with(ws, &scenario.workload, scenario.policy)?,
+            Some(horizon) => sim.run_until_with(ws, &workload, scenario.policy, horizon)?,
+            None => sim.run_with(ws, &workload, scenario.policy)?,
         };
         let events = run.events_processed();
         let value = fold(scenario, run)?;
@@ -596,6 +668,26 @@ mod tests {
         plan
     }
 
+    /// A wider, cheaper plan (one process, one completion per scenario) for
+    /// the chunked-claiming tests, which need enough scenarios that
+    /// [`SweepRunner::chunk_size`] exceeds one.
+    fn lean_plan(n: usize) -> SweepPlan {
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let mut plan = SweepPlan::new(SimulatorConfig::default());
+        for i in 0..n {
+            let workload = Workload::new(format!("w{i}"), vec![ProcessSpec::new(spmv.clone())])
+                .with_min_completions(1);
+            plan.push(Scenario::new(
+                "test",
+                format!("s{i}"),
+                workload,
+                PolicyKind::Fcfs,
+            ));
+        }
+        plan
+    }
+
     fn fingerprint(results: &SweepResults) -> Vec<(usize, u64, gpreempt_types::SimTime)> {
         results
             .results()
@@ -616,6 +708,44 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    /// A plan wide enough that two workers claim multi-scenario chunks
+    /// (20 scenarios / 2 workers → chunk size 2): reassembly must still be
+    /// bit-identical to the sequential run.
+    #[test]
+    fn chunked_claiming_matches_sequential() {
+        let plan = lean_plan(20);
+        assert!(SweepRunner::chunk_size(plan.len(), 2) > 1);
+        let sequential = SweepRunner::sequential().run(&plan).unwrap();
+        let chunked = SweepRunner::new(2).run(&plan).unwrap();
+        assert_eq!(fingerprint(&sequential), fingerprint(&chunked));
+    }
+
+    #[test]
+    fn chunk_size_balances_small_plans_and_caps_large_ones() {
+        // Small plans degenerate to single-id claiming.
+        assert_eq!(SweepRunner::chunk_size(6, 4), 1);
+        assert_eq!(SweepRunner::chunk_size(3, 8), 1);
+        // Medium plans amortise the counter without starving the tail.
+        assert_eq!(SweepRunner::chunk_size(20, 2), 2);
+        assert_eq!(SweepRunner::chunk_size(64, 4), 4);
+        // Huge plans cap out so late chunks still load-balance.
+        assert_eq!(SweepRunner::chunk_size(10_000, 2), 32);
+    }
+
+    /// The queue override flips every scenario's event-queue backend; the
+    /// queue contract makes the results bit-identical either way.
+    #[test]
+    fn queue_override_is_bit_identical_across_backends() {
+        let plan = tiny_plan(3);
+        let runner = SweepRunner::new(2);
+        assert_eq!(runner.queue(), None);
+        let heap = runner.with_queue(QueueKind::Heap);
+        assert_eq!(heap.queue(), Some(QueueKind::Heap));
+        let a = heap.run(&plan).unwrap();
+        let b = runner.with_queue(QueueKind::Calendar).run(&plan).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 
     #[test]
@@ -691,6 +821,44 @@ mod tests {
                 err.to_string().contains("no processes"),
                 "jobs={jobs}: {err}"
             );
+        }
+    }
+
+    /// Failure reporting stays deterministic when workers claim
+    /// multi-scenario chunks: the smallest failing id's error surfaces no
+    /// matter which worker's chunk held it. Two invalid scenarios with
+    /// distinguishable messages sit mid-plan; 24 scenarios on 2 workers
+    /// gives chunk size 3, so the failing ids land mid-chunk.
+    #[test]
+    fn chunked_claiming_reports_the_smallest_failing_id() {
+        let gpu = GpuConfig::default();
+        let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+        let mut plan = SweepPlan::new(SimulatorConfig::default());
+        for i in 0..24 {
+            let workload = if i == 7 || i == 16 {
+                // Invalid: launches a kernel index that does not exist. The
+                // error message names the benchmark, so the test can tell
+                // which scenario's failure was reported.
+                let bad = gpreempt_trace::BenchmarkTrace::builder(format!("bad{i}"))
+                    .kernel(spmv.kernels()[0].clone())
+                    .launch(9)
+                    .build();
+                Workload::new(format!("w{i}"), vec![ProcessSpec::new(bad)])
+            } else {
+                Workload::new(format!("w{i}"), vec![ProcessSpec::new(spmv.clone())])
+                    .with_min_completions(1)
+            };
+            plan.push(Scenario::new(
+                "test",
+                format!("s{i}"),
+                workload,
+                PolicyKind::Fcfs,
+            ));
+        }
+        assert_eq!(SweepRunner::chunk_size(plan.len(), 2), 3);
+        for jobs in [1, 2, 4] {
+            let err = SweepRunner::new(jobs).run(&plan).unwrap_err();
+            assert!(err.to_string().contains("bad7"), "jobs={jobs}: {err}");
         }
     }
 

@@ -99,4 +99,28 @@ fn steady_state_scenarios_allocate_a_small_constant() {
         "5x the completions scaled steady-state allocations {steady_mean} -> \
          {longer_mean}; per-scenario cost is not O(1)"
     );
+
+    // The interned-trace saving: a benchmark trace's payloads are frozen
+    // behind shared `Arc`s, so cloning one — what the host model does once
+    // per process on every scenario reset — must not allocate at all.
+    let gpu = GpuConfig::default();
+    let spmv = parboil::benchmark("spmv", &gpu).unwrap();
+    let before = gpreempt_sim::thread_allocations();
+    for _ in 0..32 {
+        std::hint::black_box(spmv.clone());
+    }
+    assert_eq!(
+        gpreempt_sim::thread_allocations(),
+        before,
+        "BenchmarkTrace::clone allocated; per-scenario trace cloning is no \
+         longer interned"
+    );
+
+    // And the runner-level consequence: interning structurally equal traces
+    // that were built independently collapses them onto one storage.
+    let mut interner = gpreempt_trace::TraceInterner::new();
+    let a = interner.intern(&parboil::benchmark("spmv", &gpu).unwrap());
+    let b = interner.intern(&parboil::benchmark("spmv", &gpu).unwrap());
+    assert!(a.same_storage(&b));
+    assert_eq!(interner.len(), 1);
 }

@@ -84,6 +84,14 @@ fn closed_loop_plan() -> SweepPlan {
 /// or scheduling decisions moves at least one of these values.
 fn fingerprint(scenario: &Scenario, run: &SimulationRun) -> SweepRecord {
     let stats = run.engine_stats();
+    // Closed-loop runs have no legal way to schedule into the past; a
+    // clamped schedule would mean a component broke causality and the
+    // queue silently rewrote its timestamp.
+    assert_eq!(
+        stats.events_clamped, 0,
+        "closed-loop scenario '{}' clamped past-time schedules",
+        scenario.label
+    );
     let mut record = SweepRecord::new(
         &scenario.group,
         run.workload_name(),

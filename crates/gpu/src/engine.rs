@@ -20,7 +20,7 @@ use crate::framework::{
 };
 use crate::launch::{KernelCompletion, KernelLaunch};
 use crate::preempt::{ContextSwitchCost, MechanismSelection, PreemptionMechanism};
-use gpreempt_sim::SimRng;
+use gpreempt_sim::{QueueKind, SimRng};
 use gpreempt_types::{GpuConfig, KernelLaunchId, PreemptionConfig, SimTime, SmId, ThreadBlockId};
 use std::collections::VecDeque;
 
@@ -44,6 +44,11 @@ pub struct EngineParams {
     /// carries an [`RtLaunch`](crate::launch::RtLaunch) annotation produce
     /// deadline events; legacy workloads schedule none.
     pub deadline_margin: SimTime,
+    /// Backend of the simulation event queue. Every kind delivers events in
+    /// the identical (time, insertion-seq) order, so this can never change
+    /// simulation results — only how fast they arrive. Defaults to the
+    /// calendar queue; the heap survives as the benchmark baseline.
+    pub queue: QueueKind,
 }
 
 impl Default for EngineParams {
@@ -53,6 +58,7 @@ impl Default for EngineParams {
             block_time_jitter: 0.05,
             quantum: None,
             deadline_margin: SimTime::from_micros(50),
+            queue: QueueKind::default(),
         }
     }
 }
@@ -170,6 +176,12 @@ pub struct EngineStats {
     /// Sum of `|estimated − actual|` preemption latency over completed
     /// adaptive preemptions: the estimator's accumulated prediction error.
     pub adaptive_latency_error: SimTime,
+    /// Schedules whose requested time lay in the past and was clamped
+    /// forward by the event queue. Filled in by the simulator from
+    /// `EventQueue::clamped` at the end of a run; a nonzero value means a
+    /// component asked for time travel, and closed-loop runs are expected
+    /// to keep it at exactly zero.
+    pub events_clamped: u64,
 }
 
 impl EngineStats {
@@ -408,6 +420,14 @@ impl ExecutionEngine {
     /// Aggregate counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Whether any output (events to schedule, completions, policy hooks)
+    /// is waiting to be drained. Batched dispatch uses this to skip drain
+    /// passes for events that produced nothing — a drain with no pending
+    /// output is an observable no-op.
+    pub fn has_pending_outputs(&self) -> bool {
+        !self.scheduled.is_empty() || !self.completions.is_empty() || !self.hooks.is_empty()
     }
 
     /// Moves the events the engine wants scheduled into `out`; the caller

@@ -241,6 +241,17 @@ impl HostSystem {
         out.append(&mut self.release_requests);
     }
 
+    /// Whether any output (events to schedule, launches, iteration records,
+    /// release requests) is waiting to be drained. Batched dispatch uses
+    /// this to skip drain passes for events that produced nothing — a drain
+    /// with no pending output is an observable no-op.
+    pub fn has_pending_outputs(&self) -> bool {
+        !self.scheduled.is_empty()
+            || !self.launches.is_empty()
+            || !self.iterations.is_empty()
+            || !self.release_requests.is_empty()
+    }
+
     /// End-of-run arrival accounting for every process, with depth
     /// integrals extended to `horizon`.
     pub fn arrival_stats(&self, horizon: SimTime) -> Vec<crate::process::ArrivalStats> {

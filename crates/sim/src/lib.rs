@@ -32,6 +32,6 @@ pub mod rng;
 pub mod stats;
 
 pub use alloc_count::{thread_allocations, CountingAlloc};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use rng::SimRng;
 pub use stats::Summary;

@@ -3,18 +3,24 @@
 use crate::command::{CopyDirection, TraceOp};
 use crate::kernel::KernelSpec;
 use gpreempt_types::{GpuConfig, KernelClass, SimError, SimTime, StreamId};
+use std::sync::Arc;
 
 /// The trace of one benchmark application: its kernel table and the ordered
 /// list of operations the host performs from the first to the last CUDA
 /// call (§4.1).
+///
+/// The bulky payloads (name, dataset label, kernel table, op list) are
+/// frozen behind `Arc`s at [`build`](BenchmarkBuilder::build) time: a trace
+/// is immutable once built, and the host model clones one per process per
+/// scenario, so cloning must bump refcounts rather than copy tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkTrace {
-    name: String,
-    dataset: String,
+    name: Arc<str>,
+    dataset: Arc<str>,
     kernel_class: KernelClass,
     app_class: KernelClass,
-    kernels: Vec<KernelSpec>,
-    ops: Vec<TraceOp>,
+    kernels: Arc<[KernelSpec]>,
+    ops: Arc<[TraceOp]>,
 }
 
 impl BenchmarkTrace {
@@ -53,6 +59,19 @@ impl BenchmarkTrace {
     /// The ordered trace operations.
     pub fn ops(&self) -> &[TraceOp] {
         &self.ops
+    }
+
+    /// Whether `self` and `other` share the same frozen storage (their
+    /// payload `Arc`s are pointer-equal and the scalar fields match).
+    /// Implies `self == other` without walking the tables — the fast path
+    /// of [`TraceInterner`](crate::TraceInterner).
+    pub fn same_storage(&self, other: &BenchmarkTrace) -> bool {
+        Arc::ptr_eq(&self.kernels, &other.kernels)
+            && Arc::ptr_eq(&self.ops, &other.ops)
+            && Arc::ptr_eq(&self.name, &other.name)
+            && Arc::ptr_eq(&self.dataset, &other.dataset)
+            && self.kernel_class == other.kernel_class
+            && self.app_class == other.app_class
     }
 
     /// Number of kernel launches in one execution of the application.
@@ -126,7 +145,7 @@ impl BenchmarkTrace {
                 self.name
             )));
         }
-        for op in &self.ops {
+        for op in self.ops.iter() {
             if let TraceOp::Launch { kernel, .. } = op {
                 if *kernel >= self.kernels.len() {
                     return Err(SimError::invalid_workload(format!(
@@ -137,7 +156,7 @@ impl BenchmarkTrace {
                 }
             }
         }
-        for k in &self.kernels {
+        for k in self.kernels.iter() {
             if k.footprint().max_blocks_per_sm(gpu) == 0 {
                 return Err(SimError::invalid_workload(format!(
                     "kernel {} of benchmark {} does not fit on an SM",
@@ -318,12 +337,12 @@ impl BenchmarkBuilder {
             self.ops.push(TraceOp::Synchronize);
         }
         BenchmarkTrace {
-            name: self.name,
-            dataset: self.dataset,
+            name: self.name.into(),
+            dataset: self.dataset.into(),
             kernel_class: self.kernel_class,
             app_class: self.app_class,
-            kernels: self.kernels,
-            ops: self.ops,
+            kernels: self.kernels.into(),
+            ops: self.ops.into(),
         }
     }
 }

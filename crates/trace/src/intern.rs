@@ -1,0 +1,110 @@
+//! Cross-scenario trace interning.
+
+use crate::benchmark::BenchmarkTrace;
+
+/// Deduplicates structurally equal [`BenchmarkTrace`]s onto shared storage.
+///
+/// Plans commonly rebuild the same benchmark once per scenario (e.g. a
+/// `parboil::benchmark("spmv", ..)` call inside an enumeration loop),
+/// producing many structurally identical — but separately allocated —
+/// kernel tables and op lists. A sweep worker interns each scenario's
+/// traces before running it: the first occurrence becomes canonical, and
+/// every later equal trace is replaced by a refcount bump of the canonical
+/// one, so the worker's whole scenario stream replays one resident copy of
+/// each distinct application.
+#[derive(Debug, Clone, Default)]
+pub struct TraceInterner {
+    canonical: Vec<BenchmarkTrace>,
+}
+
+impl TraceInterner {
+    /// Creates an empty intern table.
+    pub fn new() -> Self {
+        TraceInterner::default()
+    }
+
+    /// Number of distinct traces interned so far.
+    pub fn len(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Whether no trace has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.canonical.is_empty()
+    }
+
+    /// Returns a trace equal to `trace` that shares storage with every
+    /// other equal trace interned through this table.
+    ///
+    /// The distinct applications of a sweep number a benchmark suite's
+    /// worth, so a linear scan beats hashing here: the common case hits
+    /// the pointer-equality fast path on an early probe (scenarios built
+    /// by cloning already share storage).
+    pub fn intern(&mut self, trace: &BenchmarkTrace) -> BenchmarkTrace {
+        if let Some(c) = self
+            .canonical
+            .iter()
+            .find(|c| c.same_storage(trace) || *c == trace)
+        {
+            return c.clone();
+        }
+        self.canonical.push(trace.clone());
+        trace.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelSpec;
+    use gpreempt_types::{KernelFootprint, SimTime};
+
+    fn toy(name: &str, blocks: u32) -> BenchmarkTrace {
+        BenchmarkTrace::builder(name)
+            .kernel(KernelSpec::new(
+                "k",
+                KernelFootprint::new(1_024, 0, 128),
+                blocks,
+                SimTime::from_micros(10),
+            ))
+            .launch(0)
+            .build()
+    }
+
+    #[test]
+    fn equal_traces_intern_to_shared_storage() {
+        let mut table = TraceInterner::new();
+        // Built independently: equal, but no shared storage yet.
+        let a = toy("app", 32);
+        let b = toy("app", 32);
+        assert!(!a.same_storage(&b));
+
+        let ia = table.intern(&a);
+        let ib = table.intern(&b);
+        assert!(ia.same_storage(&ib));
+        assert_eq!(ia, b);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn distinct_traces_stay_distinct() {
+        let mut table = TraceInterner::new();
+        let a = table.intern(&toy("app", 32));
+        let b = table.intern(&toy("app", 64));
+        let c = table.intern(&toy("other", 32));
+        assert!(!a.same_storage(&b));
+        assert!(!b.same_storage(&c));
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn already_interned_clones_hit_the_pointer_fast_path() {
+        let mut table = TraceInterner::new();
+        let a = table.intern(&toy("app", 32));
+        // A clone of an interned trace shares storage with the canonical
+        // copy, so re-interning it must not grow the table.
+        let again = table.intern(&a.clone());
+        assert!(again.same_storage(&a));
+        assert_eq!(table.len(), 1);
+    }
+}

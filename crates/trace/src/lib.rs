@@ -28,11 +28,13 @@
 
 pub mod benchmark;
 pub mod command;
+pub mod intern;
 pub mod kernel;
 pub mod parboil;
 pub mod workload;
 
 pub use benchmark::{BenchmarkBuilder, BenchmarkTrace};
 pub use command::{CopyDirection, TraceOp};
+pub use intern::TraceInterner;
 pub use kernel::KernelSpec;
 pub use workload::{ProcessSpec, Workload, WorkloadGenerator};

@@ -195,6 +195,18 @@ impl Workload {
         Some(ProcessId::from(first.0))
     }
 
+    /// Returns a copy of this workload whose benchmark traces are interned
+    /// through `interner`: structurally equal traces across the copies come
+    /// out sharing one frozen kernel table and op list. The copy compares
+    /// equal to `self` and replays identically — only storage is shared.
+    pub fn interned(&self, interner: &mut crate::TraceInterner) -> Workload {
+        let mut w = self.clone();
+        for p in &mut w.processes {
+            p.benchmark = interner.intern(&p.benchmark);
+        }
+        w
+    }
+
     /// Validates the workload against a GPU configuration.
     ///
     /// # Errors
@@ -346,6 +358,32 @@ mod tests {
     fn gen() -> WorkloadGenerator {
         let gpu = GpuConfig::default();
         WorkloadGenerator::new(parboil::suite(&gpu), SimRng::new(7))
+    }
+
+    #[test]
+    fn interned_workload_is_equal_and_shares_trace_storage() {
+        let gpu = GpuConfig::default();
+        let mut interner = crate::TraceInterner::new();
+        // Two workloads built independently from fresh trace copies.
+        let a = Workload::new(
+            "a",
+            vec![ProcessSpec::new(parboil::benchmark("spmv", &gpu).unwrap())],
+        );
+        let b = Workload::new(
+            "b",
+            vec![ProcessSpec::new(parboil::benchmark("spmv", &gpu).unwrap())],
+        );
+        assert!(!a.processes()[0]
+            .benchmark
+            .same_storage(&b.processes()[0].benchmark));
+        let ia = a.interned(&mut interner);
+        let ib = b.interned(&mut interner);
+        assert_eq!(ia, a);
+        assert_eq!(ib, b);
+        assert_eq!(interner.len(), 1);
+        assert!(ia.processes()[0]
+            .benchmark
+            .same_storage(&ib.processes()[0].benchmark));
     }
 
     #[test]
