@@ -10,11 +10,15 @@
 //! * **smoke** (`GPREEMPT_SWEEP_SMOKE=1`): runs the plan sequentially in
 //!   **rebuild** mode (fresh `SimWorkspace` per scenario, the pre-arena
 //!   behaviour) and **reuse** mode (one arena for the whole stream), plus
-//!   `--jobs 2` reuse, best of three each. Writes a machine-readable
-//!   `BENCH_sweep.json` artifact — events/sec, scenarios/sec, wall clock,
-//!   peak runs-resident bound — to `GPREEMPT_BENCH_JSON` (default
+//!   `--jobs 2` reuse, a `sharded_3` leg (the population as three
+//!   sequential `id % 3` stripe passes — the single-machine cost of
+//!   `--shard`) and a core-pinned `jobs2_affinity` leg, best of three
+//!   each. Writes a machine-readable `BENCH_sweep.json` artifact —
+//!   events/sec, scenarios/sec, wall clock, peak runs-resident bound,
+//!   `speedup_affinity` — to `GPREEMPT_BENCH_JSON` (default
 //!   `BENCH_sweep.json`), and **exits non-zero if reuse is slower than
-//!   rebuild, or jobs=2 slower than jobs=1**. CI runs this mode.
+//!   rebuild, or jobs=2 slower than jobs=1**. The sharding and affinity
+//!   legs are informational, never gated. CI runs this mode.
 
 use criterion::{criterion_group, Criterion, Throughput};
 use gpreempt::experiments::ExperimentScale;
@@ -68,6 +72,31 @@ fn run_once_on(
         .run_fold(plan, &|_, run| Ok(run.events_processed()))
         .expect("sweep failed");
     (started.elapsed(), folded.events_total())
+}
+
+/// One full sweep split into `n` sequential stripe passes (`id % n == k`),
+/// the single-machine equivalent of `run_sweep --shard k/n` × n: measures
+/// what striping itself costs relative to one unsharded pass.
+fn run_sharded(plan: &SweepPlan, n: usize) -> Duration {
+    let runner = SweepRunner::new(1).with_reuse(true);
+    let started = Instant::now();
+    for k in 0..n {
+        let ids: Vec<usize> = (0..plan.len()).filter(|id| id % n == k).collect();
+        runner
+            .run_fold_subset(plan, &ids, &|_, run| Ok(run.events_processed()))
+            .expect("sharded sweep failed");
+    }
+    started.elapsed()
+}
+
+/// `--jobs 2` with each worker pinned to a core.
+fn run_once_pinned(plan: &SweepPlan) -> Duration {
+    let runner = SweepRunner::new(2).with_reuse(true).with_affinity(true);
+    let started = Instant::now();
+    runner
+        .run_fold(plan, &|_, run| Ok(run.events_processed()))
+        .expect("pinned sweep failed");
+    started.elapsed()
 }
 
 fn bench_sweep_throughput(c: &mut Criterion) {
@@ -158,6 +187,26 @@ fn smoke() {
     // baseline vs the calendar queue the simulator now defaults to.
     let (wall_heap, _) = best_of_on(&plan, 1, true, Some(QueueKind::Heap), 3);
     let (wall_calendar, _) = best_of_on(&plan, 1, true, Some(QueueKind::Calendar), 3);
+    // Sharding overhead: the same population as three sequential stripe
+    // passes. Informational — stripes exist for resumability and
+    // multi-node fan-out, not single-pass speed.
+    let wall_sharded = {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            best = best.min(run_sharded(&plan, 3));
+        }
+        best
+    };
+    // Worker pinning: jobs=2 with and without core affinity. Recorded, not
+    // gated — pinning wins on busy multi-socket boxes and is a wash on
+    // idle small ones.
+    let wall_pinned = {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            best = best.min(run_once_pinned(&plan));
+        }
+        best
+    };
     let report = Value::object([
         ("bench", Value::from("sweep_throughput")),
         ("scale", Value::from("quick")),
@@ -171,6 +220,11 @@ fn smoke() {
             "queue_calendar",
             mode_value(1, wall_calendar, events, scenarios),
         ),
+        ("sharded_3", mode_value(1, wall_sharded, events, scenarios)),
+        (
+            "jobs2_affinity",
+            mode_value(2, wall_pinned, events, scenarios),
+        ),
         (
             "speedup_reuse",
             Value::from(wall_rebuild.as_secs_f64() / wall1.as_secs_f64().max(1e-9)),
@@ -183,19 +237,26 @@ fn smoke() {
             "speedup_calendar",
             Value::from(wall_heap.as_secs_f64() / wall_calendar.as_secs_f64().max(1e-9)),
         ),
+        (
+            "speedup_affinity",
+            Value::from(wall2.as_secs_f64() / wall_pinned.as_secs_f64().max(1e-9)),
+        ),
     ]);
     let path = std::env::var("GPREEMPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     std::fs::write(&path, report.to_json()).expect("write bench artifact");
     println!(
         "sweep_throughput smoke: {scenarios} scenarios, rebuild {:.1?} vs reuse {:.1?} \
-         ({:.1} vs {:.1} scenarios/s), jobs2 {:.1?}, heap {:.1?} vs calendar {:.1?} -> {path}",
+         ({:.1} vs {:.1} scenarios/s), jobs2 {:.1?} (pinned {:.1?}), heap {:.1?} vs \
+         calendar {:.1?}, 3-stripe {:.1?} -> {path}",
         wall_rebuild,
         wall1,
         scenarios as f64 / wall_rebuild.as_secs_f64().max(1e-9),
         scenarios as f64 / wall1.as_secs_f64().max(1e-9),
         wall2,
+        wall_pinned,
         wall_heap,
         wall_calendar,
+        wall_sharded,
     );
     // "Slower" with a noise margin: shared CI runners jitter by a few
     // percent, and these gates exist to catch structural regressions, not

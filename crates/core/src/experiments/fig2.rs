@@ -7,8 +7,12 @@
 //! starts almost immediately.
 
 use crate::config::{PolicyKind, SimulatorConfig};
+use crate::json::Value;
 use crate::report::TextTable;
-use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use crate::sweep::shard::{dec_time, enc_time, field, run_plan_values};
+use crate::sweep::{
+    Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming, ValueCodec,
+};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_trace::{BenchmarkTrace, KernelSpec, ProcessSpec, Workload};
 use gpreempt_types::{KernelFootprint, Priority, ProcessId, SimError, SimTime};
@@ -70,6 +74,21 @@ impl Fig2Results {
     ///
     /// Propagates any simulation error.
     pub fn run_with(config: &SimulatorConfig, runner: &SweepRunner) -> Result<Self, SimError> {
+        Ok(Self::run_exec(config, runner, &SweepExec::Full)?.expect("full run yields results"))
+    }
+
+    /// [`run_with`](Self::run_with) under an explicit execution mode: a
+    /// shard run checkpoints timelines and returns `None`; a merge decodes
+    /// them and aggregates exactly like a full run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        runner: &SweepRunner,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         let workload = Self::workload();
         let mut plan = SweepPlan::new(config.clone());
         for policy in Self::POLICIES {
@@ -79,7 +98,7 @@ impl Fig2Results {
                 ),
             );
         }
-        let results = runner.run_fold(&plan, &|scenario, run| {
+        let fold = |scenario: &Scenario, run: crate::SimulationRun| {
             let completion_of = |process: u32| {
                 run.kernel_completions()
                     .iter()
@@ -111,13 +130,50 @@ impl Fig2Results {
                 k3_start: k3.started_at,
                 k3_finish: k3.finished_at,
             })
-        })?;
-        let timing = results.timing(&plan);
-        Ok(Fig2Results {
-            timelines: results.into_values(),
+        };
+        let outcome = run_plan_values(
+            exec,
+            runner,
+            &plan,
+            "fig2",
+            &Self::codec(),
+            &fold,
+            &|_, _| Ok(()),
+        )?;
+        Ok(outcome.values.map(|timelines| Fig2Results {
+            timelines,
             plan_seed: plan.seed(),
-            timing,
-        })
+            timing: outcome.timing,
+        }))
+    }
+
+    /// Checkpoint codec for one timeline. The policy rides along because a
+    /// decoder only sees the value, not the scenario that produced it.
+    fn codec() -> ValueCodec<Fig2Timeline> {
+        fn encode(t: &Fig2Timeline) -> Value {
+            Value::object([
+                ("policy", Value::from(t.policy.label())),
+                ("k1_finish_ns", enc_time(t.k1_finish)),
+                ("k2_finish_ns", enc_time(t.k2_finish)),
+                ("k3_start_ns", enc_time(t.k3_start)),
+                ("k3_finish_ns", enc_time(t.k3_finish)),
+            ])
+        }
+        fn decode(v: &Value) -> Result<Fig2Timeline, SimError> {
+            let label = field(v, "policy")?.as_str().unwrap_or_default();
+            let policy = PolicyKind::all()
+                .into_iter()
+                .find(|p| p.label() == label)
+                .ok_or_else(|| SimError::internal(format!("unknown policy label {label:?}")))?;
+            Ok(Fig2Timeline {
+                policy,
+                k1_finish: dec_time(field(v, "k1_finish_ns")?)?,
+                k2_finish: dec_time(field(v, "k2_finish_ns")?)?,
+                k3_start: dec_time(field(v, "k3_start_ns")?)?,
+                k3_finish: dec_time(field(v, "k3_finish_ns")?)?,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// Wall-clock timing of the underlying three-scenario sweep.

@@ -10,9 +10,15 @@
 
 use crate::config::{PolicyKind, SimulatorConfig};
 use crate::experiments::common::{isolated_times_with_cache, ExperimentScale, IsolatedRunCache};
+use crate::json::Value;
 use crate::report::TextTable;
 use crate::simulator::SimulationRun;
-use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use crate::sweep::shard::{
+    dec_f64, dec_time, dec_u64, enc_f64, enc_time, enc_u64, field, run_plan_values,
+};
+use crate::sweep::{
+    Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming, ValueCodec,
+};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_sim::stats::fmt_stat;
 use gpreempt_types::{SimError, SimTime};
@@ -181,6 +187,26 @@ impl MechanismResults {
         runner: &SweepRunner,
         cache: &IsolatedRunCache,
     ) -> Result<Self, SimError> {
+        Ok(
+            Self::run_exec(config, scale, runner, cache, &SweepExec::Full)?
+                .expect("full run yields results"),
+        )
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under an explicit execution
+    /// mode: a shard run checkpoints outcomes and returns `None`; a merge
+    /// decodes them and aggregates exactly like a full run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -222,10 +248,21 @@ impl MechanismResults {
                     mean_estimate_error: stats.mean_estimate_error(),
                 })
             };
-        let results = runner.run_fold(&plan, &fold)?;
-        let timing = iso_timing.merged(results.timing(&plan));
+        let outcome = run_plan_values(
+            exec,
+            runner,
+            &plan,
+            "mechanism",
+            &Self::codec(),
+            &fold,
+            &|_, _| Ok(()),
+        )?;
+        let Some(outcome_values) = outcome.values else {
+            return Ok(None);
+        };
+        let timing = iso_timing.merged(outcome.timing);
 
-        let mut values = results.into_values().into_iter();
+        let mut values = outcome_values.into_iter();
         let mut records = Vec::new();
         for (size, workload) in &workloads {
             let mut outcomes = HashMap::new();
@@ -240,12 +277,47 @@ impl MechanismResults {
             });
         }
 
-        Ok(MechanismResults {
+        Ok(Some(MechanismResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
             timing,
-        })
+        }))
+    }
+
+    /// Checkpoint codec for one outcome: metrics as exact floats, counters
+    /// as exact integers, latencies as exact nanoseconds.
+    fn codec() -> ValueCodec<MechanismOutcome> {
+        fn encode(o: &MechanismOutcome) -> Value {
+            Value::object([
+                ("antt", enc_f64(o.antt)),
+                ("stp", enc_f64(o.stp)),
+                ("fairness", enc_f64(o.fairness)),
+                ("preemptions", enc_u64(o.preemptions)),
+                ("preemptions_completed", enc_u64(o.preemptions_completed)),
+                (
+                    "mean_preemption_latency_ns",
+                    enc_time(o.mean_preemption_latency),
+                ),
+                ("drain_picks", enc_u64(o.drain_picks)),
+                ("cs_picks", enc_u64(o.cs_picks)),
+                ("mean_estimate_error_ns", enc_time(o.mean_estimate_error)),
+            ])
+        }
+        fn decode(v: &Value) -> Result<MechanismOutcome, SimError> {
+            Ok(MechanismOutcome {
+                antt: dec_f64(field(v, "antt")?)?,
+                stp: dec_f64(field(v, "stp")?)?,
+                fairness: dec_f64(field(v, "fairness")?)?,
+                preemptions: dec_u64(field(v, "preemptions")?)?,
+                preemptions_completed: dec_u64(field(v, "preemptions_completed")?)?,
+                mean_preemption_latency: dec_time(field(v, "mean_preemption_latency_ns")?)?,
+                drain_picks: dec_u64(field(v, "drain_picks")?)?,
+                cs_picks: dec_u64(field(v, "cs_picks")?)?,
+                mean_estimate_error: dec_time(field(v, "mean_estimate_error_ns")?)?,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// The per-workload records.

@@ -11,9 +11,13 @@ use crate::config::{PolicyKind, SimulatorConfig};
 use crate::experiments::common::{
     isolated_times_with_cache, mean_of, ExperimentScale, IsolatedRunCache,
 };
+use crate::json::Value;
 use crate::report::{times, TextTable};
 use crate::simulator::SimulationRun;
-use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use crate::sweep::shard::{dec_f64, enc_f64, field, run_plan_values};
+use crate::sweep::{
+    Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming, ValueCodec,
+};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{KernelClass, SimError, SimTime};
 use std::collections::HashMap;
@@ -188,6 +192,27 @@ impl PriorityResults {
         runner: &SweepRunner,
         cache: &IsolatedRunCache,
     ) -> Result<Self, SimError> {
+        Ok(
+            Self::run_exec(config, scale, runner, cache, &SweepExec::Full)?
+                .expect("full run yields results"),
+        )
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under an explicit execution
+    /// mode. The isolated-time phase runs in every mode (it is cheap,
+    /// cached, and its results are part of the fold's closure); only the
+    /// main workload × configuration sweep is sharded or replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -230,10 +255,21 @@ impl PriorityResults {
                 stp: metrics.stp(),
             })
         };
-        let results = runner.run_fold(&plan, &fold)?;
-        let timing = iso_timing.merged(results.timing(&plan));
+        let outcome = run_plan_values(
+            exec,
+            runner,
+            &plan,
+            "priority",
+            &Self::codec(),
+            &fold,
+            &|_, _| Ok(()),
+        )?;
+        let Some(outcome_values) = outcome.values else {
+            return Ok(None);
+        };
+        let timing = iso_timing.merged(outcome.timing);
 
-        let mut values = results.into_values().into_iter();
+        let mut values = outcome_values.into_iter();
         let mut records = Vec::new();
         for ((size, workload), &hp_index) in workloads.iter().zip(&hp_indices) {
             let hp_spec = &workload.processes()[hp_index];
@@ -251,12 +287,30 @@ impl PriorityResults {
             });
         }
 
-        Ok(PriorityResults {
+        Ok(Some(PriorityResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
             timing,
-        })
+        }))
+    }
+
+    /// Checkpoint codec for one outcome (a starved high-priority NTT can be
+    /// ∞, which [`enc_f64`] preserves through the round trip).
+    fn codec() -> ValueCodec<PriorityOutcome> {
+        fn encode(o: &PriorityOutcome) -> Value {
+            Value::object([
+                ("ntt_high_priority", enc_f64(o.ntt_high_priority)),
+                ("stp", enc_f64(o.stp)),
+            ])
+        }
+        fn decode(v: &Value) -> Result<PriorityOutcome, SimError> {
+            Ok(PriorityOutcome {
+                ntt_high_priority: dec_f64(field(v, "ntt_high_priority")?)?,
+                stp: dec_f64(field(v, "stp")?)?,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// The per-workload records.

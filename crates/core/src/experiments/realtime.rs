@@ -26,10 +26,13 @@ use crate::config::{PolicyKind, SimulatorConfig};
 use crate::experiments::common::{
     ci95, isolated_times_with_cache, ExperimentScale, IsolatedRunCache,
 };
+use crate::json::Value;
 use crate::report::TextTable;
 use crate::simulator::SimulationRun;
+use crate::sweep::shard::{dec_f64, dec_u64, enc_f64, enc_u64, field, run_plan_values};
 use crate::sweep::{
-    JsonlSink, Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming,
+    JsonlSink, Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming,
+    ValueCodec,
 };
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_sim::stats;
@@ -215,6 +218,29 @@ impl RealtimeResults {
         cache: &IsolatedRunCache,
         sink: Option<&JsonlSink>,
     ) -> Result<Self, SimError> {
+        Ok(
+            Self::run_exec(config, scale, runner, cache, sink, &SweepExec::Full)?
+                .expect("full run yields results"),
+        )
+    }
+
+    /// [`run_streaming`](Self::run_streaming) under an explicit execution
+    /// mode: a shard run checkpoints points (the sink tap is skipped — the
+    /// checkpoint is the shard's only output) and returns `None`; a merge
+    /// decodes the points, replays the sink tap in scenario-id order, and
+    /// aggregates exactly like a full run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, sink I/O, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        sink: Option<&JsonlSink>,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         // One benchmark mix per workload size (drawn once, shared by every
         // utilization level so the axes stay orthogonal).
         let mut generator = scale.generator(config);
@@ -297,10 +323,14 @@ impl RealtimeResults {
                 point,
             ))
         };
-        let results = runner.run_fold_tap(&plan, &fold, &tap)?;
-        let timing = iso_timing.merged(results.timing(&plan));
+        let outcome =
+            run_plan_values(exec, runner, &plan, "realtime", &Self::codec(), &fold, &tap)?;
+        let Some(values) = outcome.values else {
+            return Ok(None);
+        };
+        let timing = iso_timing.merged(outcome.timing);
 
-        let mut points = results.into_values().into_iter();
+        let mut points = values.into_iter();
         let cells = cell_keys
             .into_iter()
             .map(|key| RealtimeCell {
@@ -311,12 +341,43 @@ impl RealtimeResults {
             })
             .collect();
 
-        Ok(RealtimeResults {
+        Ok(Some(RealtimeResults {
             cells,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
             timing,
-        })
+        }))
+    }
+
+    /// Checkpoint codec for one point: rates and µs metrics as exact
+    /// floats, counters as exact integers.
+    fn codec() -> ValueCodec<RealtimePoint> {
+        fn encode(p: &RealtimePoint) -> Value {
+            Value::object([
+                ("miss_rate", enc_f64(p.miss_rate)),
+                ("mean_response_us", enc_f64(p.mean_response_us)),
+                ("max_tardiness_us", enc_f64(p.max_tardiness_us)),
+                ("completed", enc_u64(p.completed)),
+                ("missed", enc_u64(p.missed)),
+                ("preemptions", enc_u64(p.preemptions)),
+                (
+                    "mean_preempt_latency_us",
+                    enc_f64(p.mean_preempt_latency_us),
+                ),
+            ])
+        }
+        fn decode(v: &Value) -> Result<RealtimePoint, SimError> {
+            Ok(RealtimePoint {
+                miss_rate: dec_f64(field(v, "miss_rate")?)?,
+                mean_response_us: dec_f64(field(v, "mean_response_us")?)?,
+                max_tardiness_us: dec_f64(field(v, "max_tardiness_us")?)?,
+                completed: dec_u64(field(v, "completed")?)?,
+                missed: dec_u64(field(v, "missed")?)?,
+                preemptions: dec_u64(field(v, "preemptions")?)?,
+                mean_preempt_latency_us: dec_f64(field(v, "mean_preempt_latency_us")?)?,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// The per-cell results, in enumeration order.

@@ -25,10 +25,13 @@ use crate::config::{PolicyKind, SimulatorConfig};
 use crate::experiments::common::{
     ci95, isolated_times_with_cache, ExperimentScale, IsolatedRunCache,
 };
+use crate::json::Value;
 use crate::report::TextTable;
 use crate::simulator::SimulationRun;
+use crate::sweep::shard::{dec_f64, dec_u64, enc_f64, enc_u64, field, run_plan_values};
 use crate::sweep::{
-    JsonlSink, Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming,
+    JsonlSink, Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming,
+    ValueCodec,
 };
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_sim::stats;
@@ -138,7 +141,7 @@ pub struct SaturationCellKey {
 }
 
 /// The outcome of one scenario (one seed of one cell).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaturationPoint {
     /// Requests released across the workload.
     pub released: u64,
@@ -162,6 +165,10 @@ pub struct SaturationPoint {
     pub throughput_per_sec: f64,
     /// Preemptions the policy requested.
     pub preemptions: u64,
+    /// Per-process queue-depth samples at the scale's `depth_trace`
+    /// interval; one (possibly empty) trace per process. Empty vectors
+    /// (tracing off) cost nothing and are omitted from JSONL records.
+    pub depth_traces: Vec<Vec<u32>>,
 }
 
 /// One cell of the sweep: a [`SaturationCellKey`] plus statistics over its
@@ -253,6 +260,31 @@ impl SaturationResults {
         cache: &IsolatedRunCache,
         sink: Option<&JsonlSink>,
     ) -> Result<Self, SimError> {
+        Ok(
+            Self::run_exec(config, scale, runner, cache, sink, &SweepExec::Full)?
+                .expect("full run yields results"),
+        )
+    }
+
+    /// [`run_streaming`](Self::run_streaming) under an explicit execution
+    /// mode. A shard run checkpoints each [`SaturationPoint`] and returns
+    /// `None` (the sink tap is skipped — the checkpoint is the shard's only
+    /// output); a merge decodes the points in scenario-id order, replays
+    /// the sink tap, and aggregates exactly like a full run. The isolated
+    /// probe runs in every mode: it is cheap, cached, and the arrival gaps
+    /// derive from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, sink I/O, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        sink: Option<&JsonlSink>,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         // One service benchmark, replicated per process: the first of the
         // scale's pool (deterministic order). The arrival gaps are derived
         // from its isolated time, so measure that first.
@@ -285,11 +317,14 @@ impl SaturationResults {
                         .collect();
                     // The replay target is unreachable on purpose: the
                     // horizon is the only stop condition.
-                    let workload = Workload::new(
+                    let mut workload = Workload::new(
                         format!("sat-{size}p-rho{rho:.2}-{}", arrival.label()),
                         processes,
                     )
                     .with_min_completions(u32::MAX);
+                    if let Some(interval) = scale.depth_trace {
+                        workload = workload.with_depth_trace(interval);
+                    }
                     for &policy in &SATURATION_POLICIES {
                         for &mechanism in &SATURATION_MECHANISMS {
                             let key = SaturationCellKey {
@@ -347,6 +382,11 @@ impl SaturationResults {
                     max_queue_depth,
                     throughput_per_sec: slo.throughput_per_sec(),
                     preemptions: run.engine_stats().preemptions,
+                    depth_traces: run
+                        .arrival_stats()
+                        .iter()
+                        .map(|s| s.depth_samples.clone())
+                        .collect(),
                 })
             };
         let tap = |scenario: &Scenario, point: &SaturationPoint| -> Result<(), SimError> {
@@ -358,10 +398,21 @@ impl SaturationResults {
                 point,
             ))
         };
-        let results = runner.run_fold_tap(&plan, &fold, &tap)?;
-        let timing = iso_timing.merged(results.timing(&plan));
+        let outcome = run_plan_values(
+            exec,
+            runner,
+            &plan,
+            "saturation",
+            &Self::codec(),
+            &fold,
+            &tap,
+        )?;
+        let Some(values) = outcome.values else {
+            return Ok(None);
+        };
+        let timing = iso_timing.merged(outcome.timing);
 
-        let mut points = results.into_values().into_iter();
+        let mut points = values.into_iter();
         let cells = cell_keys
             .into_iter()
             .map(|key| SaturationCell {
@@ -372,11 +423,83 @@ impl SaturationResults {
             })
             .collect();
 
-        Ok(SaturationResults {
+        Ok(Some(SaturationResults {
             cells,
             seed: scale.seed,
             timing,
-        })
+        }))
+    }
+
+    /// Checkpoint codec for one [`SaturationPoint`]. Counters travel as
+    /// exact integers, SLO metrics as f64 (NaN — "nothing completed" — and
+    /// infinities survive the round trip), depth traces as arrays of
+    /// per-process sample arrays.
+    fn codec() -> ValueCodec<SaturationPoint> {
+        fn encode(p: &SaturationPoint) -> Value {
+            Value::object([
+                ("released", enc_u64(p.released)),
+                ("shed", enc_u64(p.shed)),
+                ("completed", enc_u64(p.completed)),
+                ("shed_rate", enc_f64(p.shed_rate)),
+                ("p50_us", enc_f64(p.p50_us)),
+                ("p99_us", enc_f64(p.p99_us)),
+                ("p999_us", enc_f64(p.p999_us)),
+                ("mean_queue_depth", enc_f64(p.mean_queue_depth)),
+                ("max_queue_depth", enc_u64(u64::from(p.max_queue_depth))),
+                ("throughput_per_sec", enc_f64(p.throughput_per_sec)),
+                ("preemptions", enc_u64(p.preemptions)),
+                (
+                    "depth_traces",
+                    Value::Array(
+                        p.depth_traces
+                            .iter()
+                            .map(|trace| {
+                                Value::Array(
+                                    trace.iter().map(|&d| Value::from(u64::from(d))).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        fn decode(v: &Value) -> Result<SaturationPoint, SimError> {
+            let depth_traces = field(v, "depth_traces")?
+                .as_array()
+                .ok_or_else(|| SimError::internal("depth_traces is not an array"))?
+                .iter()
+                .map(|trace| {
+                    trace
+                        .as_array()
+                        .ok_or_else(|| SimError::internal("depth trace is not an array"))?
+                        .iter()
+                        .map(|sample| {
+                            dec_u64(sample).and_then(|d| {
+                                u32::try_from(d).map_err(|_| {
+                                    SimError::internal("depth sample exceeds u32 range")
+                                })
+                            })
+                        })
+                        .collect::<Result<Vec<u32>, SimError>>()
+                })
+                .collect::<Result<Vec<_>, SimError>>()?;
+            Ok(SaturationPoint {
+                released: dec_u64(field(v, "released")?)?,
+                shed: dec_u64(field(v, "shed")?)?,
+                completed: dec_u64(field(v, "completed")?)?,
+                shed_rate: dec_f64(field(v, "shed_rate")?)?,
+                p50_us: dec_f64(field(v, "p50_us")?)?,
+                p99_us: dec_f64(field(v, "p99_us")?)?,
+                p999_us: dec_f64(field(v, "p999_us")?)?,
+                mean_queue_depth: dec_f64(field(v, "mean_queue_depth")?)?,
+                max_queue_depth: u32::try_from(dec_u64(field(v, "max_queue_depth")?)?)
+                    .map_err(|_| SimError::internal("max_queue_depth exceeds u32 range"))?,
+                throughput_per_sec: dec_f64(field(v, "throughput_per_sec")?)?,
+                preemptions: dec_u64(field(v, "preemptions")?)?,
+                depth_traces,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// The per-cell results, in enumeration order.
@@ -549,7 +672,7 @@ impl SaturationResults {
 /// The per-scenario record streamed to the JSONL sink: one seed's raw
 /// outcome, identified by workload and scenario label.
 fn point_record(workload: &str, label: &str, size: usize, point: &SaturationPoint) -> SweepRecord {
-    SweepRecord::new("saturation", workload, label, size)
+    let mut record = SweepRecord::new("saturation", workload, label, size)
         .with_value("released", point.released as f64)
         .with_value("shed", point.shed as f64)
         .with_value("completed", point.completed as f64)
@@ -560,7 +683,11 @@ fn point_record(workload: &str, label: &str, size: usize, point: &SaturationPoin
         .with_value("mean_queue_depth", point.mean_queue_depth)
         .with_value("max_queue_depth", point.max_queue_depth as f64)
         .with_value("throughput_per_sec", point.throughput_per_sec)
-        .with_value("preemptions", point.preemptions as f64)
+        .with_value("preemptions", point.preemptions as f64);
+    for (i, trace) in point.depth_traces.iter().enumerate() {
+        record = record.with_series(format!("depth_{i}"), trace.clone());
+    }
+    record
 }
 
 #[cfg(test)]

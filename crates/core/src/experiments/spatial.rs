@@ -10,9 +10,13 @@ use crate::config::{PolicyKind, SimulatorConfig};
 use crate::experiments::common::{
     isolated_times_with_cache, mean_of, ExperimentScale, IsolatedRunCache,
 };
+use crate::json::Value;
 use crate::report::{times, TextTable};
 use crate::simulator::SimulationRun;
-use crate::sweep::{Scenario, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming};
+use crate::sweep::shard::{dec_f64, enc_f64, field, run_plan_values};
+use crate::sweep::{
+    Scenario, SweepExec, SweepPlan, SweepRecord, SweepReport, SweepRunner, SweepTiming, ValueCodec,
+};
 use gpreempt_gpu::{MechanismSelection, PreemptionMechanism};
 use gpreempt_types::{KernelClass, SimError, SimTime};
 use std::collections::HashMap;
@@ -177,6 +181,26 @@ impl SpatialResults {
         runner: &SweepRunner,
         cache: &IsolatedRunCache,
     ) -> Result<Self, SimError> {
+        Ok(
+            Self::run_exec(config, scale, runner, cache, &SweepExec::Full)?
+                .expect("full run yields results"),
+        )
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under an explicit execution
+    /// mode: a shard run checkpoints outcomes and returns `None`; a merge
+    /// decodes them and aggregates exactly like a full run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, checkpoint and decode errors.
+    pub fn run_exec(
+        config: &SimulatorConfig,
+        scale: &ExperimentScale,
+        runner: &SweepRunner,
+        cache: &IsolatedRunCache,
+        exec: &SweepExec<'_>,
+    ) -> Result<Option<Self>, SimError> {
         let mut generator = scale.generator(config);
         let mut workloads = Vec::new();
         for &size in &scale.workload_sizes {
@@ -212,10 +236,21 @@ impl SpatialResults {
                 fairness: metrics.fairness(),
             })
         };
-        let results = runner.run_fold(&plan, &fold)?;
-        let timing = iso_timing.merged(results.timing(&plan));
+        let outcome = run_plan_values(
+            exec,
+            runner,
+            &plan,
+            "spatial",
+            &Self::codec(),
+            &fold,
+            &|_, _| Ok(()),
+        )?;
+        let Some(outcome_values) = outcome.values else {
+            return Ok(None);
+        };
+        let timing = iso_timing.merged(outcome.timing);
 
-        let mut values = results.into_values().into_iter();
+        let mut values = outcome_values.into_iter();
         let mut records = Vec::new();
         for (size, workload) in &workloads {
             let app_classes = workload
@@ -236,12 +271,44 @@ impl SpatialResults {
             });
         }
 
-        Ok(SpatialResults {
+        Ok(Some(SpatialResults {
             records,
             sizes: scale.workload_sizes.clone(),
             seed: scale.seed,
             timing,
-        })
+        }))
+    }
+
+    /// Checkpoint codec for one outcome. The per-process NTT vector has
+    /// workload-dependent length and starved entries can be ∞, both of
+    /// which the array-of-[`enc_f64`] encoding preserves.
+    fn codec() -> ValueCodec<SpatialOutcome> {
+        fn encode(o: &SpatialOutcome) -> Value {
+            Value::object([
+                (
+                    "ntt",
+                    Value::Array(o.ntt.iter().map(|&v| enc_f64(v)).collect()),
+                ),
+                ("antt", enc_f64(o.antt)),
+                ("stp", enc_f64(o.stp)),
+                ("fairness", enc_f64(o.fairness)),
+            ])
+        }
+        fn decode(v: &Value) -> Result<SpatialOutcome, SimError> {
+            let ntt = field(v, "ntt")?
+                .as_array()
+                .ok_or_else(|| SimError::internal("ntt is not an array"))?
+                .iter()
+                .map(dec_f64)
+                .collect::<Result<_, _>>()?;
+            Ok(SpatialOutcome {
+                ntt,
+                antt: dec_f64(field(v, "antt")?)?,
+                stp: dec_f64(field(v, "stp")?)?,
+                fairness: dec_f64(field(v, "fairness")?)?,
+            })
+        }
+        ValueCodec { encode, decode }
     }
 
     /// The per-workload records.

@@ -53,6 +53,7 @@ mod plan;
 mod report;
 mod runner;
 mod scenario;
+pub mod shard;
 mod sink;
 
 pub use plan::SweepPlan;
@@ -61,4 +62,7 @@ pub use runner::{
     FoldedResults, ScenarioFold, ScenarioTap, SweepResults, SweepRunner, SweepTiming, TimingEntry,
 };
 pub use scenario::{FoldedScenario, Scenario, ScenarioResult};
+pub use shard::{
+    MergedValues, PlanValues, ShardManifest, ShardSession, ShardSpec, SweepExec, ValueCodec,
+};
 pub use sink::JsonlSink;

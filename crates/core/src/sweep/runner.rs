@@ -37,7 +37,22 @@ pub type ScenarioTap<'a, T> = dyn Fn(&Scenario, &T) -> Result<(), SimError> + Sy
 pub struct SweepRunner {
     jobs: usize,
     reuse: bool,
-    queue: Option<QueueKind>,
+    queue: QueueChoice,
+    affinity: bool,
+}
+
+/// How the runner picks each scenario's event-queue backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueChoice {
+    /// Use whatever the plan's base configuration selects.
+    Plan,
+    /// Per-scenario heuristic: the calendar queue wins only under the
+    /// churn-heavy open-arrival workloads (timer-driven releases keep the
+    /// near-future bucket wheel full); closed-loop workloads run faster on
+    /// the plain heap. Results are bit-identical either way.
+    Auto,
+    /// One backend for every scenario.
+    Fixed(QueueKind),
 }
 
 impl SweepRunner {
@@ -54,7 +69,8 @@ impl SweepRunner {
         SweepRunner {
             jobs,
             reuse: true,
-            queue: None,
+            queue: QueueChoice::Plan,
+            affinity: false,
         }
     }
 
@@ -85,7 +101,30 @@ impl SweepRunner {
     /// its plan.
     #[must_use]
     pub fn with_queue(mut self, kind: QueueKind) -> Self {
-        self.queue = Some(kind);
+        self.queue = QueueChoice::Fixed(kind);
+        self
+    }
+
+    /// Picks the event-queue backend per scenario: the calendar queue for
+    /// churn-heavy open-arrival workloads (where its bucket wheel wins),
+    /// the plain heap for everything else (where the calendar's bookkeeping
+    /// loses ~1.1–1.5×). Results are bit-identical across backends, so this
+    /// is purely a throughput heuristic.
+    #[must_use]
+    pub fn with_auto_queue(mut self) -> Self {
+        self.queue = QueueChoice::Auto;
+        self
+    }
+
+    /// Pins each spawned worker thread to one CPU core (worker `w` to core
+    /// `w mod cpus`), so a worker's arena and intern table stop migrating
+    /// across cores mid-stream. Best effort: platforms (or sandboxes)
+    /// rejecting the affinity syscall run unpinned. The sequential path
+    /// never pins — it would confine the *caller's* thread beyond the
+    /// sweep's lifetime.
+    #[must_use]
+    pub fn with_affinity(mut self, affinity: bool) -> Self {
+        self.affinity = affinity;
         self
     }
 
@@ -94,9 +133,19 @@ impl SweepRunner {
         self.jobs
     }
 
-    /// The configured event-queue override, if any.
+    /// The configured fixed event-queue override, if any (`None` for both
+    /// the plan default and [`with_auto_queue`](Self::with_auto_queue)
+    /// mode).
     pub fn queue(&self) -> Option<QueueKind> {
-        self.queue
+        match self.queue {
+            QueueChoice::Fixed(kind) => Some(kind),
+            QueueChoice::Plan | QueueChoice::Auto => None,
+        }
+    }
+
+    /// Whether worker-thread core pinning is enabled.
+    pub fn affinity(&self) -> bool {
+        self.affinity
     }
 
     /// Scenario ids a worker claims per shared-counter increment.
@@ -184,22 +233,71 @@ impl SweepRunner {
         fold: &ScenarioFold<'_, T>,
         tap: &ScenarioTap<'_, T>,
     ) -> Result<FoldedResults<T>, SimError> {
+        let ids: Vec<usize> = (0..plan.len()).collect();
+        self.run_fold_tap_subset(plan, &ids, fold, tap)
+    }
+
+    /// [`run_fold`](Self::run_fold) restricted to an explicit scenario-id
+    /// subset (no tap).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`run_fold_tap_subset`](Self::run_fold_tap_subset).
+    pub fn run_fold_subset<T: Send>(
+        &self,
+        plan: &SweepPlan,
+        ids: &[usize],
+        fold: &ScenarioFold<'_, T>,
+    ) -> Result<FoldedResults<T>, SimError> {
+        self.run_fold_tap_subset(plan, ids, fold, &|_, _| Ok(()))
+    }
+
+    /// [`run_fold_tap`](Self::run_fold_tap) restricted to an explicit
+    /// scenario-id subset: only the scenarios whose ids appear in `ids` are
+    /// executed, in the order given (shards pass their stripe here; a
+    /// resumed shard passes the stripe minus its checkpointed ids).
+    /// Everything else behaves identically — workers claim contiguous
+    /// chunks *of the subset*, outcomes are reassembled in subset order,
+    /// and the reported error is the one from the earliest subset position,
+    /// independent of the worker count.
+    ///
+    /// Derived seeds, horizons and every other per-scenario property were
+    /// fixed at plan-build time, so running a subset cannot perturb any
+    /// scenario's result relative to a full run.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`run_fold_tap`](Self::run_fold_tap); additionally, an id
+    /// outside the plan is an internal error (a caller bug).
+    pub fn run_fold_tap_subset<T: Send>(
+        &self,
+        plan: &SweepPlan,
+        ids: &[usize],
+        fold: &ScenarioFold<'_, T>,
+        tap: &ScenarioTap<'_, T>,
+    ) -> Result<FoldedResults<T>, SimError> {
         let scenarios = plan.scenarios();
+        if let Some(&bad) = ids.iter().find(|&&id| id >= scenarios.len()) {
+            return Err(SimError::internal(format!(
+                "sweep subset references scenario id {bad}, but the plan has only {} scenarios",
+                scenarios.len()
+            )));
+        }
         let started = Instant::now();
         let mut slots: Vec<Option<Result<FoldedScenario<T>, SimError>>> =
-            (0..scenarios.len()).map(|_| None).collect();
+            (0..ids.len()).map(|_| None).collect();
 
-        let workers = self.jobs.min(scenarios.len()).max(1);
+        let workers = self.jobs.min(ids.len()).max(1);
         if workers <= 1 {
             let mut ws = SimWorkspace::new();
             let mut interner = TraceInterner::new();
-            for (i, scenario) in scenarios.iter().enumerate() {
+            for (i, &id) in ids.iter().enumerate() {
                 if !self.reuse {
                     ws = SimWorkspace::new();
                 }
                 let outcome = Self::execute(
                     plan,
-                    scenario,
+                    &scenarios[id],
                     self.queue,
                     &mut ws,
                     &mut interner,
@@ -215,13 +313,23 @@ impl SweepRunner {
         } else {
             let next = AtomicUsize::new(0);
             let failed = AtomicBool::new(false);
-            let chunk = Self::chunk_size(scenarios.len(), workers);
+            let chunk = Self::chunk_size(ids.len(), workers);
             let harvested = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|w| {
                         let next = &next;
                         let failed = &failed;
                         scope.spawn(move || {
+                            // Optional core pinning: worker w sticks to one
+                            // core for its whole scenario stream, so the
+                            // arena it warms below stays cache-local. Best
+                            // effort — a rejected pin runs unpinned.
+                            if self.affinity {
+                                let cpus = std::thread::available_parallelism()
+                                    .map(std::num::NonZeroUsize::get)
+                                    .unwrap_or(1);
+                                let _ = gpreempt_sim::pin_current_thread(w % cpus);
+                            }
                             let mut local = Vec::new();
                             // One arena per worker: every scenario this
                             // worker pulls reuses the same host/engine/queue
@@ -237,23 +345,24 @@ impl SweepRunner {
                             // Stop claiming new chunks once any worker has
                             // recorded a failure; a claimed chunk always
                             // runs to completion. Chunks are handed out in
-                            // id order, so the executed scenarios form a
-                            // prefix of the plan: the smallest failing id is
-                            // always among them and the reported error stays
-                            // independent of worker count and chunk size.
+                            // subset order, so the executed scenarios form a
+                            // prefix of the subset: the earliest failing
+                            // position is always among them and the reported
+                            // error stays independent of worker count and
+                            // chunk size.
                             while !failed.load(Ordering::Relaxed) {
                                 let start = next.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= scenarios.len() {
+                                if start >= ids.len() {
                                     break;
                                 }
-                                let end = (start + chunk).min(scenarios.len());
-                                for (i, scenario) in scenarios[start..end].iter().enumerate() {
+                                let end = (start + chunk).min(ids.len());
+                                for (i, &id) in ids[start..end].iter().enumerate() {
                                     if !self.reuse {
                                         ws = SimWorkspace::new();
                                     }
                                     let outcome = Self::execute(
                                         plan,
-                                        scenario,
+                                        &scenarios[id],
                                         self.queue,
                                         &mut ws,
                                         &mut interner,
@@ -270,7 +379,7 @@ impl SweepRunner {
                         })
                     })
                     .collect();
-                let mut harvested = Vec::with_capacity(scenarios.len());
+                let mut harvested = Vec::with_capacity(ids.len());
                 for handle in handles {
                     harvested.extend(handle.join().expect("sweep worker panicked"));
                 }
@@ -281,7 +390,7 @@ impl SweepRunner {
             }
         }
 
-        let mut outcomes = Vec::with_capacity(scenarios.len());
+        let mut outcomes = Vec::with_capacity(ids.len());
         for slot in slots {
             match slot {
                 Some(Ok(outcome)) => outcomes.push(outcome),
@@ -312,7 +421,7 @@ impl SweepRunner {
     fn execute<T>(
         plan: &SweepPlan,
         scenario: &Scenario,
-        queue: Option<QueueKind>,
+        queue: QueueChoice,
         ws: &mut SimWorkspace,
         interner: &mut TraceInterner,
         fold: &ScenarioFold<'_, T>,
@@ -325,7 +434,19 @@ impl SweepRunner {
         if let Some(seed) = scenario.seed {
             config = config.with_seed(seed);
         }
-        if let Some(kind) = queue {
+        // Queue backends deliver bit-identical event orders, so this choice
+        // affects throughput only — which is exactly why Auto can pick per
+        // scenario without perturbing any result.
+        let kind = match queue {
+            QueueChoice::Plan => None,
+            QueueChoice::Fixed(kind) => Some(kind),
+            QueueChoice::Auto => Some(if scenario.workload.has_open_arrivals() {
+                QueueKind::Calendar
+            } else {
+                QueueKind::Heap
+            }),
+        };
+        if let Some(kind) = kind {
             config.engine.queue = kind;
         }
         let wall = Instant::now();
@@ -434,12 +555,14 @@ impl<T> FoldedResults<T> {
         &self.outcomes
     }
 
-    /// The fold output of the scenario with the given id.
+    /// The fold output of the scenario with the given id. For results of a
+    /// subset run ([`SweepRunner::run_fold_tap_subset`]) the index is the
+    /// *position within the subset*, not the plan-wide scenario id.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range (a caller bug: outcomes always
-    /// cover the full plan).
+    /// Panics if the index is out of range (a caller bug: outcomes always
+    /// cover the full plan — or the full subset).
     pub fn value_of(&self, scenario_id: usize) -> &T {
         &self.outcomes[scenario_id].value
     }
@@ -860,6 +983,84 @@ mod tests {
             let err = SweepRunner::new(jobs).run(&plan).unwrap_err();
             assert!(err.to_string().contains("bad7"), "jobs={jobs}: {err}");
         }
+    }
+
+    /// A subset run executes exactly the requested ids, in the requested
+    /// order, and each outcome is bit-identical to the same scenario's
+    /// outcome in a full run — at every worker count.
+    #[test]
+    fn subset_runs_match_the_full_run_scenario_for_scenario() {
+        let plan = lean_plan(12);
+        let full = SweepRunner::sequential().run(&plan).unwrap();
+        let ids: Vec<usize> = (0..plan.len()).filter(|id| id % 3 == 1).collect();
+        for jobs in [1, 2, 4] {
+            let subset = SweepRunner::new(jobs)
+                .run_fold_subset(&plan, &ids, &|_, run| {
+                    Ok((run.events_processed(), run.end_time()))
+                })
+                .unwrap();
+            assert_eq!(subset.len(), ids.len(), "jobs={jobs}");
+            for (pos, outcome) in subset.outcomes().iter().enumerate() {
+                assert_eq!(outcome.scenario_id, ids[pos], "jobs={jobs}");
+                let reference = &full.results()[ids[pos]];
+                assert_eq!(
+                    outcome.value,
+                    (reference.run.events_processed(), reference.run.end_time()),
+                    "jobs={jobs} id={}",
+                    ids[pos]
+                );
+            }
+            // Timing entries resolve labels through the original plan ids.
+            let timing = subset.timing(&plan);
+            assert_eq!(timing.entries[0].label, format!("s{}", ids[0]));
+        }
+    }
+
+    #[test]
+    fn subset_with_out_of_range_id_is_an_error() {
+        let plan = lean_plan(3);
+        let err = SweepRunner::sequential()
+            .run_fold_subset(&plan, &[1, 7], &|_, run| Ok(run.events_processed()))
+            .unwrap_err();
+        assert!(err.to_string().contains("scenario id 7"), "{err}");
+    }
+
+    #[test]
+    fn empty_subset_runs_to_empty_results() {
+        let plan = lean_plan(3);
+        let results = SweepRunner::new(4)
+            .run_fold_subset(&plan, &[], &|_, run| Ok(run.events_processed()))
+            .unwrap();
+        assert!(results.is_empty());
+    }
+
+    /// The auto queue heuristic resolves per scenario and cannot change
+    /// results: a closed-loop plan under auto is bit-identical to the same
+    /// plan pinned to either backend.
+    #[test]
+    fn auto_queue_is_bit_identical_to_fixed_backends() {
+        let plan = tiny_plan(3);
+        let runner = SweepRunner::new(2);
+        let auto = runner.with_auto_queue();
+        assert_eq!(auto.queue(), None);
+        let a = auto.run(&plan).unwrap();
+        let heap = runner.with_queue(QueueKind::Heap).run(&plan).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&heap));
+    }
+
+    /// Core pinning is a pure performance hint: pinned workers produce
+    /// bit-identical results (and the builder round-trips).
+    #[test]
+    fn affinity_does_not_change_results() {
+        let plan = tiny_plan(4);
+        let runner = SweepRunner::new(2);
+        assert!(!runner.affinity());
+        let pinned = runner.with_affinity(true);
+        assert!(pinned.affinity());
+        assert_eq!(
+            fingerprint(&runner.run(&plan).unwrap()),
+            fingerprint(&pinned.run(&plan).unwrap())
+        );
     }
 
     #[test]

@@ -1,0 +1,953 @@
+//! Sharded, resumable sweep execution with a deterministic merge.
+//!
+//! A paper-scale scenario population outgrows one machine. This module
+//! splits a sweep into `n` **shards** that can run on independent machines
+//! (or sequentially on one), each checkpointing its progress to a JSONL
+//! file, and merges the checkpoints back into a report **byte-identical**
+//! to the unsharded run:
+//!
+//! * [`ShardSpec`] — the `k/n` stripe: shard `k` owns every scenario whose
+//!   plan id satisfies `id % n == k`. Striping is by stable scenario id, so
+//!   the partition is independent of `--jobs`, and derived per-scenario
+//!   seeds (assigned at plan-build time from the id) are unchanged.
+//! * [`ShardSession`] — an append-only checkpoint: a manifest header line
+//!   (experiment, scale, seed, shard spec, schema fingerprint) followed by
+//!   one line per completed scenario carrying the experiment's **fold
+//!   value** for that scenario. Re-opening an existing checkpoint validates
+//!   the manifest, discards a torn trailing line, and reports the already-
+//!   completed ids so a killed shard resumes losing at most its in-flight
+//!   scenarios.
+//! * [`MergedValues`] — the reassembled fold values of a full shard set
+//!   (indices exactly `0..n`), keyed by `(experiment, scenario id)`.
+//! * [`run_plan_values`] — the execution seam every experiment harness
+//!   routes through: in [`SweepExec::Full`] mode it runs the whole plan; in
+//!   `Shard` mode it runs only the stripe's pending ids and checkpoints
+//!   each fold value through the experiment's [`ValueCodec`]; in `Merge`
+//!   mode it runs **nothing**, decoding the checkpointed values in
+//!   scenario-id order instead — after which the experiment's unchanged
+//!   aggregation code produces the byte-identical report.
+//!
+//! Checkpointing the *fold values* (not the report records) is what makes
+//! the merge provably byte-identical: aggregation (means, confidence
+//! intervals, knee detection) runs exactly once, at merge time, over values
+//! in the exact id order a full run would have produced.
+
+use crate::json::{self, Value};
+use crate::sweep::runner::{ScenarioFold, ScenarioTap};
+use crate::sweep::{SweepPlan, SweepRunner, SweepTiming};
+use gpreempt_types::{SimError, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The value-schema of every experiment's checkpointed fold value, one
+/// entry per experiment. The manifest's schema fingerprint hashes this
+/// list, so a checkpoint written by an older binary whose fold values
+/// carried different fields refuses to resume or merge instead of decoding
+/// garbage. **Extend the relevant entry whenever a fold value changes.**
+const SCHEMA: &[&str] = &[
+    "fig2:policy,k1_finish_ns,k2_finish_ns,k3_start_ns,k3_finish_ns",
+    "priority:ntt_high_priority,stp",
+    "spatial:ntt[],antt,stp,fairness",
+    "mechanism:antt,stp,fairness,preemptions,preemptions_completed,\
+     mean_preemption_latency_ns,drain_picks,cs_picks,mean_estimate_error_ns",
+    "realtime:miss_rate,mean_response_us,max_tardiness_us,completed,missed,\
+     preemptions,mean_preempt_latency_us",
+    "saturation:released,shed,completed,shed_rate,p50_us,p99_us,p999_us,\
+     mean_queue_depth,max_queue_depth,throughput_per_sec,preemptions,depth_traces[][]",
+];
+
+/// FNV-1a fingerprint of [`SCHEMA`]: two checkpoints inter-operate exactly
+/// when their binaries agreed on every experiment's fold-value layout.
+pub fn schema_fingerprint() -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for entry in SCHEMA {
+        for byte in entry.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^= u64::from(b';');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn io_err(what: &str, e: std::io::Error) -> SimError {
+    SimError::internal(format!("shard checkpoint {what}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// ShardSpec
+// ---------------------------------------------------------------------------
+
+/// One stripe of a sharded sweep: shard `index` of `count` owns every
+/// scenario id congruent to `index` modulo `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 ≤ index < count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `k/n` (e.g. `--shard 1/3`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed input, `n == 0`, and `k >= n`.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let invalid = || {
+            SimError::internal(format!(
+                "invalid shard spec {text:?}: expected k/n with 0 <= k < n (e.g. 0/3)"
+            ))
+        };
+        let (k, n) = text.split_once('/').ok_or_else(invalid)?;
+        let index: u32 = k.trim().parse().map_err(|_| invalid())?;
+        let count: u32 = n.trim().parse().map_err(|_| invalid())?;
+        if count == 0 || index >= count {
+            return Err(invalid());
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this shard owns the scenario with plan id `id`.
+    pub fn owns(&self, id: usize) -> bool {
+        id as u64 % u64::from(self.count) == u64::from(self.index)
+    }
+
+    /// The ids of this shard's stripe within a plan of `plan_len`
+    /// scenarios, ascending.
+    pub fn stripe(&self, plan_len: usize) -> Vec<usize> {
+        (0..plan_len).filter(|&id| self.owns(id)).collect()
+    }
+
+    /// The `k/n` rendering (inverse of [`parse`](Self::parse)).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The checkpoint header: everything a resume or merge must agree on
+/// before trusting the file's records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The experiment selector this invocation runs (`"all"` or one name).
+    pub experiment: String,
+    /// The scale name (`"quick"` / `"bench"` / `"paper"`).
+    pub scale: String,
+    /// The effective workload-generation seed (after any `--seed`).
+    pub seed: u64,
+    /// This checkpoint's stripe.
+    pub shard: ShardSpec,
+    /// [`schema_fingerprint`] of the writing binary.
+    pub schema: u64,
+    /// Queue-depth trace interval in microseconds, if enabled — it changes
+    /// the saturation fold value, so shards must agree on it.
+    pub depth_trace_us: Option<u64>,
+}
+
+impl ShardManifest {
+    /// Builds the manifest for a new shard run, stamping the current
+    /// binary's schema fingerprint.
+    pub fn new(
+        experiment: impl Into<String>,
+        scale: impl Into<String>,
+        seed: u64,
+        shard: ShardSpec,
+        depth_trace_us: Option<u64>,
+    ) -> Self {
+        ShardManifest {
+            experiment: experiment.into(),
+            scale: scale.into(),
+            seed,
+            shard,
+            schema: schema_fingerprint(),
+            depth_trace_us,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("manifest", Value::from(1u64)),
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("scale", Value::from(self.scale.as_str())),
+            ("seed", Value::from(self.seed)),
+            ("shard_index", Value::from(u64::from(self.shard.index))),
+            ("shard_count", Value::from(u64::from(self.shard.count))),
+            ("schema", Value::from(self.schema)),
+            (
+                "depth_trace_us",
+                self.depth_trace_us.map_or(Value::Null, Value::from),
+            ),
+        ])
+    }
+
+    /// The manifest's JSON line.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    fn parse(line: &str) -> Result<Self, SimError> {
+        let bad = |what: &str| SimError::internal(format!("invalid shard manifest: {what}"));
+        let v = json::parse(line).map_err(|e| bad(&e))?;
+        if v.get("manifest").and_then(Value::as_u64) != Some(1) {
+            return Err(bad(
+                "missing manifest:1 marker (is this a shard checkpoint?)",
+            ));
+        }
+        let field = |key: &str| v.get(key).ok_or_else(|| bad(&format!("missing {key}")));
+        let string = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("{key} is not a string")))
+        };
+        let uint = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| bad(&format!("{key} is not an unsigned integer")))
+        };
+        let index = u32::try_from(uint("shard_index")?).map_err(|_| bad("shard_index range"))?;
+        let count = u32::try_from(uint("shard_count")?).map_err(|_| bad("shard_count range"))?;
+        if count == 0 || index >= count {
+            return Err(bad("shard_index/shard_count do not form a valid stripe"));
+        }
+        let depth_trace_us = match field("depth_trace_us")? {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .ok_or_else(|| bad("depth_trace_us is not an unsigned integer"))?,
+            ),
+        };
+        Ok(ShardManifest {
+            experiment: string("experiment")?,
+            scale: string("scale")?,
+            seed: uint("seed")?,
+            shard: ShardSpec { index, count },
+            schema: uint("schema")?,
+            depth_trace_us,
+        })
+    }
+
+    /// Checks that `other` (an on-disk manifest) is compatible with this
+    /// expected manifest for a resume: every field including the stripe
+    /// must match.
+    fn ensure_matches(&self, other: &ShardManifest, path: &str) -> Result<(), SimError> {
+        let mismatch = |field: &str, want: &str, got: &str| {
+            SimError::internal(format!(
+                "shard checkpoint {path} does not match this invocation: \
+                 {field} is {got}, expected {want} \
+                 (delete the file to start this shard from scratch)"
+            ))
+        };
+        if other.experiment != self.experiment {
+            return Err(mismatch("experiment", &self.experiment, &other.experiment));
+        }
+        if other.scale != self.scale {
+            return Err(mismatch("scale", &self.scale, &other.scale));
+        }
+        if other.seed != self.seed {
+            return Err(mismatch(
+                "seed",
+                &self.seed.to_string(),
+                &other.seed.to_string(),
+            ));
+        }
+        if other.shard != self.shard {
+            return Err(mismatch("shard", &self.shard.label(), &other.shard.label()));
+        }
+        if other.schema != self.schema {
+            return Err(mismatch(
+                "schema fingerprint",
+                &format!("{:016x}", self.schema),
+                &format!("{:016x}", other.schema),
+            ));
+        }
+        if other.depth_trace_us != self.depth_trace_us {
+            return Err(mismatch(
+                "depth_trace_us",
+                &format!("{:?}", self.depth_trace_us),
+                &format!("{:?}", other.depth_trace_us),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint records
+// ---------------------------------------------------------------------------
+
+/// One parsed checkpoint line: which scenario it belongs to and the fold
+/// value the experiment's codec will decode.
+fn parse_record(line: &str) -> Result<(String, usize, Value), SimError> {
+    let bad = |what: &str| SimError::internal(format!("invalid shard record: {what}"));
+    let v = json::parse(line).map_err(|e| bad(&e))?;
+    let experiment = v
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing experiment"))?
+        .to_string();
+    let id = v
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("missing id"))? as usize;
+    let value = v.get("value").ok_or_else(|| bad("missing value"))?.clone();
+    Ok((experiment, id, value))
+}
+
+fn record_line(experiment: &str, id: usize, value: &Value) -> String {
+    Value::Object(vec![
+        ("experiment".to_string(), Value::from(experiment)),
+        ("id".to_string(), Value::from(id as u64)),
+        ("value".to_string(), value.clone()),
+    ])
+    .to_json()
+}
+
+// ---------------------------------------------------------------------------
+// ShardSession
+// ---------------------------------------------------------------------------
+
+/// An open shard checkpoint: tracks which `(experiment, scenario id)` pairs
+/// are already durable and appends one line per newly completed scenario
+/// (flushed immediately, so a kill loses only in-flight scenarios).
+///
+/// `Sync`: the record writer is mutex-guarded, so one session serves every
+/// worker of the sweep.
+#[derive(Debug)]
+pub struct ShardSession {
+    manifest: ShardManifest,
+    done: HashSet<(String, usize)>,
+    resumed: usize,
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    written: AtomicU64,
+}
+
+impl ShardSession {
+    /// Opens the checkpoint at `path` for the given manifest. A missing or
+    /// empty file starts a fresh shard (the manifest line is written
+    /// immediately). An existing file **resumes**: its manifest must match,
+    /// its valid record prefix becomes the done-set, a torn trailing line
+    /// (the write the kill interrupted) is discarded, and the file is
+    /// rewritten to the valid prefix before appending continues.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an unparseable or mismatched manifest, or a record
+    /// naming an id outside this shard's stripe.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        manifest: ShardManifest,
+    ) -> Result<Self, SimError> {
+        let path = path.as_ref();
+        let shown = path.display().to_string();
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err("read failed", e)),
+        };
+
+        let mut done = HashSet::new();
+        let mut valid_lines: Vec<&str> = Vec::new();
+        let mut lines = existing.lines();
+        if let Some(header) = lines.next() {
+            let on_disk = ShardManifest::parse(header)?;
+            manifest.ensure_matches(&on_disk, &shown)?;
+            valid_lines.push(header);
+            for line in lines {
+                // The torn tail: a line the kill cut short (or trailing
+                // garbage). Everything after the first unparseable line is
+                // discarded — records are only ever appended, so the valid
+                // prefix is exactly the completed work.
+                let Ok((experiment, id, _)) = parse_record(line) else {
+                    break;
+                };
+                if !manifest.shard.owns(id) {
+                    return Err(SimError::internal(format!(
+                        "shard checkpoint {shown} contains scenario id {id}, \
+                         which shard {} does not own",
+                        manifest.shard.label()
+                    )));
+                }
+                done.insert((experiment, id));
+                valid_lines.push(line);
+            }
+        }
+
+        // Rewrite the file to its valid prefix (manifest + intact records);
+        // for a fresh shard this just writes the manifest line.
+        let file = std::fs::File::create(path).map_err(|e| io_err("create failed", e))?;
+        let mut writer = std::io::BufWriter::new(file);
+        if valid_lines.is_empty() {
+            writer
+                .write_all(manifest.to_json().as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| io_err("manifest write failed", e))?;
+        } else {
+            for line in &valid_lines {
+                writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .map_err(|e| io_err("rewrite failed", e))?;
+            }
+        }
+        writer.flush().map_err(|e| io_err("flush failed", e))?;
+
+        Ok(ShardSession {
+            manifest,
+            resumed: done.len(),
+            done,
+            writer: Mutex::new(writer),
+            written: AtomicU64::new(0),
+        })
+    }
+
+    /// The manifest this session was opened with.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Number of records recovered from a previous run of this shard.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// Number of records appended by *this* run (excludes resumed ones).
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// The ids of `experiment`'s plan this shard still has to run: its
+    /// stripe minus the ids already checkpointed.
+    pub fn pending_ids(&self, experiment: &str, plan_len: usize) -> Vec<usize> {
+        (0..plan_len)
+            .filter(|&id| {
+                self.manifest.shard.owns(id) && !self.done.contains(&(experiment.to_string(), id))
+            })
+            .collect()
+    }
+
+    /// Appends one completed scenario's encoded fold value and flushes it,
+    /// making it durable before the runner moves on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O failure (aborting the sweep, like a failing tap).
+    pub fn record(&self, experiment: &str, id: usize, value: &Value) -> Result<(), SimError> {
+        let line = record_line(experiment, id, value);
+        let mut writer = self.writer.lock().expect("shard checkpoint poisoned");
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| io_err("record write failed", e))?;
+        self.written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MergedValues
+// ---------------------------------------------------------------------------
+
+/// The reassembled fold values of a complete shard set, ready for the
+/// experiments' aggregation code to consume in scenario-id order.
+#[derive(Debug)]
+pub struct MergedValues {
+    manifest: ShardManifest,
+    values: HashMap<(String, usize), Value>,
+}
+
+impl MergedValues {
+    /// Loads and cross-validates a set of shard checkpoints: every manifest
+    /// must agree on experiment / scale / seed / schema / depth-trace and
+    /// on the shard count, the shard indices must be exactly `0..count`
+    /// (each once), and every record must belong to its file's stripe.
+    ///
+    /// Completeness per experiment is *not* checked here — plan lengths are
+    /// only known once the plans are rebuilt; [`run_plan_values`] reports
+    /// the first missing id.
+    ///
+    /// # Errors
+    ///
+    /// Any manifest disagreement, duplicate or missing shard index,
+    /// out-of-stripe or duplicate record, or I/O failure.
+    pub fn load<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Self, SimError> {
+        if paths.is_empty() {
+            return Err(SimError::internal("merge needs at least one shard file"));
+        }
+        let mut reference: Option<ShardManifest> = None;
+        let mut seen_indices: HashSet<u32> = HashSet::new();
+        let mut values: HashMap<(String, usize), Value> = HashMap::new();
+        for path in paths {
+            let shown = path.as_ref().display().to_string();
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| SimError::internal(format!("cannot read shard {shown}: {e}")))?;
+            let mut lines = text.lines();
+            let manifest = ShardManifest::parse(lines.next().unwrap_or_default())
+                .map_err(|e| SimError::internal(format!("{shown}: {e}")))?;
+            match &reference {
+                None => reference = Some(manifest.clone()),
+                Some(first) => {
+                    // Compare everything but the stripe index by pretending
+                    // the expected index is this file's: only genuine
+                    // incompatibilities remain.
+                    let mut expected = first.clone();
+                    expected.shard.index = manifest.shard.index;
+                    expected.ensure_matches(&manifest, &shown)?;
+                }
+            }
+            if !seen_indices.insert(manifest.shard.index) {
+                return Err(SimError::internal(format!(
+                    "duplicate shard index {} (file {shown})",
+                    manifest.shard.index
+                )));
+            }
+            for line in lines {
+                let (experiment, id, value) =
+                    parse_record(line).map_err(|e| SimError::internal(format!("{shown}: {e}")))?;
+                if !manifest.shard.owns(id) {
+                    return Err(SimError::internal(format!(
+                        "{shown}: scenario id {id} does not belong to shard {}",
+                        manifest.shard.label()
+                    )));
+                }
+                if values.insert((experiment.clone(), id), value).is_some() {
+                    return Err(SimError::internal(format!(
+                        "{shown}: duplicate record for experiment {experiment} scenario {id}"
+                    )));
+                }
+            }
+        }
+        let manifest = reference.expect("at least one shard file");
+        let missing: Vec<u32> = (0..manifest.shard.count)
+            .filter(|i| !seen_indices.contains(i))
+            .collect();
+        if !missing.is_empty() {
+            return Err(SimError::internal(format!(
+                "incomplete shard set: {} file(s) for {} shards (missing indices {missing:?})",
+                seen_indices.len(),
+                manifest.shard.count
+            )));
+        }
+        Ok(MergedValues { manifest, values })
+    }
+
+    /// The agreed-on manifest (the stripe index is the first file's and
+    /// carries no meaning after a merge).
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// The checkpointed fold value of one scenario.
+    ///
+    /// # Errors
+    ///
+    /// A missing value means a shard was killed and never resumed to
+    /// completion — the error names the hole.
+    pub fn value(&self, experiment: &str, id: usize) -> Result<&Value, SimError> {
+        self.values
+            .get(&(experiment.to_string(), id))
+            .ok_or_else(|| {
+                SimError::internal(format!(
+                    "shard set is missing experiment {experiment} scenario {id}: \
+                     re-run the shard owning id {id} to complete its checkpoint"
+                ))
+            })
+    }
+
+    /// Total number of merged records across all experiments.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the shard set carried no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The execution seam
+// ---------------------------------------------------------------------------
+
+/// How an experiment harness should execute its plan.
+#[derive(Debug)]
+pub enum SweepExec<'a> {
+    /// Simulate every scenario (the historical behaviour).
+    Full,
+    /// Simulate only this shard's pending stripe, checkpointing fold
+    /// values; aggregation is skipped (the harness yields no results).
+    Shard(&'a ShardSession),
+    /// Simulate nothing: decode the checkpointed fold values in
+    /// scenario-id order and aggregate exactly as a full run would.
+    Merge(&'a MergedValues),
+}
+
+/// Encodes an experiment's per-scenario fold value to checkpoint JSON and
+/// back. The round trip must be exact — [`enc_f64`]/[`dec_f64`] and
+/// friends guarantee that per field, including non-finite values the
+/// report JSON itself cannot represent.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueCodec<T> {
+    /// Value → checkpoint JSON object.
+    pub encode: fn(&T) -> Value,
+    /// Checkpoint JSON object → value (error on schema drift).
+    pub decode: fn(&Value) -> Result<T, SimError>,
+}
+
+/// The outcome of [`run_plan_values`].
+#[derive(Debug)]
+pub struct PlanValues<T> {
+    /// The fold values in scenario-id order — `None` in shard mode, where
+    /// values went to the checkpoint instead of to aggregation.
+    pub values: Option<Vec<T>>,
+    /// Wall-clock timing of whatever was actually simulated (empty in
+    /// merge mode: nothing runs).
+    pub timing: SweepTiming,
+}
+
+/// Executes (or replays) one experiment's plan under the given
+/// [`SweepExec`] mode. This is the single seam every harness routes its
+/// main phase through, so full, sharded and merged execution cannot drift
+/// apart.
+///
+/// In `Shard` mode the caller's `tap` is **not** invoked — the checkpoint
+/// is the shard's only output, and the merge re-taps every value in
+/// scenario-id order (deterministic, unlike a parallel run's completion
+/// order).
+///
+/// # Errors
+///
+/// Full/shard mode fail like
+/// [`SweepRunner::run_fold_tap`]; merge mode fails on a missing or
+/// undecodable checkpoint value (naming the experiment and scenario id).
+pub fn run_plan_values<T: Send>(
+    exec: &SweepExec<'_>,
+    runner: &SweepRunner,
+    plan: &SweepPlan,
+    experiment: &str,
+    codec: &ValueCodec<T>,
+    fold: &ScenarioFold<'_, T>,
+    tap: &ScenarioTap<'_, T>,
+) -> Result<PlanValues<T>, SimError> {
+    match exec {
+        SweepExec::Full => {
+            let results = runner.run_fold_tap(plan, fold, tap)?;
+            let timing = results.timing(plan);
+            Ok(PlanValues {
+                values: Some(results.into_values()),
+                timing,
+            })
+        }
+        SweepExec::Shard(session) => {
+            let ids = session.pending_ids(experiment, plan.len());
+            let results = runner.run_fold_tap_subset(plan, &ids, fold, &|scenario, value| {
+                session.record(experiment, scenario.id, &(codec.encode)(value))
+            })?;
+            let timing = results.timing(plan);
+            Ok(PlanValues {
+                values: None,
+                timing,
+            })
+        }
+        SweepExec::Merge(merged) => {
+            let mut values = Vec::with_capacity(plan.len());
+            for scenario in plan.scenarios() {
+                let raw = merged.value(experiment, scenario.id)?;
+                let value = (codec.decode)(raw).map_err(|e| {
+                    SimError::internal(format!(
+                        "experiment {experiment} scenario {}: {e}",
+                        scenario.id
+                    ))
+                })?;
+                tap(scenario, &value)?;
+                values.push(value);
+            }
+            Ok(PlanValues {
+                values: Some(values),
+                timing: SweepTiming::default(),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field codec helpers
+// ---------------------------------------------------------------------------
+
+/// Encodes an `f64` for exact round-tripping: finite values use the JSON
+/// number's shortest-representation writer (which round-trips bit-for-bit),
+/// non-finite values — which report JSON writes as `null` — become the
+/// strings `"inf"` / `"-inf"` / `"nan"`.
+pub fn enc_f64(v: f64) -> Value {
+    if v.is_finite() {
+        Value::from(v)
+    } else if v.is_nan() {
+        Value::from("nan")
+    } else if v > 0.0 {
+        Value::from("inf")
+    } else {
+        Value::from("-inf")
+    }
+}
+
+/// Decodes [`enc_f64`]'s output.
+///
+/// # Errors
+///
+/// Anything that is neither a JSON number nor one of the non-finite
+/// sentinels.
+pub fn dec_f64(v: &Value) -> Result<f64, SimError> {
+    match v {
+        Value::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(SimError::internal(format!(
+                "expected a number or non-finite sentinel, found {other:?}"
+            ))),
+        },
+        other => other
+            .as_f64()
+            .ok_or_else(|| SimError::internal(format!("expected a number, found {other:?}"))),
+    }
+}
+
+/// Encodes a `u64` exactly (the JSON layer's `Uint` path).
+pub fn enc_u64(v: u64) -> Value {
+    Value::from(v)
+}
+
+/// Decodes [`enc_u64`]'s output.
+///
+/// # Errors
+///
+/// Anything that is not an unsigned integer.
+pub fn dec_u64(v: &Value) -> Result<u64, SimError> {
+    v.as_u64()
+        .ok_or_else(|| SimError::internal(format!("expected an unsigned integer, found {v:?}")))
+}
+
+/// Encodes a [`SimTime`] as exact nanoseconds.
+pub fn enc_time(t: SimTime) -> Value {
+    Value::from(t.as_nanos())
+}
+
+/// Decodes [`enc_time`]'s output.
+///
+/// # Errors
+///
+/// Anything that is not an unsigned integer.
+pub fn dec_time(v: &Value) -> Result<SimTime, SimError> {
+    dec_u64(v).map(SimTime::from_nanos)
+}
+
+/// Looks up a required field of a checkpoint value object.
+///
+/// # Errors
+///
+/// Names the missing field (schema drift the fingerprint should have
+/// caught — or a hand-edited checkpoint).
+pub fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, SimError> {
+    obj.get(key)
+        .ok_or_else(|| SimError::internal(format!("checkpoint value is missing field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpreempt-shard-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn manifest(shard: ShardSpec) -> ShardManifest {
+        ShardManifest::new("all", "quick", 2014, shard, None)
+    }
+
+    #[test]
+    fn shard_spec_parses_and_stripes() {
+        let s = ShardSpec::parse("1/3").unwrap();
+        assert_eq!((s.index, s.count), (1, 3));
+        assert_eq!(s.label(), "1/3");
+        assert_eq!(s.stripe(8), vec![1, 4, 7]);
+        assert!(ShardSpec::parse("3/3").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("2").is_err());
+        // Every id is owned by exactly one shard.
+        for id in 0..50 {
+            let owners = (0..5)
+                .filter(|&k| ShardSpec { index: k, count: 5 }.owns(id))
+                .count();
+            assert_eq!(owners, 1, "id {id}");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = ShardManifest::new(
+            "saturation",
+            "bench",
+            42,
+            ShardSpec { index: 2, count: 4 },
+            Some(250),
+        );
+        let parsed = ShardManifest::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.schema, schema_fingerprint());
+    }
+
+    #[test]
+    fn f64_codec_round_trips_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -3.0,
+            0.1,
+            1234567.890123,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            // Through the actual JSON writer + parser, like a real checkpoint.
+            let line = Value::Object(vec![("v".to_string(), enc_f64(v))]).to_json();
+            let back = dec_f64(json::parse(&line).unwrap().get("v").unwrap()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        let line = Value::Object(vec![("v".to_string(), enc_f64(f64::NAN))]).to_json();
+        assert!(dec_f64(json::parse(&line).unwrap().get("v").unwrap())
+            .unwrap()
+            .is_nan());
+        assert!(dec_f64(&Value::from("bogus")).is_err());
+        assert!(dec_f64(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn session_checkpoints_and_resumes() {
+        let dir = temp_dir("resume");
+        let path = dir.join("shard0.jsonl");
+        let spec = ShardSpec { index: 0, count: 2 };
+        {
+            let session = ShardSession::open(&path, manifest(spec)).unwrap();
+            assert_eq!(session.resumed(), 0);
+            assert_eq!(session.pending_ids("fig2", 5), vec![0, 2, 4]);
+            session.record("fig2", 0, &enc_u64(10)).unwrap();
+            session.record("fig2", 2, &enc_u64(20)).unwrap();
+            assert_eq!(session.written(), 2);
+        }
+        // Reopen: the two records are recovered, only id 4 is pending.
+        let session = ShardSession::open(&path, manifest(spec)).unwrap();
+        assert_eq!(session.resumed(), 2);
+        assert_eq!(session.pending_ids("fig2", 5), vec![4]);
+        // An unrelated experiment is untouched by fig2's checkpoints.
+        assert_eq!(session.pending_ids("spatial", 3), vec![0, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_on_resume() {
+        let dir = temp_dir("torn");
+        let path = dir.join("shard.jsonl");
+        let spec = ShardSpec { index: 1, count: 3 };
+        {
+            let session = ShardSession::open(&path, manifest(spec)).unwrap();
+            session.record("fig2", 1, &enc_u64(1)).unwrap();
+            session.record("fig2", 4, &enc_u64(4)).unwrap();
+        }
+        // Simulate a kill mid-write: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let session = ShardSession::open(&path, manifest(spec)).unwrap();
+        assert_eq!(session.resumed(), 1, "the torn record is gone");
+        assert_eq!(session.pending_ids("fig2", 6), vec![4]);
+        // The rewrite left a fully valid file.
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rewritten.lines().count(), 2);
+        for line in rewritten.lines() {
+            json::parse(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_manifest_refuses_to_resume() {
+        let dir = temp_dir("mismatch");
+        let path = dir.join("shard.jsonl");
+        let spec = ShardSpec { index: 0, count: 2 };
+        drop(ShardSession::open(&path, manifest(spec)).unwrap());
+        let mut other = manifest(spec);
+        other.seed = 99;
+        let err = ShardSession::open(&path, other).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        let mut other = manifest(spec);
+        other.schema ^= 1;
+        let err = ShardSession::open(&path, other).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_validates_the_shard_set() {
+        let dir = temp_dir("merge");
+        let paths: Vec<_> = (0..3).map(|k| dir.join(format!("s{k}.jsonl"))).collect();
+        for (k, path) in paths.iter().enumerate() {
+            let spec = ShardSpec {
+                index: k as u32,
+                count: 3,
+            };
+            let session = ShardSession::open(path, manifest(spec)).unwrap();
+            for id in spec.stripe(7) {
+                session
+                    .record("fig2", id, &enc_u64(id as u64 * 10))
+                    .unwrap();
+            }
+        }
+        let merged = MergedValues::load(&paths).unwrap();
+        assert_eq!(merged.len(), 7);
+        assert!(!merged.is_empty());
+        for id in 0..7 {
+            assert_eq!(
+                dec_u64(merged.value("fig2", id).unwrap()).unwrap(),
+                id as u64 * 10
+            );
+        }
+        let missing = merged.value("fig2", 7).unwrap_err();
+        assert!(missing.to_string().contains("scenario 7"), "{missing}");
+
+        // An incomplete set names the missing index.
+        let err = MergedValues::load(&paths[..2]).unwrap_err();
+        assert!(err.to_string().contains("missing indices [2]"), "{err}");
+        // A duplicated file is a duplicate index.
+        let err = MergedValues::load(&[&paths[0], &paths[0]]).unwrap_err();
+        assert!(err.to_string().contains("duplicate shard index"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_manifests() {
+        let dir = temp_dir("merge-bad");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        drop(ShardSession::open(&a, manifest(ShardSpec { index: 0, count: 2 })).unwrap());
+        let mut other = manifest(ShardSpec { index: 1, count: 2 });
+        other.seed = 7;
+        drop(ShardSession::open(&b, other).unwrap());
+        let err = MergedValues::load(&[a, b]).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

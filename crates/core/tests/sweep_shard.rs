@@ -1,0 +1,169 @@
+//! Sharded sweep execution: the stripe partition is exact for any plan and
+//! shard count, a killed shard resumes from its checkpoint discarding a
+//! torn tail, and the merged output is byte-identical to an unsharded
+//! multi-worker run.
+
+use gpreempt::sweep::{
+    MergedValues, ShardManifest, ShardSession, ShardSpec, SweepExec, SweepRunner,
+};
+use gpreempt::{experiments::Fig2Results, SimulatorConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gpreempt-shard-it-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn manifest(shard: ShardSpec) -> ShardManifest {
+    ShardManifest::new("fig2", "quick", 42, shard, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any plan size and any shard count up to 8, the stripes form an
+    /// exact partition of the scenario population: every id is owned by
+    /// exactly one shard, so the union of the shards covers the plan and
+    /// no scenario is simulated twice.
+    #[test]
+    fn stripes_partition_any_plan(len in 0u64..200, count in 1u32..9) {
+        let shards: Vec<ShardSpec> =
+            (0..count).map(|index| ShardSpec { index, count }).collect();
+        let mut covered = vec![0u32; len as usize];
+        for shard in &shards {
+            for (id, hits) in covered.iter_mut().enumerate() {
+                if shard.owns(id) {
+                    *hits += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&hits| hits == 1));
+        // The CLI spelling round-trips.
+        for shard in &shards {
+            prop_assert_eq!(ShardSpec::parse(&shard.label()).unwrap(), *shard);
+        }
+    }
+}
+
+/// Three shard runs (each on a 2-worker runner) merged back together
+/// reproduce the unsharded `jobs = 2` run exactly, down to the report
+/// bytes.
+#[test]
+fn merged_shards_match_unsharded_two_worker_run() {
+    let config = SimulatorConfig::default();
+    let full = Fig2Results::run_with(&config, &SweepRunner::new(2)).unwrap();
+
+    let paths: Vec<PathBuf> = (0..3).map(|k| temp_path(&format!("merge-{k}"))).collect();
+    for (k, path) in paths.iter().enumerate() {
+        let _ = std::fs::remove_file(path);
+        let spec = ShardSpec {
+            index: k as u32,
+            count: 3,
+        };
+        let session = ShardSession::open(path, manifest(spec)).unwrap();
+        let out = Fig2Results::run_exec(&config, &SweepRunner::new(2), &SweepExec::Shard(&session))
+            .unwrap();
+        assert!(out.is_none(), "a shard run yields no aggregated results");
+    }
+
+    let merged = MergedValues::load(&paths).unwrap();
+    let replayed = Fig2Results::run_exec(
+        &config,
+        &SweepRunner::sequential(),
+        &SweepExec::Merge(&merged),
+    )
+    .unwrap()
+    .expect("merge yields results");
+    assert_eq!(replayed, full);
+    assert_eq!(replayed.report().to_json(), full.report().to_json());
+
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Kill-at-scenario-i: truncating the checkpoint after its first record —
+/// with a torn half-written line at the tail, as a `kill -9` mid-write
+/// leaves behind — must resume cleanly: the torn tail is discarded, the
+/// completed record is kept, and the finished shard file and merged
+/// results are identical to the uninterrupted run's.
+#[test]
+fn killed_shard_resumes_and_matches() {
+    let config = SimulatorConfig::default();
+    let spec = ShardSpec { index: 0, count: 1 };
+    let path = temp_path("resume");
+    let _ = std::fs::remove_file(&path);
+
+    let session = ShardSession::open(&path, manifest(spec)).unwrap();
+    Fig2Results::run_exec(
+        &config,
+        &SweepRunner::sequential(),
+        &SweepExec::Shard(&session),
+    )
+    .unwrap();
+    assert_eq!(session.written(), 3);
+    drop(session);
+    let complete = std::fs::read_to_string(&path).unwrap();
+
+    // Keep the manifest line and the first record, then tear the next
+    // record mid-line.
+    let mut lines = complete.lines();
+    let kept = format!("{}\n{}\n", lines.next().unwrap(), lines.next().unwrap());
+    let torn = &lines.next().unwrap()[..20];
+    std::fs::write(&path, format!("{kept}{torn}")).unwrap();
+
+    let session = ShardSession::open(&path, manifest(spec)).unwrap();
+    assert_eq!(session.resumed(), 1, "torn tail must not count as done");
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        kept,
+        "reopening must rewrite the file without the torn tail"
+    );
+    assert_eq!(session.pending_ids("fig2", 3), vec![1, 2]);
+    Fig2Results::run_exec(
+        &config,
+        &SweepRunner::sequential(),
+        &SweepExec::Shard(&session),
+    )
+    .unwrap();
+    assert_eq!(session.written(), 2, "only the lost scenarios re-run");
+    drop(session);
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        complete,
+        "resumed shard file must equal the uninterrupted one"
+    );
+
+    let merged = MergedValues::load(&[&path]).unwrap();
+    let replayed = Fig2Results::run_exec(
+        &config,
+        &SweepRunner::sequential(),
+        &SweepExec::Merge(&merged),
+    )
+    .unwrap()
+    .unwrap();
+    let full = Fig2Results::run(&config).unwrap();
+    assert_eq!(replayed, full);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A checkpoint written under one configuration must refuse to resume
+/// under another: silently mixing seeds would merge incompatible
+/// simulations.
+#[test]
+fn mismatched_manifest_is_rejected() {
+    let path = temp_path("mismatch");
+    let _ = std::fs::remove_file(&path);
+    let spec = ShardSpec { index: 0, count: 1 };
+    drop(ShardSession::open(&path, manifest(spec)).unwrap());
+
+    let other = ShardManifest::new("fig2", "quick", 43, spec, None);
+    let err = ShardSession::open(&path, other).unwrap_err().to_string();
+    assert!(err.contains("seed"), "error must name the field: {err}");
+
+    let _ = std::fs::remove_file(&path);
+}

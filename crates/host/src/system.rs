@@ -108,6 +108,7 @@ impl HostSystem {
                     spec.effective_priority(),
                 )
                 .with_arrival(spec.arrival, spec.backlog_cap)
+                .with_depth_trace(spec.depth_trace)
             })
             .collect();
         let arrival_rngs = Self::derive_rngs(0, processes.len());
@@ -170,6 +171,7 @@ impl HostSystem {
                     spec.effective_priority(),
                     spec.arrival,
                     spec.backlog_cap,
+                    spec.depth_trace,
                 );
             } else {
                 self.processes.push(
@@ -178,7 +180,8 @@ impl HostSystem {
                         spec.benchmark.clone(),
                         spec.effective_priority(),
                     )
-                    .with_arrival(spec.arrival, spec.backlog_cap),
+                    .with_arrival(spec.arrival, spec.backlog_cap)
+                    .with_depth_trace(spec.depth_trace),
                 );
             }
         }
@@ -745,7 +748,7 @@ mod tests {
             assert!(pair[1].started >= pair[0].finished);
         }
 
-        let stats = host.arrival_stats(end)[0];
+        let stats = host.arrival_stats(end)[0].clone();
         assert!(
             stats.released > stats.admitted,
             "overload outruns admission"
@@ -769,7 +772,7 @@ mod tests {
         let mut host = HostSystem::new(&w, PcieConfig::default(), TransferPolicy::Fcfs);
         let end = run_host(&mut host, SimTime::from_micros(20), 3);
 
-        let stats = host.arrival_stats(end)[0];
+        let stats = host.arrival_stats(end)[0].clone();
         assert_eq!(stats.released, 0, "closed loops release nothing");
         assert_eq!(stats.shed, 0);
         assert_eq!(stats.max_depth, 0);
@@ -793,7 +796,7 @@ mod tests {
             SimTime::from_micros(200),
             SimTime::from_millis(3),
         );
-        let stats = host.arrival_stats(end)[0];
+        let stats = host.arrival_stats(end)[0].clone();
         assert!(stats.shed >= 2, "cap 1 under overload must shed repeatedly");
         assert!(stats.max_depth <= 1);
         assert_eq!(stats.released, stats.admitted + stats.shed);

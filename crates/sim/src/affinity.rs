@@ -1,0 +1,100 @@
+//! Best-effort CPU pinning for sweep worker threads.
+//!
+//! Long sweeps stream hundreds of scenarios per worker; when the kernel
+//! migrates a worker across cores mid-stream, the arena it has been warming
+//! ([`SimWorkspace`](../../gpreempt/simulator/struct.SimWorkspace.html)-sized
+//! state plus the intern table) is dragged through a cold cache. Pinning
+//! each worker to one core removes that migration noise.
+//!
+//! The pin is **best effort** and deliberately free of any libc dependency
+//! (the workspace vendors its few dependencies and adds none): on Linux it
+//! issues the raw `sched_setaffinity` syscall via inline assembly, on every
+//! other platform it is a no-op that reports failure. Callers must treat a
+//! `false` return as "run unpinned", never as an error — affinity is a
+//! performance hint, not a correctness requirement (sweep results are
+//! bit-identical pinned or not).
+
+/// Pins the calling thread to one CPU (`cpu` is taken modulo the mask
+/// width of 1024). Returns whether the kernel accepted the mask; `false`
+/// means the thread keeps its previous affinity (non-Linux platforms,
+/// restricted sandboxes, or a CPU outside the allowed set).
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    // A fixed 1024-bit mask (the kernel's historical cpu_set_t width);
+    // passing a larger-than-needed mask is always accepted.
+    let mut mask = [0u64; 16];
+    let bit = cpu % (mask.len() * 64);
+    mask[bit / 64] = 1u64 << (bit % 64);
+    let ret: isize;
+    // sched_setaffinity(pid: 0 = calling thread, cpusetsize, mask).
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") core::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        let out: usize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 122usize, // __NR_sched_setaffinity
+            inlateout("x0") 0usize => out,
+            in("x1") core::mem::size_of_val(&mask),
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+        ret = out as isize;
+    }
+    ret == 0
+}
+
+/// No-op fallback: platforms without the raw-syscall path report failure
+/// and the caller runs unpinned.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_best_effort_and_never_panics() {
+        // On Linux CI this succeeds for CPU 0; elsewhere it reports false.
+        // Either way the call must be safe to issue from any thread.
+        let _ = pin_current_thread(0);
+        // Out-of-range CPUs wrap into the mask width instead of overflowing.
+        let _ = pin_current_thread(usize::MAX);
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn linux_accepts_cpu_zero() {
+        // CPU 0 exists on every machine; the raw syscall must succeed.
+        assert!(pin_current_thread(0));
+        // Restore a permissive mask for the test thread so later tests on
+        // this thread are not confined to core 0: pin to each CPU in turn
+        // is not possible with this helper, but re-pinning to the current
+        // count - 1 proves non-zero indices work too.
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(pin_current_thread(cpus - 1));
+    }
+}

@@ -30,6 +30,11 @@ pub struct ProcessSpec {
     /// Bound on released-but-not-started iterations for open arrivals;
     /// releases beyond it are shed. Ignored for closed-loop processes.
     pub backlog_cap: u32,
+    /// When `Some`, the host samples this process's queue depth at this
+    /// fixed simulated interval, producing a depth *trace* over time in
+    /// [`ArrivalStats`] instead of only the time-weighted mean and peak.
+    /// `None` (the default) keeps tracing off and stats allocation-free.
+    pub depth_trace: Option<SimTime>,
 }
 
 impl ProcessSpec {
@@ -42,6 +47,7 @@ impl ProcessSpec {
             rt: None,
             arrival: ArrivalProcess::ClosedLoop,
             backlog_cap: gpreempt_types::DEFAULT_BACKLOG_CAP,
+            depth_trace: None,
         }
     }
 
@@ -84,6 +90,14 @@ impl ProcessSpec {
         self
     }
 
+    /// Enables fixed-interval queue-depth trace sampling for this process.
+    /// A zero interval disables tracing (same as never calling this).
+    #[must_use]
+    pub fn with_depth_trace(mut self, interval: SimTime) -> Self {
+        self.depth_trace = (!interval.is_zero()).then_some(interval);
+        self
+    }
+
     /// The priority the scheduler should actually use for this process:
     /// derived from the real-time contract's criticality when one is
     /// present, the explicitly configured priority otherwise (the one-line
@@ -121,6 +135,16 @@ impl Workload {
     #[must_use]
     pub fn with_min_completions(mut self, n: u32) -> Self {
         self.min_completions = n.max(1);
+        self
+    }
+
+    /// Enables fixed-interval queue-depth trace sampling on **every**
+    /// process of the workload (a zero interval disables it everywhere).
+    #[must_use]
+    pub fn with_depth_trace(mut self, interval: SimTime) -> Self {
+        for spec in &mut self.processes {
+            spec.depth_trace = (!interval.is_zero()).then_some(interval);
+        }
         self
     }
 
